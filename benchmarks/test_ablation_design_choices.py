@@ -1,0 +1,99 @@
+"""Design-choice ablations beyond the paper's Table 3.
+
+Sweeps the design axes DESIGN.md calls out, each of which the paper fixes by
+a choice it motivates but does not sweep publicly:
+
+1. outlier container: FP16 vs INT8 vs FP8 (§4.1 argues 8-bit suffices);
+2. number format: INT4 vs FP4 vs MX4 (Table 4 / §6's Blackwell discussion);
+3. KV-cache bit-width: 16 -> 2 (§4.4 picks 4);
+4. outlier-channel budget (§5.1 picks 128-of-4096 ~ 3%);
+5. group size (§4.2 picks 128; finer = more accurate, more kernel overhead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import paper_note
+from repro.bench import format_table, save_artifact
+from repro.core import AtomConfig, AtomQuantizer
+from repro.eval import perplexity
+
+
+def _ppl(model, cfg):
+    return perplexity(
+        AtomQuantizer(cfg).quantize(model), "synthwiki", eval_chars=4096
+    )
+
+
+def _measure(model):
+    base = AtomConfig.paper_default()
+    out: dict[str, list[list]] = {}
+
+    out["outlier_container"] = [
+        ["FP16", _ppl(model, base.with_(outlier_bits=None))],
+        ["INT8", _ppl(model, base)],
+        ["FP8", _ppl(model, base.with_(outlier_fmt="fp"))],
+        ["INT4 tail (still separated)", _ppl(model, base.with_(outlier_bits=4))],
+        ["no separation (n_outlier=0)", _ppl(model, base.with_(n_outlier=0))],
+    ]
+    out["number_format"] = [
+        ["INT4", _ppl(model, base)],
+        ["FP4 (E2M1)", _ppl(model, base.with_(fmt="fp"))],
+        ["MX4 (power-of-two scales)", _ppl(model, base.with_(fmt="mx"))],
+    ]
+    out["kv_bits"] = [
+        [bits if bits else "FP16", _ppl(model, base.with_(kv_bits=bits))]
+        for bits in (None, 8, 4, 3, 2)
+    ]
+    out["outlier_budget"] = [
+        [n, _ppl(model, base.with_(n_outlier=n))] for n in (0, 2, 4, 8, 16)
+    ]
+    out["group_size"] = [
+        ["none", _ppl(model, base.with_(group_size=None))],
+        *[[g, _ppl(model, base.with_(group_size=g))] for g in (32, 16, 8)],
+    ]
+    return out
+
+
+def test_ablation_design_choices(benchmark, models):
+    model = models["llama-7b-sim"]
+    results = benchmark.pedantic(_measure, args=(model,), rounds=1, iterations=1)
+    sections = []
+    for name, rows in results.items():
+        sections.append(format_table([name, "ppl"], rows))
+    save_artifact(
+        "ablation_design_choices.txt", "\n\n".join([paper_note()] + sections)
+    )
+
+    def col(section, i=1):
+        return [row[i] for row in results[section]]
+
+    # 1. 8-bit outliers (INT8 or FP8) match FP16 outliers (§4.1's claim).
+    #    Removing the separation entirely is catastrophic; notably, at this
+    #    scale even an INT4 tail works once outliers are SEPARATED — the
+    #    separation, not the container width, carries most of the benefit.
+    fp16_o, int8_o, fp8_o, int4_o, none_o = col("outlier_container")
+    assert abs(int8_o - fp16_o) < 0.15 * fp16_o
+    assert abs(fp8_o - fp16_o) < 0.15 * fp16_o
+    assert none_o > 2.0 * int8_o
+
+    # 2. FP4 ~ INT4 (Table 4); MX4's power-of-two scales cost a bit more.
+    int4, fp4, mx4 = col("number_format")
+    assert abs(fp4 - int4) < 0.25 * int4
+    assert int4 <= mx4 < 1.3 * int4
+
+    # 3. KV bits: 8 and 4 are nearly free; 2 visibly degrades.
+    kv = col("kv_bits")
+    assert abs(kv[1] - kv[0]) < 0.1  # INT8 vs FP16
+    assert abs(kv[2] - kv[0]) < 0.15  # INT4 vs FP16 (the paper's +0.12)
+    assert kv[4] > kv[0] + 0.5  # INT2 breaks
+
+    # 4. Outlier budget: steep gains up to the config default, then plateau.
+    ob = col("outlier_budget")
+    assert ob[0] > ob[2] > ob[4]
+    assert (ob[0] - ob[2]) > 3 * (ob[2] - ob[4])
+
+    # 5. Group size: monotone accuracy improvement as groups shrink.
+    gs = col("group_size")
+    assert gs[0] >= gs[1] >= gs[3]

@@ -1,0 +1,100 @@
+"""Figure 11: kernel-level evaluation.
+
+(a) Fused GEMM achieved TOPS vs batch: Atom's W4A4 kernel wins everywhere;
+    weight-only W4A16 wins at small batch but flattens at the FP16 ceiling
+    (at batch 512: 3.4x over FP16, 1.9x over W8A8).
+(b) Self-attention throughput vs batch: memory-bound, speedup tracks the
+    KV bit-width (at batch 128: 3.5x over FP16, 1.8x over INT8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import paper_note
+from repro.bench import ascii_series, format_table, save_artifact
+from repro.serving import (
+    ATOM_W4A4,
+    FP16,
+    LLAMA_7B,
+    W4A16,
+    W8A8,
+    attention_decode_time,
+    gemm_tops,
+)
+
+GEMM_BATCHES = (1, 8, 32, 128, 512, 2048)
+ATTN_BATCHES = (1, 8, 32, 128, 256)
+SCHEMES = (FP16, W4A16, W8A8, ATOM_W4A4)
+CTX = 1024  # the paper's sequence length
+
+
+def _measure():
+    gemm = {
+        s.name: [gemm_tops(m, 4096, 4096, s) for m in GEMM_BATCHES]
+        for s in SCHEMES
+    }
+    # Attention throughput: decoded tokens per second for a batch of
+    # CTX-long requests.
+    attn = {}
+    for s in SCHEMES:
+        attn[s.name] = [
+            b / attention_decode_time([CTX] * b, LLAMA_7B, s.kv_bits)
+            for b in ATTN_BATCHES
+        ]
+    return gemm, attn
+
+
+def test_fig11_kernels(benchmark):
+    gemm, attn = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    gemm_rows = [
+        [m] + [gemm[s.name][i] for s in SCHEMES] for i, m in enumerate(GEMM_BATCHES)
+    ]
+    attn_rows = [
+        [b] + [attn[s.name][i] for s in SCHEMES] for i, b in enumerate(ATTN_BATCHES)
+    ]
+    headers = ["batch"] + [s.name for s in SCHEMES]
+    report = "\n\n".join(
+        [
+            paper_note(),
+            format_table(headers, gemm_rows,
+                         title="Fig. 11(a): fused GEMM achieved TOPS (4096x4096)"),
+            ascii_series(
+                [float(np.log2(m)) for m in GEMM_BATCHES],
+                gemm, title="Fig. 11(a) (x = log2 batch)", logy=True,
+            ),
+            format_table(headers, attn_rows,
+                         title="Fig. 11(b): decode attention tokens/s (ctx 1024)"),
+        ]
+    )
+    save_artifact("fig11_kernels.txt", report)
+
+    i512 = GEMM_BATCHES.index(512)
+    # (a) paper's anchors at batch 512.
+    np.testing.assert_allclose(
+        gemm["Atom-W4A4"][i512] / gemm["FP16"][i512], 3.4, atol=0.2
+    )
+    np.testing.assert_allclose(
+        gemm["Atom-W4A4"][i512] / gemm["W8A8"][i512], 1.9, atol=0.15
+    )
+    # Weight-only crossover: beats FP16 at small batch, loses to Atom at
+    # large batch by >2.5x.
+    assert gemm["W4A16"][0] > 3 * gemm["FP16"][0]
+    assert gemm["W4A16"][-1] < gemm["Atom-W4A4"][-1] / 2.5
+    # Atom wins at every batch size.
+    for i in range(len(GEMM_BATCHES)):
+        for s in ("FP16", "W8A8"):
+            assert gemm["Atom-W4A4"][i] >= gemm[s][i], i
+
+    # (b) paper's attention anchors at batch 128.
+    i128 = ATTN_BATCHES.index(128)
+    np.testing.assert_allclose(
+        attn["Atom-W4A4"][i128] / attn["FP16"][i128], 3.5, atol=0.2
+    )
+    np.testing.assert_allclose(
+        attn["Atom-W4A4"][i128] / attn["W8A8"][i128], 1.8, atol=0.15
+    )
+    # Decode attention gets NO batching benefit (§3): every request streams
+    # its own KV, so tokens/s is flat across batch sizes.
+    for s in SCHEMES:
+        np.testing.assert_allclose(attn[s.name], attn[s.name][0], rtol=1e-9)

@@ -1,0 +1,74 @@
+"""Figure 2: WikiText2 perplexity vs model size for W4A4 methods.
+
+Paper claim: Atom stays close to the FP16 baseline across ALL model sizes,
+while SmoothQuant / OmniQuant / QLLM sit far above it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import paper_note, quantize, quantizer_registry
+from repro.bench import ascii_series, format_table, save_artifact
+from repro.eval import perplexity
+
+PAPER_WIKITEXT2 = {  # the series plotted in Fig. 2 (W4A4, from Table 2)
+    "FP16": [5.68, 5.09, 4.10, 3.53],
+    "SmoothQuant": [22.62, 33.98, 109.85, 88.89],
+    "OmniQuant*": [11.59, 10.90, 10.34, 9.18],
+    "QLLM*": [9.65, 8.41, 8.37, 6.87],
+    "Atom": [6.16, 5.46, 4.54, 3.89],
+}
+
+
+def _measure(models, calib_tokens):
+    sizes = list(models)
+    series: dict[str, list[float]] = {"FP16": []}
+    for name in sizes:
+        series["FP16"].append(perplexity(models[name], "synthwiki", eval_chars=4096))
+    for method, q in quantizer_registry().items():
+        series[method] = [
+            perplexity(
+                quantize(q, models[name], calib_tokens), "synthwiki", eval_chars=4096
+            )
+            for name in sizes
+        ]
+    return sizes, series
+
+
+def test_fig2_ppl_vs_size(benchmark, models, calib_tokens):
+    sizes, series = benchmark.pedantic(
+        _measure, args=(models, calib_tokens), rounds=1, iterations=1
+    )
+    headers = ["method"] + [s.replace("llama-", "").replace("-sim", "") for s in sizes]
+    rows = [[m] + vals for m, vals in series.items()]
+    paper_rows = [[m + " (paper)"] + vals for m, vals in PAPER_WIKITEXT2.items()]
+    report = "\n\n".join(
+        [
+            paper_note(),
+            format_table(headers, rows, title="Fig. 2 (measured): WikiText2-analog ppl, W4A4"),
+            format_table(headers, paper_rows, title="Fig. 2 (paper): WikiText2 ppl, W4A4"),
+            ascii_series(
+                list(range(len(sizes))),
+                series,
+                title="Fig. 2: ppl vs model size (log y)",
+                logy=True,
+            ),
+        ]
+    )
+    save_artifact("fig2_ppl_vs_size.txt", report)
+
+    # --- Shape assertions (the figure's message).
+    fp16 = np.array(series["FP16"])
+    atom = np.array(series["Atom"])
+    # 1. Atom tracks FP16 closely at every size.
+    assert np.all(atom < 1.5 * fp16)
+    # 2. Every baseline is worse than Atom at every size.
+    for method in ("SmoothQuant", "OmniQuant*", "QLLM*"):
+        assert np.all(np.array(series[method]) > atom)
+    # 3. SmoothQuant is the worst baseline (it collapses at W4A4).
+    assert np.all(
+        np.array(series["SmoothQuant"]) >= np.array(series["OmniQuant*"]) * 0.8
+    )
+    # 4. Larger models have lower FP16 perplexity (the x-axis trend).
+    assert list(fp16) == sorted(fp16, reverse=True)

@@ -1,0 +1,46 @@
+"""Figure 3: runtime breakdown of Llama-7B inference vs batch size.
+
+Paper claim: dense + self-attention layers together consume over 90% of
+execution time at every batch size, and the attention share grows with the
+batch (its KV traffic scales per-request).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import paper_note
+from repro.bench import format_table, save_artifact
+from repro.serving import LLAMA_7B, runtime_breakdown
+
+BATCHES = (1, 4, 16, 32, 64, 128, 256)
+
+
+def _measure():
+    return {b: runtime_breakdown(b, LLAMA_7B, context_len=1024) for b in BATCHES}
+
+
+def test_fig3_runtime_breakdown(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        [b, f["dense"], f["self_attention"], f["others"],
+         f["dense"] + f["self_attention"]]
+        for b, f in results.items()
+    ]
+    report = "\n\n".join(
+        [
+            paper_note(),
+            format_table(
+                ["batch", "dense", "self-attention", "others", "dense+attn"],
+                rows,
+                title="Fig. 3: runtime fraction per operator class "
+                      "(FP16 Llama-7B decode, ctx 1024)",
+            ),
+        ]
+    )
+    save_artifact("fig3_runtime_breakdown.txt", report)
+
+    for b, f in results.items():
+        assert f["dense"] + f["self_attention"] > 0.9, b
+        assert abs(sum(f.values()) - 1.0) < 1e-9
+    attn = [results[b]["self_attention"] for b in BATCHES]
+    assert attn == sorted(attn)  # attention share grows with batch
+    assert results[1]["dense"] > 0.8  # GEMV weight streaming dominates at b=1

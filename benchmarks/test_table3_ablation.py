@@ -1,0 +1,58 @@
+"""Table 3: cumulative ablation of Atom's quantization techniques."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import paper_note
+from repro.bench import format_table, save_artifact
+from repro.eval.ablation import run_accuracy_ablation
+
+PAPER = [
+    ("FP16 baseline", 5.68),
+    ("W4A4 RTN", 2315.52),
+    ("+ Keeping outliers in FP16", 11.34),
+    ("+ Quantizing outliers to INT8", 11.39),
+    ("+ Group quantization", 6.22),
+    ("+ Clipping", 6.13),
+    ("+ GPTQ", 6.04),
+    ("+ Quantizing KV-cache to INT4", 6.16),
+]
+
+
+def test_table3_ablation(benchmark, models):
+    model = models["llama-7b-sim"]
+    rows = benchmark.pedantic(
+        run_accuracy_ablation, args=(model,), kwargs={"eval_chars": 8192},
+        rounds=1, iterations=1,
+    )
+    table = [
+        [r.label, r.ppl, r.delta_from_previous, paper_ppl]
+        for r, (_, paper_ppl) in zip(rows, PAPER)
+    ]
+    report = "\n\n".join(
+        [
+            paper_note(),
+            format_table(
+                ["technique (cumulative)", "ppl (measured)", "delta", "ppl (paper)"],
+                table,
+                title="Table 3: accuracy ablation on the 7B analog (synthwiki)",
+            ),
+        ]
+    )
+    save_artifact("table3_ablation.txt", report)
+
+    ppl = {r.label: r.ppl for r in rows}
+    fp16 = ppl["FP16 baseline"]
+    # RTN collapses; outlier handling recovers most of it.
+    assert ppl["W4A4 RTN"] > 2.5 * fp16
+    assert ppl["+ Keeping outliers in FP16"] < ppl["W4A4 RTN"] / 1.5
+    # INT8 outliers are nearly free (paper: +0.05).
+    assert abs(ppl["+ Quantizing outliers to INT8"] - ppl["+ Keeping outliers in FP16"]) < 0.15
+    # Group quantization is the second major gain (paper: -5.17).
+    assert ppl["+ Group quantization"] < ppl["+ Quantizing outliers to INT8"] - 0.5
+    # Clipping and GPTQ refine by small amounts (paper: -0.09 each).
+    assert ppl["+ Clipping"] < ppl["+ Group quantization"] + 0.1
+    assert ppl["+ GPTQ"] < ppl["+ Clipping"] + 0.1
+    # KV quantization costs little (paper: +0.12).
+    assert abs(ppl["+ Quantizing KV-cache to INT4"] - ppl["+ GPTQ"]) < 0.25
+    # Final recipe lands close to FP16.
+    assert ppl["+ Quantizing KV-cache to INT4"] < 1.5 * fp16

@@ -1,0 +1,59 @@
+"""Design-space exploration: sweep Atom's quantization knobs.
+
+Uses the public ``AtomConfig`` ablation surface to answer three questions
+the paper's design section raises:
+
+1. How does accuracy scale with bit-width (W8A8 -> W2A2)?
+2. How many mixed-precision outlier channels are enough?
+3. How fine do quantization groups need to be?
+
+Run:  python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.core import AtomConfig, AtomQuantizer
+from repro.eval import perplexity
+from repro.models.zoo import load_model
+
+
+def main() -> None:
+    model = load_model("llama-7b-sim")
+    fp16 = perplexity(model, "synthwiki", eval_chars=4096)
+    print(f"FP16 baseline perplexity: {fp16:.3f}\n")
+
+    def ppl(cfg: AtomConfig) -> float:
+        return perplexity(
+            AtomQuantizer(cfg).quantize(model), "synthwiki", eval_chars=4096
+        )
+
+    print("=== 1. Bit-width sweep (full Atom recipe) ===")
+    rows = []
+    for bits in (8, 6, 4, 3, 2):
+        cfg = AtomConfig.paper_default().with_(
+            a_bits=bits, w_bits=bits, kv_bits=min(bits, 4)
+        )
+        rows.append([f"W{bits}A{bits}", ppl(cfg)])
+    print(format_table(["precision", "ppl"], rows))
+    print("4 bits is the knee: W4A4 is near-lossless, W3A3 degrades, W2A2 breaks.\n")
+
+    print("=== 2. Outlier-channel budget (W4A4, group quant on) ===")
+    rows = []
+    for n in (0, 1, 2, 4, 8, 16):
+        rows.append([n, ppl(AtomConfig.paper_default().with_(n_outlier=n))])
+    print(format_table(["outlier channels", "ppl"], rows))
+    print("A handful of INT8 channels buys most of the recovery — the paper's")
+    print("128-of-4096 (3%) choice scaled to this model is ~4 channels.\n")
+
+    print("=== 3. Group-size sweep (W4A4, outliers on) ===")
+    rows = [["none (per-token)", ppl(AtomConfig.paper_default().with_(group_size=None))]]
+    for g in (32, 16, 8):
+        rows.append([g, ppl(AtomConfig.paper_default().with_(group_size=g))])
+    print(format_table(["group size", "ppl"], rows))
+    print("Finer groups monotonically help accuracy; the serving kernels pay")
+    print("for them with the fused-dequant overhead of §5.4.2 (980->770 TOPS).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Serving-throughput study: what low-bit quantization buys at the system
+level (the workload of the paper's introduction).
+
+Simulates an LLM service on a 24 GB RTX 4090 serving a ShareGPT-like
+request stream with FCFS continuous batching and a paged KV-cache, and
+compares FP16, weight-only W4A16, W8A8, and Atom W4A4 — first with memory
+limits lifted (Fig. 10(a)/(b)) and then at fixed GPU memory (Fig. 10(c)),
+where Atom's weight+KV compression converts directly into batch size.
+
+Run:  python examples/serving_throughput.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.data.sharegpt import ShareGPTWorkload
+from repro.serving import (
+    ATOM_W4A4,
+    FP16,
+    LLAMA_7B,
+    W4A16,
+    W8A8,
+    ServingEngine,
+)
+
+SCHEMES = (FP16, W4A16, W8A8, ATOM_W4A4)
+
+
+def main() -> None:
+    workload = ShareGPTWorkload(seed=42, max_len=2048)
+    print("Sampled ShareGPT-like workload:", workload.length_stats(2000))
+
+    print("\n=== Throughput/latency vs batch size (memory limits lifted) ===")
+    rows = []
+    for batch in (8, 32, 64, 128, 256):
+        reqs = ShareGPTWorkload(seed=42, max_len=2048).sample_requests(
+            max(192, 3 * batch)
+        )
+        row = [batch]
+        for scheme in SCHEMES:
+            r = ServingEngine(
+                LLAMA_7B, scheme, max_batch=batch, enforce_memory=False
+            ).run(reqs)
+            row.append(
+                f"{r.throughput_tokens_per_s:7.0f} tok/s "
+                f"{r.mean_decode_latency_s * 1e3:5.1f} ms"
+            )
+        rows.append(row)
+    print(format_table(["batch"] + [s.name for s in SCHEMES], rows))
+
+    print("\n=== Fixed 24 GB GPU memory (Fig. 10(c)) ===")
+    reqs = ShareGPTWorkload(seed=42, max_len=2048).sample_requests(512)
+    rows = []
+    base = None
+    for scheme in SCHEMES:
+        r = ServingEngine(
+            LLAMA_7B, scheme, max_batch=256, enforce_memory=True
+        ).run(reqs)
+        base = base or r.throughput_tokens_per_s
+        rows.append(
+            [
+                scheme.name,
+                f"{r.weights_gb:.1f}",
+                f"{r.kv_budget_gb:.1f}",
+                r.max_batch,
+                f"{r.throughput_tokens_per_s:.0f}",
+                f"{r.throughput_tokens_per_s / base:.2f}x",
+                f"{r.mean_decode_latency_s * 1e3:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "weights GB", "KV budget GB", "peak batch",
+             "tokens/s", "vs FP16", "latency ms"],
+            rows,
+        )
+    )
+    print(
+        "\nAtom's 4-bit weights shrink the model 4x and its 4-bit KV-cache"
+        "\nquadruples the requests per GB — the batch headroom is what turns"
+        "\ninto the end-to-end throughput win."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Baseline quantization methods the paper compares against (from scratch).
+
+- :mod:`repro.baselines.rtn`         — naive round-to-nearest W4A4/W8A8;
+- :mod:`repro.baselines.smoothquant` — SmoothQuant (Xiao et al. 2023):
+  difficulty migration from activations to weights via per-channel
+  smoothing, grid-searched alpha;
+- :mod:`repro.baselines.omniquant_lite` — a calibration-optimized variant
+  ("OmniQuant-lite"): per-site smoothing + grid-searched clipping, standing
+  in for OmniQuant's gradient-learned clipping/transform;
+- :mod:`repro.baselines.qllm_lite`   — channel disassembly ("QLLM-lite"):
+  splitting outlier channels into sub-channels to shrink dynamic range;
+- :mod:`repro.baselines.weight_only` — W4A16 GPTQ weight-only quantization
+  (the serving baseline of Figs. 10-11).
+
+All quantizers share the protocol ``quantize(model, calib_tokens=None) ->
+LlamaModel`` and a ``name`` attribute.
+"""
+
+from repro.baselines.rtn import RTNQuantizer
+from repro.baselines.smoothquant import SmoothQuantQuantizer
+from repro.baselines.omniquant_lite import OmniQuantLite
+from repro.baselines.qllm_lite import QLLMLite
+from repro.baselines.weight_only import WeightOnlyGPTQ
+
+__all__ = [
+    "OmniQuantLite",
+    "QLLMLite",
+    "RTNQuantizer",
+    "SmoothQuantQuantizer",
+    "WeightOnlyGPTQ",
+]

@@ -1,0 +1,33 @@
+"""Naive round-to-nearest weight-activation quantization.
+
+The standard recipe (§5.4.1): per-output-channel symmetric weights,
+per-token symmetric dynamic activations, no outlier handling, no groups,
+no clipping.  This is Table 3's first quantized row and the substrate the
+smoothing-based baselines build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.atom import AtomQuantizer
+from repro.core.config import AtomConfig
+from repro.models.llama import LlamaModel
+
+__all__ = ["RTNQuantizer"]
+
+
+class RTNQuantizer:
+    """RTN WxAx quantizer (thin wrapper over the Atom engine with
+    every Atom technique switched off)."""
+
+    def __init__(self, *, a_bits: int = 4, w_bits: int = 4) -> None:
+        self.a_bits = a_bits
+        self.w_bits = w_bits
+        self.name = f"rtn-w{w_bits}a{a_bits}"
+
+    def quantize(
+        self, model: LlamaModel, *, calib_tokens: np.ndarray | None = None
+    ) -> LlamaModel:
+        cfg = AtomConfig.rtn_w4a4().with_(a_bits=self.a_bits, w_bits=self.w_bits)
+        return AtomQuantizer(cfg).quantize(model, calib_tokens=calib_tokens)

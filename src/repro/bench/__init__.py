@@ -1,0 +1,7 @@
+"""Reporting helpers shared by the benchmark harness (tables + ASCII figures)."""
+
+from repro.bench.tables import format_table
+from repro.bench.figures import ascii_bars, ascii_series
+from repro.bench.artifacts import save_artifact, results_dir
+
+__all__ = ["ascii_bars", "ascii_series", "format_table", "results_dir", "save_artifact"]

@@ -1,0 +1,36 @@
+"""Benchmark artifact output: regenerated tables/figures land on disk."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["results_dir", "save_artifact"]
+
+
+def results_dir() -> Path:
+    """Directory benchmark outputs are written to.
+
+    ``$ATOM_REPRO_RESULTS`` overrides; default ``benchmarks/results`` under
+    the repository root (falls back to CWD when run from elsewhere).
+    """
+    env = os.environ.get("ATOM_REPRO_RESULTS")
+    if env:
+        base = Path(env)
+    else:
+        here = Path(__file__).resolve()
+        repo = next(
+            (p for p in here.parents if (p / "pyproject.toml").exists()),
+            Path.cwd(),
+        )
+        base = repo / "benchmarks" / "results"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write one report file and return its path (also echoes to stdout)."""
+    path = results_dir() / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

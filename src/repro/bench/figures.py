@@ -1,0 +1,86 @@
+"""ASCII renderings of the paper's figures (line series and bar charts).
+
+The benchmark harness emits figure *data* as aligned numeric tables plus a
+coarse ASCII visualization, so the regenerated figures are inspectable in a
+terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_series", "ascii_bars"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """Scatter multiple named series on one character grid."""
+    import math
+
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(f"series {name!r} length != len(xs)")
+    ys_all = [
+        (math.log10(max(v, 1e-12)) if logy else v)
+        for name in names
+        for v in series[name]
+    ]
+    if not ys_all:
+        raise ValueError("no data")
+    lo, hi = min(ys_all), max(ys_all)
+    span = hi - lo or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in zip(xs, series[name]):
+            yy = math.log10(max(y, 1e-12)) if logy else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((yy - lo) / span * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    bot = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    lines.append(f"y: [{bot}, {top}]" + ("  (log scale)" if logy else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_lo:g}, {x_hi:g}]")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """Horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not values:
+        raise ValueError("no data")
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * max(int(v / peak * width), 1 if v > 0 else 0)
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {v:.4g}")
+    return "\n".join(lines)

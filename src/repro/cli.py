@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro zoo                          # list / pre-train the zoo
+    python -m repro quantize -m llama-7b-sim     # quantize + evaluate
+    python -m repro ablation -m llama-7b-sim     # Table 3 on one model
+    python -m repro serve --scheme Atom-W4A4     # serving simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.models.config import MODEL_FAMILY
+    from repro.models.zoo import load_weights, zoo_cache_dir
+
+    rows = []
+    for name, cfg in MODEL_FAMILY.items():
+        if args.train:
+            load_weights(name, verbose=args.verbose)
+            status = "cached"
+        else:
+            status = "moe" if cfg.is_moe else "dense"
+        rows.append([name, cfg.dim, cfg.n_layers, cfg.n_params(), status])
+    print(format_table(["model", "dim", "layers", "params", "kind"], rows))
+    print(f"cache: {zoo_cache_dir()}")
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro.core import AtomConfig, AtomQuantizer
+    from repro.eval import perplexity, zero_shot_suite
+    from repro.models.zoo import load_model
+
+    model = load_model(args.model)
+    cfg = AtomConfig.paper_default().with_(
+        a_bits=args.bits,
+        w_bits=args.bits,
+        kv_bits=min(args.bits, 4) if args.kv else None,
+        fmt=args.fmt,
+        sequential=args.sequential,
+        act_order=args.act_order,
+    )
+    q = AtomQuantizer(cfg)
+    quant = q.quantize(model)
+    print(f"quantized {args.model} with {cfg.label()}")
+    print(f"  mean weight reconstruction error: {q.report.mean_weight_error:.4f}")
+    rows = []
+    for corpus in ("synthwiki", "synthptb", "synthc4"):
+        rows.append(
+            [
+                corpus,
+                perplexity(model, corpus, eval_chars=4096),
+                perplexity(quant, corpus, eval_chars=4096),
+            ]
+        )
+    print(format_table(["corpus", "FP16 ppl", "quantized ppl"], rows))
+    if args.zeroshot:
+        fp16 = zero_shot_suite(model, n_items=args.items)
+        qs = zero_shot_suite(quant, n_items=args.items)
+        rows = [[t, 100 * fp16[t], 100 * qs[t]] for t in fp16]
+        print(format_table(["task", "FP16 %", "quantized %"], rows))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.eval.ablation import run_accuracy_ablation
+    from repro.models.zoo import load_model
+
+    model = load_model(args.model)
+    rows = [
+        [r.label, r.ppl, r.delta_from_previous]
+        for r in run_accuracy_ablation(model, corpus=args.corpus)
+    ]
+    print(format_table(["technique (cumulative)", "ppl", "delta"], rows))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.data.sharegpt import ShareGPTWorkload
+    from repro.serving import SCHEMES, ServingEngine
+    from repro.serving.models import LLAMA_13B, LLAMA_70B, LLAMA_7B
+
+    from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
+
+    specs = {"llama-7b": LLAMA_7B, "llama-13b": LLAMA_13B, "llama-70b": LLAMA_70B}
+    spec = specs[args.model]
+    tp = None
+    if args.tp > 1:
+        ic = NVLINK if args.interconnect == "nvlink" else PCIE_4
+        tp = TPConfig(args.tp, ic)
+    schemes = (
+        [SCHEMES[args.scheme]] if args.scheme != "all" else list(SCHEMES.values())
+    )
+    reqs = ShareGPTWorkload(seed=args.seed, max_len=2048).sample_requests(
+        args.requests
+    )
+    rows = []
+    for scheme in schemes:
+        engine = ServingEngine(
+            spec,
+            scheme,
+            max_batch=args.batch,
+            enforce_memory=not args.no_memory_limit,
+            admission=args.admission,
+            tp=tp,
+        )
+        r = engine.run(reqs)
+        rows.append(
+            [
+                scheme.name,
+                f"{r.throughput_tokens_per_s:.0f}",
+                f"{r.mean_decode_latency_s * 1e3:.1f}",
+                f"{r.mean_ttft_s:.2f}",
+                r.max_batch,
+                r.preemptions,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "tokens/s", "latency ms", "TTFT s", "peak batch", "preempt"],
+            rows,
+            title=f"{spec.name}, batch<= {args.batch}, {len(reqs)} requests, "
+            f"{args.admission} admission",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    zoo = sub.add_parser("zoo", help="list or pre-train the model zoo")
+    zoo.add_argument("--train", action="store_true", help="train any uncached model")
+    zoo.add_argument("-v", "--verbose", action="store_true")
+    zoo.set_defaults(func=_cmd_zoo)
+
+    q = sub.add_parser("quantize", help="quantize a zoo model and evaluate it")
+    q.add_argument("-m", "--model", default="llama-7b-sim")
+    q.add_argument("-b", "--bits", type=int, default=4)
+    q.add_argument("--fmt", choices=("int", "fp", "mx"), default="int")
+    q.add_argument("--no-kv", dest="kv", action="store_false", help="keep KV FP16")
+    q.add_argument("--sequential", action="store_true")
+    q.add_argument("--act-order", action="store_true")
+    q.add_argument("--zeroshot", action="store_true")
+    q.add_argument("--items", type=int, default=40, help="items per zero-shot task")
+    q.set_defaults(func=_cmd_quantize)
+
+    a = sub.add_parser("ablation", help="run the Table 3 ablation")
+    a.add_argument("-m", "--model", default="llama-7b-sim")
+    a.add_argument("--corpus", default="synthwiki")
+    a.set_defaults(func=_cmd_ablation)
+
+    s = sub.add_parser("serve", help="serving simulation (Fig. 10)")
+    s.add_argument("-m", "--model", default="llama-7b",
+                   choices=("llama-7b", "llama-13b", "llama-70b"))
+    s.add_argument("--scheme", default="all",
+                   choices=("all", "FP16", "W4A16", "W8A8", "Atom-W4A4"))
+    s.add_argument("--batch", type=int, default=64)
+    s.add_argument("--requests", type=int, default=256)
+    s.add_argument("--admission", choices=("reserve", "dynamic"), default="reserve")
+    s.add_argument("--no-memory-limit", action="store_true")
+    s.add_argument("--tp", type=int, default=1, help="tensor-parallel degree")
+    s.add_argument("--interconnect", choices=("nvlink", "pcie"), default="nvlink")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_serve)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""GPTQ weight quantization (Frantar et al. 2023) with ragged group scales.
+
+Atom applies GPTQ to weight matrices after channel reordering (§4.3): it is
+a purely offline step that compensates the rounding error of each column by
+updating the not-yet-quantized columns, using second-order information from
+calibration activations (the Hessian ``H = X^T X``).
+
+This implementation follows the reference algorithm: Cholesky factor ``U``
+of ``H^{-1}`` (upper), sequential column quantization, rank-1 error
+propagation ``W[:, j+1:] -= err ⊗ U[j, j+1:]``.  Group scales are computed
+lazily at each group boundary from the *current* (already-compensated)
+weights, exactly as the official Atom/GPTQ code does.
+
+Number formats per slice: ``"int"`` (uniform integer), ``"fp"`` (FP4/FP8
+minifloat grids, Table 4), ``"mx"`` (integer codes with power-of-two block
+scales — the MX/microscaling format §6 expects Blackwell GPUs to accelerate;
+MX scales are stored as 8-bit exponents).  A slice's ``fmt`` field overrides
+the weight-level format (e.g. FP8 outlier tails over an INT4 body).
+
+``act_order=True`` enables GPTQ's activation-order heuristic: columns are
+quantized in order of decreasing Hessian diagonal (most constrained first)
+while scales stay defined on the original slice layout.
+
+Slices with ``bits=None`` (FP16 outliers ablation) pass through unquantized
+and contribute zero error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.groups import GroupSlice
+from repro.quant.dtypes import FP4_E2M1, FP8_E4M3, FloatFormat, IntFormat
+
+__all__ = ["gptq_quantize", "rtn_weight_quantize", "SlicedWeight", "hessian"]
+
+
+class SlicedWeight:
+    """Quantized weight in reordered, per-slice layout.
+
+    ``codes[i]`` holds slice ``i``'s codes: integer codes for int/mx slices,
+    grid-rounded ratios for fp slices, raw FP16 weights for ``bits=None``
+    slices (``scales[i]`` is then ``None``).
+    """
+
+    def __init__(
+        self,
+        slices: list[GroupSlice],
+        codes: list[np.ndarray],
+        scales: list[np.ndarray | None],
+        fmt: str,
+    ) -> None:
+        if not (len(slices) == len(codes) == len(scales)):
+            raise ValueError("slices/codes/scales length mismatch")
+        self.slices = slices
+        self.codes = codes
+        self.scales = scales
+        self.fmt = fmt
+
+    def slice_fmt(self, s: GroupSlice) -> str:
+        return s.fmt or self.fmt
+
+    def dequantize(self) -> np.ndarray:
+        """Reassemble the float weight matrix (still in reordered layout)."""
+        parts = []
+        for codes, scale in zip(self.codes, self.scales):
+            if scale is None:
+                parts.append(codes.astype(np.float64))
+            else:
+                parts.append(codes.astype(np.float64) * scale)
+        return np.concatenate(parts, axis=1)
+
+    def storage_bits(self) -> int:
+        """Bits for codes + scales (FP16 scales; 8-bit E8M0 for MX slices;
+        FP16 slices count 16 bits/element)."""
+        total = 0
+        for s, scale in zip(self.slices, self.scales):
+            n_rows = self.codes[0].shape[0]
+            if scale is None:
+                total += n_rows * s.width * 16
+            else:
+                scale_bits = 8 if self.slice_fmt(s) == "mx" else 16
+                total += n_rows * s.width * s.bits + scale.size * scale_bits
+        return total
+
+
+def _fp_grid(bits: int) -> FloatFormat:
+    return FP4_E2M1 if bits == 4 else FP8_E4M3
+
+
+def _slice_scale(w: np.ndarray, bits: int, clip: float, fmt: str) -> np.ndarray:
+    """Per-output-row scale for one weight slice ``(out, width)``."""
+    amax = np.abs(w).max(axis=1, keepdims=True)
+    amax = np.maximum(amax, 1e-12)
+    if fmt == "int":
+        return 2.0 * amax / (IntFormat(bits).n_levels - 1) * clip
+    if fmt == "mx":
+        # Power-of-two scale (E8M0): smallest 2^e covering the clipped range.
+        qmax = IntFormat(bits).qmax
+        return np.exp2(np.ceil(np.log2(clip * amax / qmax)))
+    return amax / _fp_grid(bits).max_value * clip
+
+
+def _quant_column(
+    col: np.ndarray, scale: np.ndarray, bits: int, fmt: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize one weight column; returns (codes, dequantized)."""
+    s = scale[:, 0]
+    if fmt in ("int", "mx"):
+        f = IntFormat(bits)
+        q = np.clip(np.round(col / s), f.qmin, f.qmax)
+        return q.astype(np.int8), q * s
+    grid = _fp_grid(bits)
+    q = grid.round(col / s)
+    return q, q * s
+
+
+def hessian(x: np.ndarray) -> np.ndarray:
+    """Calibration Hessian ``X^T X`` (float64) for GPTQ."""
+    x = np.asarray(x, dtype=np.float64)
+    return x.T @ x
+
+
+def _cholesky_inverse_upper(h: np.ndarray, percdamp: float) -> np.ndarray:
+    """Damped upper Cholesky factor of ``H^{-1}`` (the GPTQ trick)."""
+    damp = percdamp * float(np.mean(np.diag(h)))
+    h = h.copy()
+    h[np.diag_indices_from(h)] += damp
+    h_inv = scipy.linalg.inv(h)
+    return scipy.linalg.cholesky((h_inv + h_inv.T) / 2.0, lower=False)
+
+
+def gptq_quantize(
+    weight: np.ndarray,
+    hess: np.ndarray,
+    slices: list[GroupSlice],
+    *,
+    clip: float = 0.85,
+    fmt: str = "int",
+    percdamp: float = 0.01,
+    act_order: bool = False,
+) -> SlicedWeight:
+    """GPTQ-quantize ``weight`` (out, in) against calibration Hessian ``hess``."""
+    w = np.asarray(weight, dtype=np.float64).copy()
+    n_out, n_in = w.shape
+    if hess.shape != (n_in, n_in):
+        raise ValueError(f"Hessian shape {hess.shape} != ({n_in}, {n_in})")
+    if sum(s.width for s in slices) != n_in:
+        raise ValueError("slices do not cover the weight's input dimension")
+
+    h = np.asarray(hess, dtype=np.float64).copy()
+    # Dead channels (zero diagonal) get unit curvature and zero weight.
+    dead = np.diag(h) == 0.0
+    h[dead, dead] = 1.0
+    w[:, dead] = 0.0
+
+    slice_of = np.empty(n_in, dtype=np.int64)
+    for i, s in enumerate(slices):
+        slice_of[s.start : s.stop] = i
+
+    if act_order:
+        # Quantize the most-constrained columns first.  Scales are fixed
+        # upfront from the pristine weights (group entry is undefined under
+        # a permuted visiting order), and the Hessian is permuted to match.
+        perm = np.argsort(-np.diag(h))
+        u = _cholesky_inverse_upper(h[np.ix_(perm, perm)], percdamp)
+        codes: list[np.ndarray] = []
+        scales: list[np.ndarray | None] = []
+        for s in slices:
+            if s.bits is None:
+                codes.append(np.empty((n_out, s.width), dtype=np.float32))
+                scales.append(None)
+            else:
+                sf = s.fmt or fmt
+                scales.append(
+                    _slice_scale(w[:, s.start : s.stop], s.bits, clip, sf)
+                )
+                codes.append(
+                    np.empty(
+                        (n_out, s.width),
+                        dtype=np.int8 if sf in ("int", "mx") else np.float64,
+                    )
+                )
+        w_p = w[:, perm]
+        for rank, j in enumerate(perm):
+            s = slices[slice_of[j]]
+            col = w_p[:, rank]
+            if s.bits is None:
+                codes[slice_of[j]][:, j - s.start] = col.astype(np.float32)
+                continue
+            sf = s.fmt or fmt
+            q, deq = _quant_column(col, scales[slice_of[j]], s.bits, sf)
+            codes[slice_of[j]][:, j - s.start] = q
+            err = (col - deq) / u[rank, rank]
+            if rank + 1 < n_in:
+                w_p[:, rank + 1 :] -= np.outer(err, u[rank, rank + 1 :])
+        return SlicedWeight(slices, codes, scales, fmt)
+
+    u = _cholesky_inverse_upper(h, percdamp)
+    codes = []
+    scales = []
+    for s in slices:
+        if s.bits is None:
+            codes.append(w[:, s.start : s.stop].astype(np.float32).copy())
+            scales.append(None)
+            continue
+        sf = s.fmt or fmt
+        scale = _slice_scale(w[:, s.start : s.stop], s.bits, clip, sf)
+        slice_codes = np.empty(
+            (n_out, s.width), dtype=np.int8 if sf in ("int", "mx") else np.float64
+        )
+        for j in range(s.start, s.stop):
+            q, deq = _quant_column(w[:, j], scale, s.bits, sf)
+            slice_codes[:, j - s.start] = q
+            err = (w[:, j] - deq) / u[j, j]
+            if j + 1 < n_in:
+                w[:, j + 1 :] -= np.outer(err, u[j, j + 1 :])
+        codes.append(slice_codes)
+        scales.append(scale)
+    return SlicedWeight(slices, codes, scales, fmt)
+
+
+def rtn_weight_quantize(
+    weight: np.ndarray,
+    slices: list[GroupSlice],
+    *,
+    clip: float = 1.0,
+    fmt: str = "int",
+) -> SlicedWeight:
+    """Round-to-nearest weight quantization in the same sliced layout."""
+    w = np.asarray(weight, dtype=np.float64)
+    if sum(s.width for s in slices) != w.shape[1]:
+        raise ValueError("slices do not cover the weight's input dimension")
+    codes: list[np.ndarray] = []
+    scales: list[np.ndarray | None] = []
+    for s in slices:
+        block = w[:, s.start : s.stop]
+        if s.bits is None:
+            codes.append(block.astype(np.float32).copy())
+            scales.append(None)
+            continue
+        sf = s.fmt or fmt
+        scale = _slice_scale(block, s.bits, clip, sf)
+        if sf in ("int", "mx"):
+            f = IntFormat(s.bits)
+            q = np.clip(np.round(block / scale), f.qmin, f.qmax).astype(np.int8)
+        else:
+            q = _fp_grid(s.bits).round(block / scale)
+        codes.append(q)
+        scales.append(scale)
+    return SlicedWeight(slices, codes, scales, fmt)

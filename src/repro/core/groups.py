@@ -1,0 +1,84 @@
+"""Ragged group slices: the channel layout of a reordered matrix.
+
+After Atom's channel reordering (Fig. 7), a matrix's channel axis looks like::
+
+    [ body group 0 | body group 1 | ... | body group N-1 | outlier tail ]
+      low-bit        low-bit               low-bit          high-bit/FP16
+
+Each contiguous slice is quantized independently (its own scale per token /
+per output channel).  The paper's dimensions make every group exactly
+``group_size`` wide (128 outliers on 4096 channels); our scaled-down models
+may leave a ragged final body group, which the slice abstraction handles
+uniformly.
+
+``bits=None`` marks an FP16 passthrough slice (the "keep outliers in FP16"
+ablation row of Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GroupSlice", "make_group_slices"]
+
+
+@dataclass(frozen=True)
+class GroupSlice:
+    """One contiguous channel range quantized with a single scale set.
+
+    ``fmt`` optionally overrides the containing weight's number format for
+    this slice (e.g. an FP8 outlier tail over an INT4 body); ``None``
+    inherits.
+    """
+
+    start: int
+    stop: int
+    bits: int | None  # None => keep FP16
+    is_outlier: bool = False
+    fmt: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(f"empty slice [{self.start}, {self.stop})")
+        if self.bits is not None and not 2 <= self.bits <= 8:
+            raise ValueError(f"bits must be in [2, 8] or None, got {self.bits}")
+        if self.fmt is not None and self.fmt not in ("int", "fp", "mx"):
+            raise ValueError(f"fmt must be 'int', 'fp', 'mx' or None, got {self.fmt}")
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+def make_group_slices(
+    n_channels: int,
+    *,
+    n_outlier: int,
+    group_size: int | None,
+    body_bits: int,
+    outlier_bits: int | None,
+    outlier_fmt: str | None = None,
+) -> list[GroupSlice]:
+    """Build the slice layout for a reordered ``n_channels``-wide matrix.
+
+    ``group_size=None`` puts the whole body in one slice (no group
+    quantization — scales are per-token / per-output-channel only).
+    ``outlier_fmt`` overrides the outlier tail's number format (e.g. ``"fp"``
+    for FP8 outliers over an integer body, §4.1's FP8-vs-INT8 discussion).
+    """
+    if not 0 <= n_outlier < n_channels:
+        raise ValueError(
+            f"n_outlier ({n_outlier}) must be in [0, n_channels={n_channels})"
+        )
+    body = n_channels - n_outlier
+    slices: list[GroupSlice] = []
+    step = group_size if group_size else body
+    for start in range(0, body, step):
+        slices.append(GroupSlice(start, min(start + step, body), body_bits))
+    if n_outlier:
+        slices.append(
+            GroupSlice(
+                body, n_channels, outlier_bits, is_outlier=True, fmt=outlier_fmt
+            )
+        )
+    return slices

@@ -1,0 +1,147 @@
+"""Quantized linear executors: dynamic activation quantization + integer GEMM.
+
+:class:`AtomLinear` models the full fused pipeline of Figs. 7-8:
+
+1. **Reorder** the incoming activation by the calibration permutation
+   (fused into the prior operator in the real kernel; functionally a column
+   gather here).
+2. **Dynamically quantize** each channel slice per token: low-bit symmetric
+   with clipping for body groups, INT8 for the outlier tail (or FP16
+   passthrough in the ablation variant).
+3. **Integer GEMM per slice** with int64 accumulation (the tensor-core MMA),
+   then dequantize with the token-scale x weight-scale outer product and
+   accumulate in float (the fused epilogue of Fig. 8).
+
+:class:`QuantLinear` is the same machinery with no reorder and no outlier
+tail — the executor used by RTN / SmoothQuant / W8A8-style baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gptq import SlicedWeight, _fp_grid
+from repro.core.groups import GroupSlice
+from repro.models.llama import LinearImpl
+from repro.quant.dtypes import IntFormat
+
+__all__ = ["AtomLinear", "QuantLinear"]
+
+
+def _dynamic_act_quant(
+    x: np.ndarray, bits: int, clip: float, fmt: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-token symmetric quantization of one activation slice.
+
+    Returns ``(codes, scale)`` with ``scale`` of shape ``(tokens, 1)``.
+    ``fmt="mx"`` restricts scales to powers of two (MX/microscaling, §6).
+    """
+    amax = np.abs(x).max(axis=1, keepdims=True)
+    amax = np.maximum(amax, 1e-12)
+    if fmt == "int":
+        f = IntFormat(bits)
+        scale = 2.0 * amax / (f.n_levels - 1) * clip
+        codes = np.clip(np.round(x / scale), f.qmin, f.qmax)
+        return codes, scale
+    if fmt == "mx":
+        f = IntFormat(bits)
+        scale = np.exp2(np.ceil(np.log2(clip * amax / f.qmax)))
+        codes = np.clip(np.round(x / scale), f.qmin, f.qmax)
+        return codes, scale
+    grid = _fp_grid(bits)
+    scale = amax / grid.max_value * clip
+    return grid.round(x / scale), scale
+
+
+class AtomLinear(LinearImpl):
+    """Mixed-precision, group-quantized linear with channel reordering."""
+
+    def __init__(
+        self,
+        weight: SlicedWeight,
+        *,
+        perm: np.ndarray | None,
+        a_bits: int,
+        act_clip: float,
+        fmt: str = "int",
+        out_features: int | None = None,
+    ) -> None:
+        self.weight = weight
+        self.perm = None if perm is None else np.asarray(perm, dtype=np.int64)
+        self.a_bits = a_bits
+        self.act_clip = act_clip
+        self.fmt = fmt
+        self._out = (
+            out_features if out_features is not None else weight.codes[0].shape[0]
+        )
+        self._in = sum(s.width for s in weight.slices)
+        if self.perm is not None and len(self.perm) != self._in:
+            raise ValueError("permutation length != in_features")
+        # Pre-transpose weight codes once: the GEMM consumes (width, out).
+        self._wT = [c.astype(np.float64).T.copy() for c in weight.codes]
+        self._wscaleT = [
+            None if s is None else s.T.copy() for s in weight.scales
+        ]
+
+    @property
+    def out_features(self) -> int:
+        return self._out
+
+    @property
+    def in_features(self) -> int:
+        return self._in
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D activations, got shape {x.shape}")
+        if self.perm is not None:
+            x = x[:, self.perm]
+        y = np.zeros((x.shape[0], self._out), dtype=np.float64)
+        for s, w_t, ws_t in zip(self.weight.slices, self._wT, self._wscaleT):
+            xs = x[:, s.start : s.stop]
+            if ws_t is None:
+                # FP16 slice: both operands stay high precision.
+                y += xs @ w_t
+                continue
+            bits = self.a_bits if not s.is_outlier else (s.bits or 8)
+            fmt = self.weight.slice_fmt(s)
+            codes, scale = _dynamic_act_quant(xs, bits, self.act_clip, fmt)
+            # Integer MMA + fused dequant-accumulate (Fig. 8 steps 1-3).
+            y += (codes @ w_t) * scale * ws_t
+        return y.astype(np.float32)
+
+    def dequantized_weight(self) -> np.ndarray:
+        """Float weight in the ORIGINAL (un-reordered) column order."""
+        w = self.weight.dequantize()
+        if self.perm is None:
+            return w
+        out = np.empty_like(w)
+        out[:, self.perm] = w
+        return out
+
+    def effective_weight_bits(self) -> float:
+        """Average stored bits per weight element, incl. scales."""
+        return self.weight.storage_bits() / (self._out * self._in)
+
+
+class QuantLinear(AtomLinear):
+    """Uniform quantized linear (no reorder, no outlier tail).
+
+    Convenience for the baselines: per-token activations, per-output-channel
+    (optionally grouped) weights.
+    """
+
+    def __init__(
+        self,
+        weight: SlicedWeight,
+        *,
+        a_bits: int,
+        act_clip: float = 1.0,
+        fmt: str = "int",
+    ) -> None:
+        if any(s.is_outlier for s in weight.slices):
+            raise ValueError("QuantLinear does not support outlier slices")
+        super().__init__(
+            weight, perm=None, a_bits=a_bits, act_clip=act_clip, fmt=fmt
+        )

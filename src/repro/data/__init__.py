@@ -1,0 +1,32 @@
+"""Data substrate: synthetic corpora, tokenizer, serving workloads, eval tasks.
+
+The paper evaluates on WikiText2/PTB/C4 perplexity, six lm-eval zero-shot
+tasks, and a ShareGPT-derived serving workload.  None of those artifacts are
+available offline, so this package provides seeded synthetic equivalents
+(see DESIGN.md §2 for the substitution rationale):
+
+- :mod:`repro.data.corpus` — three probabilistic-grammar text corpora with
+  distinct statistics, standing in for WikiText2 / PTB / C4;
+- :mod:`repro.data.tokenizer` — a character-level tokenizer;
+- :mod:`repro.data.sharegpt` — a log-normal request-length workload matching
+  published ShareGPT statistics, with multi-round concatenation;
+- :mod:`repro.data.tasks` — six multiple-choice likelihood-ranking tasks with
+  graded difficulty, standing in for PIQA/ARC/BoolQ/HellaSwag/WinoGrande.
+"""
+
+from repro.data.corpus import CORPUS_NAMES, generate_corpus, corpus_splits
+from repro.data.tokenizer import CharTokenizer
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.data.tasks import TASK_NAMES, MultipleChoiceItem, build_task
+
+__all__ = [
+    "CORPUS_NAMES",
+    "CharTokenizer",
+    "MultipleChoiceItem",
+    "Request",
+    "ShareGPTWorkload",
+    "TASK_NAMES",
+    "build_task",
+    "corpus_splits",
+    "generate_corpus",
+]

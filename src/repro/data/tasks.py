@@ -1,0 +1,134 @@
+"""Synthetic zero-shot multiple-choice tasks (lm-eval stand-ins).
+
+The paper reports zero-shot accuracy on PIQA, ARC-e, ARC-c, BoolQ, HellaSwag
+and WinoGrande via lm-eval, which scores a multiple-choice item by picking
+the continuation with the highest length-normalised log-likelihood under the
+model.  We reproduce that *mechanism* with six synthetic tasks built on the
+same grammar the models were trained on:
+
+- the **correct** continuation follows the grammar exactly (real vocabulary
+  words, preferred noun→verb bigrams);
+- **distractors** apply ``n_subs`` single-character substitutions that
+  PRESERVE consonant/vowel structure — producing plausible pseudo-words the
+  model has never seen.  More substitutions => larger likelihood gap =>
+  easier task.
+
+Harder tasks (fewer substitutions) leave less headroom between correct and
+corrupt continuations, so quantization noise flips more rankings — the same
+reason ARC-c degrades more than PIQA in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import CorpusSpec, _CONSONANTS, _VOWELS, _spec
+
+__all__ = ["TASK_NAMES", "TASK_SPECS", "TaskSpec", "MultipleChoiceItem", "build_task"]
+
+
+@dataclass(frozen=True)
+class MultipleChoiceItem:
+    """One eval item: pick the most likely continuation of ``context``."""
+
+    context: str
+    choices: tuple[str, ...]
+    answer: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer < len(self.choices):
+            raise ValueError("answer index out of range")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Synthetic task parameters.
+
+    ``n_subs``: character substitutions per distractor.  Fewer substitutions
+    => distractors closer to valid text => harder task.
+    """
+
+    name: str
+    n_choices: int
+    n_subs: int
+    seed: int
+
+
+# Difficulty mirrors the relative FP16 accuracies in Table 1 (PIQA/HellaSwag
+# high, ARC-c hardest).
+TASK_SPECS = (
+    TaskSpec("piqa_s", n_choices=2, n_subs=3, seed=11),
+    TaskSpec("arc_e_s", n_choices=4, n_subs=3, seed=12),
+    TaskSpec("arc_c_s", n_choices=4, n_subs=1, seed=13),
+    TaskSpec("boolq_s", n_choices=2, n_subs=2, seed=14),
+    TaskSpec("hellaswag_s", n_choices=4, n_subs=4, seed=15),
+    TaskSpec("winogrande_s", n_choices=2, n_subs=1, seed=16),
+)
+
+TASK_NAMES = tuple(s.name for s in TASK_SPECS)
+_SPEC_BY_NAME = {s.name: s for s in TASK_SPECS}
+
+
+def _continuation_words(spec: CorpusSpec, rng: np.random.Generator) -> list[str]:
+    """A short grammar-consistent continuation as a word list."""
+    noun = str(rng.choice(spec.nouns))
+    verb = spec.verbs[int(rng.choice(spec._verb_pref[noun]))]
+    return [verb + "s", "the", str(rng.choice(spec.adjectives)), str(rng.choice(spec.nouns))]
+
+
+def _substitute(
+    words: list[str], rng: np.random.Generator, n_subs: int
+) -> list[str]:
+    """Apply CV-structure-preserving character substitutions."""
+    out = [list(w) for w in words]
+    positions = [
+        (i, j)
+        for i, w in enumerate(out)
+        if len(w) > 2  # leave short function words intact
+        for j in range(len(w))
+    ]
+    if not positions:
+        raise ValueError("no substitutable positions")
+    for _ in range(n_subs):
+        i, j = positions[int(rng.integers(len(positions)))]
+        ch = out[i][j]
+        if ch in _VOWELS:
+            pool = [v for v in _VOWELS if v != ch]
+        elif ch in _CONSONANTS:
+            pool = [c for c in _CONSONANTS if c != ch]
+        else:
+            continue
+        out[i][j] = pool[int(rng.integers(len(pool)))]
+    return ["".join(w) for w in out]
+
+
+def build_task(
+    name: str, *, n_items: int = 100, corpus: str = "synthwiki"
+) -> list[MultipleChoiceItem]:
+    """Generate the item set for task ``name`` (deterministic)."""
+    if name not in _SPEC_BY_NAME:
+        raise ValueError(f"unknown task {name!r}; choose from {TASK_NAMES}")
+    task = _SPEC_BY_NAME[name]
+    grammar = _spec(corpus)
+    rng = np.random.default_rng((task.seed, n_items))
+    items: list[MultipleChoiceItem] = []
+    for _ in range(n_items):
+        subj_noun = str(rng.choice(grammar.nouns))
+        context = f"The {rng.choice(grammar.adjectives)} {subj_noun}"
+        correct_words = _continuation_words(grammar, rng)
+        choices = [" " + " ".join(correct_words) + "."]
+        for _ in range(task.n_choices - 1):
+            bad = _substitute(correct_words, rng, task.n_subs)
+            choices.append(" " + " ".join(bad) + ".")
+        order = rng.permutation(task.n_choices)
+        answer = int(np.where(order == 0)[0][0])
+        items.append(
+            MultipleChoiceItem(
+                context=context,
+                choices=tuple(choices[i] for i in order),
+                answer=answer,
+            )
+        )
+    return items

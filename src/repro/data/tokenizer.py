@@ -1,0 +1,59 @@
+"""Character-level tokenizer for the synthetic corpora.
+
+A fixed, corpus-independent vocabulary (printable subset actually emitted by
+the grammars) keeps every model in the zoo interchangeable: all corpora and
+tasks tokenize identically, so the same trained model can be evaluated on all
+three "datasets" — mirroring how one Llama checkpoint is evaluated on
+WikiText2/PTB/C4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CharTokenizer"]
+
+# Every character the corpus grammars can emit, plus a safety margin of
+# common punctuation.  Stable ordering => stable token ids.
+_DEFAULT_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    " .,=\n#@-'?!\"()"
+)
+
+
+class CharTokenizer:
+    """Byte-free char tokenizer with BOS/EOS/PAD/UNK specials."""
+
+    PAD = 0
+    BOS = 1
+    EOS = 2
+    UNK = 3
+
+    def __init__(self, alphabet: str = _DEFAULT_ALPHABET) -> None:
+        if len(set(alphabet)) != len(alphabet):
+            raise ValueError("alphabet contains duplicate characters")
+        self._chars = list(alphabet)
+        self._char_to_id = {c: i + 4 for i, c in enumerate(self._chars)}
+        self._id_to_char = {i + 4: c for i, c in enumerate(self._chars)}
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._chars) + 4
+
+    def encode(self, text: str, *, add_bos: bool = False, add_eos: bool = False) -> np.ndarray:
+        ids = [self._char_to_id.get(c, self.UNK) for c in text]
+        if add_bos:
+            ids.insert(0, self.BOS)
+        if add_eos:
+            ids.append(self.EOS)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: np.ndarray) -> str:
+        return "".join(
+            self._id_to_char.get(int(i), "") for i in np.asarray(ids).ravel()
+        )
+
+    def __len__(self) -> int:  # pragma: no cover - convenience
+        return self.vocab_size

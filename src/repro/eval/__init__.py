@@ -1,0 +1,13 @@
+"""Accuracy evaluation harnesses: perplexity, zero-shot, ablation."""
+
+from repro.eval.perplexity import perplexity
+from repro.eval.zeroshot import zero_shot_accuracy, zero_shot_suite
+from repro.eval.ablation import ABLATION_STEPS, run_accuracy_ablation
+
+__all__ = [
+    "ABLATION_STEPS",
+    "perplexity",
+    "run_accuracy_ablation",
+    "zero_shot_accuracy",
+    "zero_shot_suite",
+]

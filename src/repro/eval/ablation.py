@@ -1,0 +1,74 @@
+"""The Table 3 accuracy ablation: Atom's techniques applied cumulatively.
+
+Starting from naive W4A4 RTN (per-output-channel weights, per-token
+activations), each step adds one technique from §4:
+
+1. keep outlier channels in FP16 (mixed precision + reorder);
+2. quantize the outliers to INT8;
+3. fine-grained group quantization;
+4. clipping (0.9 activations / 0.85 weights);
+5. GPTQ on weights;
+6. quantize the KV-cache to INT4.
+
+Each row is just an :class:`~repro.core.config.AtomConfig`; the runner
+quantizes the model per row and measures WikiText2-analog perplexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atom import AtomQuantizer
+from repro.core.config import AtomConfig
+from repro.eval.perplexity import perplexity
+from repro.models.llama import LlamaModel
+
+__all__ = ["ABLATION_STEPS", "AblationRow", "run_accuracy_ablation"]
+
+
+def _ablation_configs() -> list[tuple[str, AtomConfig | None]]:
+    rtn = AtomConfig.rtn_w4a4()
+    fp16_out = rtn.with_(n_outlier=None, outlier_bits=None)
+    int8_out = fp16_out.with_(outlier_bits=8)
+    grouped = int8_out.with_(group_size=128)
+    clipped = grouped.with_(act_clip=0.9, weight_clip=0.85)
+    gptq = clipped.with_(use_gptq=True)
+    kv = gptq.with_(kv_bits=4)  # == AtomConfig.paper_default()
+    return [
+        ("FP16 baseline", None),
+        ("W4A4 RTN", rtn),
+        ("+ Keeping outliers in FP16", fp16_out),
+        ("+ Quantizing outliers to INT8", int8_out),
+        ("+ Group quantization", grouped),
+        ("+ Clipping", clipped),
+        ("+ GPTQ", gptq),
+        ("+ Quantizing KV-cache to INT4", kv),
+    ]
+
+
+ABLATION_STEPS = tuple(label for label, _ in _ablation_configs())
+
+
+@dataclass
+class AblationRow:
+    label: str
+    ppl: float
+    delta_from_previous: float
+
+
+def run_accuracy_ablation(
+    model: LlamaModel,
+    *,
+    corpus: str = "synthwiki",
+    eval_chars: int = 8192,
+) -> list[AblationRow]:
+    """Reproduce Table 3 on ``model``; rows in cumulative order."""
+    rows: list[AblationRow] = []
+    prev = None
+    for label, cfg in _ablation_configs():
+        target = model if cfg is None else AtomQuantizer(cfg).quantize(model)
+        ppl = perplexity(target, corpus, eval_chars=eval_chars)
+        delta = 0.0 if prev is None else ppl - prev
+        rows.append(AblationRow(label, ppl, delta))
+        prev = ppl
+    return rows

@@ -1,0 +1,46 @@
+"""Llama-family model substrate: training, inference, and the model zoo.
+
+The paper evaluates on pretrained Llama 7B-65B, Llama-2, and Mixtral
+checkpoints.  Those are unavailable offline, so this package provides a
+scaled-down analog family trained from scratch (see DESIGN.md §2):
+
+- :mod:`repro.models.config`   — architecture configs and the size family;
+- :mod:`repro.models.net`      — the trainable decoder built on ``repro.tensor``;
+- :mod:`repro.models.llama`    — the pure-NumPy inference model with pluggable
+  quantized linear backends and a pluggable KV-cache codec (this is what the
+  quantizers in ``repro.core`` / ``repro.baselines`` wrap);
+- :mod:`repro.models.outliers` — function-preserving activation-outlier
+  injection, recreating the outlier-channel phenomenon of Fig. 5;
+- :mod:`repro.models.trainer`  — the AdamW training loop;
+- :mod:`repro.models.zoo`      — deterministic, disk-cached trained models.
+"""
+
+from repro.models.config import MODEL_FAMILY, ModelConfig, get_config
+from repro.models.llama import (
+    FloatLinear,
+    IdentityKVCodec,
+    KVCodec,
+    LinearImpl,
+    LlamaModel,
+)
+from repro.models.net import TrainableLlama
+from repro.models.outliers import inject_outlier_channels
+from repro.models.trainer import TrainResult, train_model
+from repro.models.zoo import load_model, zoo_cache_dir
+
+__all__ = [
+    "FloatLinear",
+    "IdentityKVCodec",
+    "KVCodec",
+    "LinearImpl",
+    "LlamaModel",
+    "MODEL_FAMILY",
+    "ModelConfig",
+    "TrainResult",
+    "TrainableLlama",
+    "get_config",
+    "inject_outlier_channels",
+    "load_model",
+    "train_model",
+    "zoo_cache_dir",
+]

@@ -1,0 +1,142 @@
+"""Model architecture configs and the scaled-down Llama-family analog.
+
+The size family mirrors the paper's Llama 7B/13B/30B/65B spread: parameter
+count grows ~9x across the family, matching the paper's observation that
+"Atom has less accuracy loss when quantizing larger models" — larger analogs
+train to lower base perplexity and have more redundancy.
+
+Dimensions are multiples of 32 so that per-group quantization (our default
+group size 32, the scaled analog of the paper's 128-of-4096) and outlier
+counts divide evenly; head dims are even for RoPE.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["ModelConfig", "MODEL_FAMILY", "get_config"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of one Llama-style decoder-only model."""
+
+    name: str
+    vocab_size: int = 80  # matches repro.data.CharTokenizer
+    dim: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    n_kv_heads: int = 4
+    ffn_dim: int = 192
+    max_seq_len: int = 512
+    rope_theta: float = 10000.0
+    norm_eps: float = 1e-5
+    # MoE (Mixtral analog): 0 experts means a dense FFN.
+    n_experts: int = 0
+    top_k: int = 2
+    # Quantization-relevant structural knobs (scaled analog of the paper's
+    # 128 outliers / group size 128 on 4096 channels).
+    group_size: int = 16
+    n_outlier: int = field(default=0)
+    # Outlier injection magnitude (see repro.models.outliers).
+    outlier_scale: float = 50.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ValueError("dim must be divisible by n_heads")
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be divisible by n_kv_heads")
+        if (self.dim // self.n_heads) % 2 != 0:
+            raise ValueError("head dim must be even for RoPE")
+        if self.dim % self.group_size != 0 or self.ffn_dim % self.group_size != 0:
+            raise ValueError("dim and ffn_dim must be divisible by group_size")
+        if self.n_outlier == 0:
+            # Default: dim/16 outlier channels (paper: 128 of 4096 = 1/32;
+            # we use 1/16 because small models have relatively fewer
+            # redundant channels).
+            object.__setattr__(self, "n_outlier", max(2, self.dim // 16))
+        if self.n_outlier >= self.dim:
+            raise ValueError("n_outlier must be smaller than dim")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def is_moe(self) -> bool:
+        return self.n_experts > 0
+
+    def n_params(self) -> int:
+        """Total parameter count (embeddings + blocks + head)."""
+        d, f = self.dim, self.ffn_dim
+        attn = d * d + 2 * d * self.kv_dim + d * d  # wq, wk, wv, wo
+        ffn = 3 * d * f
+        if self.is_moe:
+            ffn = self.n_experts * ffn + d * self.n_experts  # experts + router
+        per_layer = attn + ffn + 2 * d  # + two norm gains
+        return (
+            2 * self.vocab_size * d  # embed + lm_head (untied)
+            + self.n_layers * per_layer
+            + d  # final norm
+        )
+
+    def cache_key(self) -> str:
+        """Stable hash of the *architecture* fields (zoo on-disk cache key).
+
+        Quantization-structure knobs (group size, outlier count/scale) do not
+        affect training, so changing them must not invalidate checkpoints.
+        """
+        fields = asdict(self)
+        for quant_only in ("group_size", "n_outlier", "outlier_scale"):
+            fields.pop(quant_only)
+        blob = json.dumps(fields, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# The size family.  dim/layers/heads chosen so the parameter ratio across the
+# family (~9x) matches Llama 7B->65B, while the largest model still trains in
+# ~2 minutes of NumPy on CPU.
+MODEL_FAMILY: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        # Llama-1 analogs (Tables 1-3, Fig. 2).
+        ModelConfig("llama-7b-sim", dim=64, n_layers=2, n_heads=4, n_kv_heads=4, ffn_dim=192, seed=7),
+        ModelConfig("llama-13b-sim", dim=96, n_layers=3, n_heads=4, n_kv_heads=4, ffn_dim=288, seed=13),
+        ModelConfig("llama-30b-sim", dim=128, n_layers=4, n_heads=8, n_kv_heads=8, ffn_dim=384, seed=30),
+        ModelConfig("llama-65b-sim", dim=160, n_layers=4, n_heads=8, n_kv_heads=8, ffn_dim=480, seed=65),
+        # Llama-2 analogs (Table 4): same sizes, fresh seeds, GQA on the 70B
+        # analog as in the real Llama-2-70B.
+        ModelConfig("llama2-7b-sim", dim=64, n_layers=2, n_heads=4, n_kv_heads=4, ffn_dim=192, seed=207),
+        ModelConfig("llama2-13b-sim", dim=96, n_layers=3, n_heads=4, n_kv_heads=4, ffn_dim=288, seed=213),
+        ModelConfig("llama2-70b-sim", dim=160, n_layers=4, n_heads=8, n_kv_heads=4, ffn_dim=480, seed=270),
+        # Mixtral analog (Table 4): sparse MoE FFN, top-2 of 4 experts.
+        ModelConfig(
+            "mixtral-sim",
+            dim=96,
+            n_layers=3,
+            n_heads=4,
+            n_kv_heads=4,
+            ffn_dim=192,
+            n_experts=4,
+            top_k=2,
+            seed=87,
+        ),
+    )
+}
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a family config by name."""
+    try:
+        return MODEL_FAMILY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_FAMILY)}"
+        ) from None

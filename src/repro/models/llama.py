@@ -1,0 +1,395 @@
+"""Pure-NumPy Llama inference model with pluggable quantized execution.
+
+This is the substrate every quantization method in the repo plugs into:
+
+- Each dense projection is executed through a :class:`LinearImpl`.  The
+  default :class:`FloatLinear` is the FP16 baseline; Atom and the baselines
+  replace these with quantized implementations (dynamic activation
+  quantization + integer GEMM) via :meth:`LlamaModel.replace_linears`.
+- The KV-cache passes through a :class:`KVCodec`.  The default is identity;
+  Atom's asymmetric per-head low-bit codec lives in
+  :mod:`repro.core.kv_quant`.
+
+The model also exposes :meth:`capture_linear_inputs`, which records the
+activation matrix entering every dense site during a forward pass — this is
+how calibration data is gathered for outlier identification (§5.1).
+
+Quantizable sites and the activations they share (reordering is decided per
+*input site*, shared by all consumers of that activation):
+
+====================  =========================================
+input site            consumer linears
+====================  =========================================
+``attn_in``           ``wq``, ``wk``, ``wv``
+``attn_out``          ``wo``
+``ffn_in``            ``w_gate``, ``w_up`` (and every expert's in MoE)
+``ffn_hidden``        ``w_down`` (per expert in MoE)
+====================  =========================================
+
+The MoE router stays in FP16 — it is negligibly small, and the paper's MoE
+adaptation (footnote 4) shares reorder indices across experts, which we
+implement by keying reordering on the input site rather than the linear.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.net import rope_tables
+
+__all__ = [
+    "LinearImpl",
+    "FloatLinear",
+    "KVCodec",
+    "IdentityKVCodec",
+    "LlamaModel",
+    "input_site",
+]
+
+_ATTN_LINEARS = ("wq", "wk", "wv")
+_FFN_LINEARS = ("w_gate", "w_up")
+
+
+def input_site(linear_name: str) -> str:
+    """Map a linear's full name to its shared activation-site key.
+
+    E.g. ``layers.3.wk -> layers.3.attn_in`` and
+    ``layers.2.experts.1.w_down -> layers.2.ffn_hidden``.
+    """
+    parts = linear_name.split(".")
+    layer_prefix = ".".join(parts[:2])  # "layers.{i}"
+    leaf = parts[-1]
+    if leaf in _ATTN_LINEARS:
+        return f"{layer_prefix}.attn_in"
+    if leaf == "wo":
+        return f"{layer_prefix}.attn_out"
+    if leaf in _FFN_LINEARS:
+        return f"{layer_prefix}.ffn_in"
+    if leaf == "w_down":
+        return f"{layer_prefix}.ffn_hidden"
+    raise ValueError(f"{linear_name!r} is not a quantizable linear")
+
+
+class LinearImpl(abc.ABC):
+    """Execution backend for one dense projection ``y = x @ W.T``."""
+
+    @abc.abstractmethod
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply to a 2-D activation matrix ``(tokens, in_features)``."""
+
+    @property
+    @abc.abstractmethod
+    def out_features(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def in_features(self) -> int: ...
+
+
+class FloatLinear(LinearImpl):
+    """Full-precision (FP16-baseline) linear."""
+
+    def __init__(self, weight: np.ndarray) -> None:
+        if weight.ndim != 2:
+            raise ValueError("weight must be 2-D (out, in)")
+        self.weight = np.asarray(weight, dtype=np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight.T
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+
+class KVCodec(abc.ABC):
+    """Lossy storage codec for the KV-cache.
+
+    ``encode_decode`` models a round-trip through the quantized cache:
+    the serving kernel stores low-bit codes and dequantizes on load, so
+    accuracy-wise the effect is exactly quantize->dequantize.
+    Input layout: ``(batch, heads, tokens, head_dim)``.
+    """
+
+    @abc.abstractmethod
+    def encode_decode(self, kv: np.ndarray, kind: str) -> np.ndarray:
+        """Round-trip ``kv`` through the codec; ``kind`` is ``"k"`` or ``"v"``."""
+
+    @property
+    def bits(self) -> float:
+        """Storage bits per element (for memory accounting); 16 = lossless."""
+        return 16.0
+
+
+class IdentityKVCodec(KVCodec):
+    """FP16 KV-cache (the baseline)."""
+
+    def encode_decode(self, kv: np.ndarray, kind: str) -> np.ndarray:
+        return kv
+
+
+class LlamaModel:
+    """Inference-time Llama with pluggable quantized linears and KV codec."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        weights: dict[str, np.ndarray],
+        *,
+        kv_codec: KVCodec | None = None,
+    ) -> None:
+        self.config = config
+        self.weights = {k: np.asarray(v, dtype=np.float32) for k, v in weights.items()}
+        self.kv_codec = kv_codec or IdentityKVCodec()
+        self._cos, self._sin = rope_tables(
+            config.max_seq_len, config.head_dim, config.rope_theta
+        )
+        self.linears: dict[str, LinearImpl] = {
+            name: FloatLinear(self.weights[name]) for name in self.linear_names()
+        }
+        self._capture: dict[str, list[np.ndarray]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def linear_names(self) -> list[str]:
+        """All quantizable dense projections, in execution order."""
+        c = self.config
+        names: list[str] = []
+        for i in range(c.n_layers):
+            pre = f"layers.{i}"
+            names += [f"{pre}.wq", f"{pre}.wk", f"{pre}.wv", f"{pre}.wo"]
+            if c.is_moe:
+                for e in range(c.n_experts):
+                    ep = f"{pre}.experts.{e}"
+                    names += [f"{ep}.w_gate", f"{ep}.w_up", f"{ep}.w_down"]
+            else:
+                names += [f"{pre}.w_gate", f"{pre}.w_up", f"{pre}.w_down"]
+        return names
+
+    def replace_linears(self, mapping: dict[str, LinearImpl]) -> None:
+        """Swap in quantized linear implementations (validated shapes)."""
+        for name, impl in mapping.items():
+            if name not in self.linears:
+                raise KeyError(f"unknown linear {name!r}")
+            old = self.linears[name]
+            if (impl.in_features, impl.out_features) != (
+                old.in_features,
+                old.out_features,
+            ):
+                raise ValueError(
+                    f"shape mismatch replacing {name!r}: "
+                    f"({impl.in_features},{impl.out_features}) vs "
+                    f"({old.in_features},{old.out_features})"
+                )
+            self.linears[name] = impl
+
+    def clone(self) -> "LlamaModel":
+        """Fresh FP16 model sharing (copying) the same weights."""
+        return LlamaModel(self.config, self.weights, kv_codec=self.kv_codec)
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def _linear(self, name: str, x2d: np.ndarray) -> np.ndarray:
+        if self._capture is not None:
+            self._capture.setdefault(name, []).append(x2d.copy())
+        return self.linears[name](x2d)
+
+    @staticmethod
+    def _rope_apply(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+        half = x.shape[-1] // 2
+        x1, x2 = x[..., :half], x[..., half:]
+        return np.concatenate([x1 * cos - x2 * sin, x2 * cos + x1 * sin], axis=-1)
+
+    @staticmethod
+    def _rms_norm(x: np.ndarray, gain: np.ndarray, eps: float) -> np.ndarray:
+        ms = (x.astype(np.float64) ** 2).mean(axis=-1, keepdims=True)
+        return (x / np.sqrt(ms + eps)).astype(np.float32) * gain
+
+    def _attention(
+        self,
+        x: np.ndarray,
+        layer: int,
+        *,
+        pos_offset: int,
+        cache: dict | None,
+    ) -> np.ndarray:
+        c = self.config
+        b, t, _ = x.shape
+        h, kv, hd = c.n_heads, c.n_kv_heads, c.head_dim
+        pre = f"layers.{layer}"
+        x2d = x.reshape(b * t, c.dim)
+        q = self._linear(f"{pre}.wq", x2d).reshape(b, t, h, hd).transpose(0, 2, 1, 3)
+        k = self._linear(f"{pre}.wk", x2d).reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
+        v = self._linear(f"{pre}.wv", x2d).reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
+        cos = self._cos[pos_offset : pos_offset + t]
+        sin = self._sin[pos_offset : pos_offset + t]
+        q = self._rope_apply(q, cos, sin)
+        k = self._rope_apply(k, cos, sin)
+        # The KV-cache round-trips through the codec (quantized storage).
+        k = self.kv_codec.encode_decode(k, "k").astype(np.float32)
+        v = self.kv_codec.encode_decode(v, "v").astype(np.float32)
+        if cache is not None:
+            key = f"{pre}.kv"
+            if key in cache:
+                k_prev, v_prev = cache[key]
+                k = np.concatenate([k_prev, k], axis=2)
+                v = np.concatenate([v_prev, v], axis=2)
+            cache[key] = (k, v)
+        if kv != h:
+            g = h // kv
+            k = np.repeat(k, g, axis=1)
+            v = np.repeat(v, g, axis=1)
+        t_kv = k.shape[2]
+        scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(hd)
+        # Causal mask: query i (at absolute position pos_offset+i) may attend
+        # to keys up to that absolute position.
+        q_pos = np.arange(pos_offset, pos_offset + t)[:, None]
+        k_pos = np.arange(t_kv)[None, :]
+        scores = np.where(k_pos <= q_pos, scores, -np.inf)
+        scores -= scores.max(axis=-1, keepdims=True)
+        e = np.exp(scores)
+        attn = e / e.sum(axis=-1, keepdims=True)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b * t, h * hd)
+        return self._linear(f"{pre}.wo", out.astype(np.float32)).reshape(b, t, c.dim)
+
+    def _dense_ffn(self, x2d: np.ndarray, prefix: str) -> np.ndarray:
+        gate = self._linear(f"{prefix}.w_gate", x2d)
+        up = self._linear(f"{prefix}.w_up", x2d)
+        hidden = (gate / (1.0 + np.exp(-gate))) * up  # SiLU(gate) * up
+        return self._linear(f"{prefix}.w_down", hidden.astype(np.float32))
+
+    def _moe_ffn(self, x2d: np.ndarray, layer: int) -> np.ndarray:
+        c = self.config
+        pre = f"layers.{layer}"
+        logits = x2d @ self.weights[f"{pre}.router"].T  # router stays FP16
+        kth = np.sort(logits, axis=-1)[:, -c.top_k][:, None]
+        masked = np.where(logits >= kth, logits, -np.inf)
+        masked -= masked.max(axis=-1, keepdims=True)
+        e = np.exp(masked)
+        gates = e / e.sum(axis=-1, keepdims=True)  # (n, E)
+        out = np.zeros_like(x2d)
+        for ex in range(c.n_experts):
+            active = gates[:, ex] > 0.0
+            if not active.any():
+                continue
+            y = self._dense_ffn(x2d[active], f"{pre}.experts.{ex}")
+            out[active] += gates[active, ex : ex + 1] * y
+        return out
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        *,
+        pos_offset: int = 0,
+        cache: dict | None = None,
+    ) -> np.ndarray:
+        """``tokens`` (B, T) int -> logits (B, T, V).
+
+        With ``cache`` (a dict carried across calls) the model runs
+        incrementally: pass the prompt once, then one token at a time with
+        increasing ``pos_offset``.
+        """
+        c = self.config
+        tokens = np.atleast_2d(np.asarray(tokens))
+        b, t = tokens.shape
+        if pos_offset + t > c.max_seq_len:
+            raise ValueError(
+                f"positions up to {pos_offset + t} exceed max_seq_len {c.max_seq_len}"
+            )
+        x = self.weights["embed"][tokens]
+        for i in range(c.n_layers):
+            pre = f"layers.{i}"
+            h = self._rms_norm(x, self.weights[f"{pre}.attn_norm"], c.norm_eps)
+            x = x + self._attention(h, i, pos_offset=pos_offset, cache=cache)
+            h = self._rms_norm(x, self.weights[f"{pre}.mlp_norm"], c.norm_eps)
+            h2d = h.reshape(b * t, c.dim)
+            ffn = (
+                self._moe_ffn(h2d, i) if c.is_moe else self._dense_ffn(h2d, pre)
+            ).reshape(b, t, c.dim)
+            x = x + ffn
+        x = self._rms_norm(x, self.weights["final_norm"], c.norm_eps)
+        logits = x.reshape(b * t, c.dim) @ self.weights["lm_head"].T
+        return logits.reshape(b, t, c.vocab_size)
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+    def nll(self, tokens: np.ndarray) -> float:
+        """Mean next-token negative log-likelihood over (B, T) tokens."""
+        tokens = np.atleast_2d(np.asarray(tokens))
+        logits = self.forward(tokens[:, :-1]).astype(np.float64)
+        targets = tokens[:, 1:]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        logz = np.log(np.exp(shifted).sum(axis=-1))
+        tgt_logit = np.take_along_axis(shifted, targets[..., None], axis=-1)[..., 0]
+        return float((logz - tgt_logit).mean())
+
+    def sequence_logprob(self, tokens: np.ndarray, *, start: int = 0) -> float:
+        """Sum of log P(token_i | prefix) for i in [max(start,1), len)."""
+        tokens = np.asarray(tokens).reshape(1, -1)
+        logits = self.forward(tokens[:, :-1]).astype(np.float64)[0]
+        targets = tokens[0, 1:]
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        token_lp = logp[np.arange(len(targets)), targets]
+        begin = max(start - 1, 0)  # logits index i predicts token i+1
+        return float(token_lp[begin:].sum())
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        *,
+        temperature: float = 0.0,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Greedy (or sampled) decoding with an incremental KV-cache."""
+        rng = np.random.default_rng(seed)
+        tokens = list(np.asarray(prompt).ravel())
+        cache: dict = {}
+        logits = self.forward(np.asarray(tokens)[None, :], cache=cache)[0, -1]
+        for _ in range(max_new_tokens):
+            if temperature <= 0.0:
+                nxt = int(np.argmax(logits))
+            else:
+                z = (logits / temperature).astype(np.float64)
+                z -= z.max()
+                p = np.exp(z) / np.exp(z).sum()
+                nxt = int(rng.choice(len(p), p=p))
+            tokens.append(nxt)
+            if len(tokens) >= self.config.max_seq_len:
+                break
+            logits = self.forward(
+                np.asarray([[nxt]]), pos_offset=len(tokens) - 1, cache=cache
+            )[0, -1]
+        return np.asarray(tokens, dtype=np.int64)
+
+    def capture_linear_inputs(
+        self, tokens: np.ndarray, names: list[str] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Run a forward pass recording the input activation of each linear.
+
+        Returns ``{linear_name: (total_tokens, in_features)}`` stacked over
+        the batch.  Used for calibration (outlier identification, GPTQ
+        Hessians, SmoothQuant statistics).
+        """
+        self._capture = {}
+        try:
+            self.forward(tokens)
+        finally:
+            captured, self._capture = self._capture, None
+        keep = set(names) if names is not None else None
+        return {
+            k: np.concatenate(v, axis=0)
+            for k, v in captured.items()
+            if keep is None or k in keep
+        }

@@ -1,0 +1,176 @@
+"""Trainable Llama-style decoder on the ``repro.tensor`` autograd engine.
+
+Architecture (matching the inference model in :mod:`repro.models.llama`):
+token embedding -> N pre-norm blocks (RMSNorm -> GQA attention with RoPE ->
+residual; RMSNorm -> SwiGLU FFN or top-k MoE -> residual) -> final RMSNorm ->
+untied LM head.
+
+Weight naming is shared with the inference model so :meth:`export_weights`
+round-trips: ``embed``, ``lm_head``, ``final_norm``,
+``layers.{i}.{attn_norm,wq,wk,wv,wo,mlp_norm}``, and either
+``layers.{i}.{w_gate,w_up,w_down}`` (dense) or ``layers.{i}.router`` +
+``layers.{i}.experts.{e}.{w_gate,w_up,w_down}`` (MoE).
+All projection weights use the ``(out_features, in_features)`` layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.tensor import Tensor, cross_entropy, embedding, rms_norm, rope, silu, softmax
+from repro.tensor.init import normal_init, ones_init
+
+__all__ = ["TrainableLlama", "rope_tables"]
+
+
+def rope_tables(
+    max_len: int, head_dim: int, theta: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute RoPE cos/sin tables of shape ``(max_len, head_dim/2)``."""
+    half = head_dim // 2
+    freqs = 1.0 / theta ** (np.arange(half, dtype=np.float64) / half)
+    angles = np.outer(np.arange(max_len, dtype=np.float64), freqs)
+    return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
+
+
+class TrainableLlama:
+    """The training-time model; owns parameters as autograd Tensors."""
+
+    def __init__(self, config: ModelConfig, *, rng: np.random.Generator | None = None):
+        self.config = config
+        rng = rng or np.random.default_rng(config.seed)
+        c = config
+        std = 0.02
+        # Residual-branch projections get the GPT-2 depth-scaled init.
+        res_std = std / np.sqrt(2.0 * c.n_layers)
+        p: dict[str, Tensor] = {}
+        p["embed"] = normal_init((c.vocab_size, c.dim), rng, std=std, name="embed")
+        p["lm_head"] = normal_init((c.vocab_size, c.dim), rng, std=std, name="lm_head")
+        p["final_norm"] = ones_init((c.dim,), name="final_norm")
+        for i in range(c.n_layers):
+            pre = f"layers.{i}"
+            p[f"{pre}.attn_norm"] = ones_init((c.dim,), name=f"{pre}.attn_norm")
+            p[f"{pre}.wq"] = normal_init((c.dim, c.dim), rng, std=std, name=f"{pre}.wq")
+            p[f"{pre}.wk"] = normal_init((c.kv_dim, c.dim), rng, std=std, name=f"{pre}.wk")
+            p[f"{pre}.wv"] = normal_init((c.kv_dim, c.dim), rng, std=std, name=f"{pre}.wv")
+            p[f"{pre}.wo"] = normal_init((c.dim, c.dim), rng, std=res_std, name=f"{pre}.wo")
+            p[f"{pre}.mlp_norm"] = ones_init((c.dim,), name=f"{pre}.mlp_norm")
+            if c.is_moe:
+                p[f"{pre}.router"] = normal_init(
+                    (c.n_experts, c.dim), rng, std=std, name=f"{pre}.router"
+                )
+                for e in range(c.n_experts):
+                    ep = f"{pre}.experts.{e}"
+                    p[f"{ep}.w_gate"] = normal_init((c.ffn_dim, c.dim), rng, std=std, name=f"{ep}.w_gate")
+                    p[f"{ep}.w_up"] = normal_init((c.ffn_dim, c.dim), rng, std=std, name=f"{ep}.w_up")
+                    p[f"{ep}.w_down"] = normal_init((c.dim, c.ffn_dim), rng, std=res_std, name=f"{ep}.w_down")
+            else:
+                p[f"{pre}.w_gate"] = normal_init((c.ffn_dim, c.dim), rng, std=std, name=f"{pre}.w_gate")
+                p[f"{pre}.w_up"] = normal_init((c.ffn_dim, c.dim), rng, std=std, name=f"{pre}.w_up")
+                p[f"{pre}.w_down"] = normal_init((c.dim, c.ffn_dim), rng, std=res_std, name=f"{pre}.w_down")
+        self.params = p
+        self._cos, self._sin = rope_tables(c.max_seq_len, c.head_dim, c.rope_theta)
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[Tensor]:
+        return list(self.params.values())
+
+    def n_params(self) -> int:
+        return sum(t.size for t in self.parameters())
+
+    def export_weights(self) -> dict[str, np.ndarray]:
+        """Snapshot parameters as plain float32 arrays (for the inference model)."""
+        return {k: v.data.copy() for k, v in self.params.items()}
+
+    def load_weights(self, weights: dict[str, np.ndarray]) -> None:
+        for k, t in self.params.items():
+            if k not in weights:
+                raise KeyError(f"missing weight {k!r}")
+            if weights[k].shape != t.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {k!r}: {weights[k].shape} vs {t.data.shape}"
+                )
+            t.data = weights[k].astype(np.float32).copy()
+
+    # ------------------------------------------------------------------ #
+    def _linear(self, x: Tensor, name: str) -> Tensor:
+        """``x @ W.T`` with W stored (out, in); x is (..., in)."""
+        w = self.params[name]
+        return x @ w.transpose()
+
+    def _attention(self, x: Tensor, layer: int, mask: np.ndarray) -> Tensor:
+        c = self.config
+        b, t, _ = x.shape
+        h, kv, hd = c.n_heads, c.n_kv_heads, c.head_dim
+        pre = f"layers.{layer}"
+        q = self._linear(x, f"{pre}.wq").reshape(b, t, h, hd).transpose(0, 2, 1, 3)
+        k = self._linear(x, f"{pre}.wk").reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
+        v = self._linear(x, f"{pre}.wv").reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
+        cos, sin = self._cos[:t], self._sin[:t]
+        q = rope(q, cos, sin)
+        k = rope(k, cos, sin)
+        if kv != h:
+            # Grouped-query attention: broadcast each KV head over its group.
+            g = h // kv
+            ones = Tensor(np.ones((1, 1, g, 1, 1), dtype=np.float32))
+            k = (k.reshape(b, kv, 1, t, hd) * ones).reshape(b, h, t, hd)
+            v = (v.reshape(b, kv, 1, t, hd) * ones).reshape(b, h, t, hd)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(hd))
+        scores = scores + Tensor(mask)
+        attn = softmax(scores, axis=-1)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b, t, h * hd)
+        return self._linear(out, f"{pre}.wo")
+
+    def _dense_ffn(self, x: Tensor, prefix: str) -> Tensor:
+        gate = silu(self._linear(x, f"{prefix}.w_gate"))
+        up = self._linear(x, f"{prefix}.w_up")
+        return self._linear(gate * up, f"{prefix}.w_down")
+
+    def _moe_ffn(self, x: Tensor, layer: int) -> Tensor:
+        """Mixtral-style top-k MoE with differentiable gate weights.
+
+        All experts run on all tokens (cheap at this scale); non-top-k gates
+        are masked to -inf *before* the softmax, so selected-expert weights
+        receive gradient and unselected experts receive none.
+        """
+        c = self.config
+        pre = f"layers.{layer}"
+        logits = self._linear(x, f"{pre}.router")  # (b, t, E)
+        raw = logits.data
+        kth = np.sort(raw, axis=-1)[..., -c.top_k][..., None]
+        mask = np.where(raw >= kth, 0.0, -1e9).astype(np.float32)
+        gates = softmax(logits + Tensor(mask), axis=-1)  # (b, t, E)
+        out: Tensor | None = None
+        for e in range(c.n_experts):
+            expert = self._dense_ffn(x, f"{pre}.experts.{e}")
+            weighted = expert * gates[..., e : e + 1]
+            out = weighted if out is None else out + weighted
+        assert out is not None
+        return out
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Teacher-forcing forward: ``tokens`` (B, T) int -> logits (B, T, V)."""
+        c = self.config
+        tokens = np.asarray(tokens)
+        b, t = tokens.shape
+        if t > c.max_seq_len:
+            raise ValueError(f"sequence length {t} exceeds max {c.max_seq_len}")
+        mask = np.triu(np.full((1, 1, t, t), -1e9, dtype=np.float32), k=1)
+        x = embedding(self.params["embed"], tokens)
+        for i in range(c.n_layers):
+            pre = f"layers.{i}"
+            h = rms_norm(x, self.params[f"{pre}.attn_norm"], c.norm_eps)
+            x = x + self._attention(h, i, mask)
+            h = rms_norm(x, self.params[f"{pre}.mlp_norm"], c.norm_eps)
+            ffn = self._moe_ffn(h, i) if c.is_moe else self._dense_ffn(h, pre)
+            x = x + ffn
+        x = rms_norm(x, self.params["final_norm"], c.norm_eps)
+        return self._linear(x, "lm_head")
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean cross-entropy of next-token prediction."""
+        logits = self.forward(tokens)
+        return cross_entropy(
+            logits.reshape(-1, self.config.vocab_size), np.asarray(targets).reshape(-1)
+        )

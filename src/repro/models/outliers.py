@@ -1,0 +1,144 @@
+"""Function-preserving activation-outlier injection.
+
+LLMs at scale exhibit *outlier channels*: a few activation channels whose
+magnitudes are orders larger than the rest (Fig. 5(a) of the paper;
+Dettmers et al. 2022).  The phenomenon is graded, not binary — beyond the
+extreme outliers there is a heavy tail of moderately-large channels, which
+is exactly why Atom needs BOTH mixed precision (for the extreme tail) and
+fine-grained group quantization (for the residual spread the per-token scale
+cannot capture).  Small models trained for a few hundred steps develop
+neither, so we inject the structure **without changing the model's
+function**, exploiting the same scale-equivariances SmoothQuant exploits in
+reverse.
+
+Per activation site, a per-channel scale vector is sampled:
+
+- ``n_outlier`` channels at ~``magnitude``x (log-uniform in [mag/2, 2*mag]) —
+  the extreme outliers Atom keeps in INT8;
+- a ``moderate_frac`` fraction of remaining channels at 2-8x — the heavy
+  tail that makes per-token 4-bit quantization lossy and group quantization
+  profitable;
+- everything else at 1x.
+
+The scale is applied where the activation is *produced* and divided out of
+every consumer weight column:
+
+- *Normed sites* (``attn_in``, ``ffn_in``): multiply the RMSNorm ``gain``,
+  divide columns of ``wq/wk/wv`` (resp. ``w_gate/w_up``).
+- *Attention output* (``attn_out``): scale rows of ``wv``, divide the
+  corresponding ``wo`` columns (GQA-aware).  Kept MILD (moderate tail only,
+  small caps) because this scale also lands on the **V cache**, and the
+  paper's Fig. 9 shows the V cache exhibits few outliers — which is what
+  makes KV-cache quantization cheap (§4.4).
+- *FFN hidden* (``ffn_hidden``): scale rows of ``w_up``, divide ``w_down``
+  columns.
+
+The transform is exactly function-preserving in real arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+__all__ = ["inject_outlier_channels", "channel_scale_vector"]
+
+
+def channel_scale_vector(
+    rng: np.random.Generator,
+    n_channels: int,
+    *,
+    n_outlier: int,
+    magnitude: float,
+    moderate_frac: float = 0.25,
+    moderate_range: tuple[float, float] = (2.0, 12.0),
+) -> np.ndarray:
+    """Sample the per-channel magnitude spectrum described above."""
+    scales = np.ones(n_channels, dtype=np.float64)
+    order = rng.permutation(n_channels)
+    n_out = min(n_outlier, n_channels - 1)
+    outlier_ch = order[:n_out]
+    if n_out:
+        lo, hi = np.log(magnitude / 2.0), np.log(magnitude * 2.0)
+        scales[outlier_ch] = np.exp(rng.uniform(lo, hi, size=n_out))
+    n_mod = int(round(moderate_frac * (n_channels - n_out)))
+    if n_mod:
+        mod_ch = order[n_out : n_out + n_mod]
+        lo, hi = np.log(moderate_range[0]), np.log(moderate_range[1])
+        scales[mod_ch] = np.exp(rng.uniform(lo, hi, size=n_mod))
+    return scales.astype(np.float32)
+
+
+def inject_outlier_channels(
+    config: ModelConfig,
+    weights: dict[str, np.ndarray],
+    *,
+    n_outlier: int | None = None,
+    magnitude: float | None = None,
+    seed: int = 1234,
+) -> dict[str, np.ndarray]:
+    """Return a copy of ``weights`` with the outlier spectrum injected."""
+    n_out = n_outlier if n_outlier is not None else config.n_outlier
+    mag = magnitude if magnitude is not None else config.outlier_scale
+    rng = np.random.default_rng(seed)
+    w = {k: v.copy() for k, v in weights.items()}
+    c = config
+    group = c.n_heads // c.n_kv_heads
+
+    for i in range(c.n_layers):
+        pre = f"layers.{i}"
+
+        # --- attn_in: scale attn_norm gain, compensate wq/wk/wv columns.
+        s = channel_scale_vector(rng, c.dim, n_outlier=n_out, magnitude=mag)
+        w[f"{pre}.attn_norm"] *= s
+        for name in ("wq", "wk", "wv"):
+            w[f"{pre}.{name}"] /= s[None, :]
+
+        # --- ffn_in: scale mlp_norm gain, compensate gate/up columns.
+        s = channel_scale_vector(rng, c.dim, n_outlier=n_out, magnitude=mag)
+        w[f"{pre}.mlp_norm"] *= s
+        gate_up = (
+            [f"{pre}.experts.{e}.{n}" for e in range(c.n_experts) for n in ("w_gate", "w_up")]
+            if c.is_moe
+            else [f"{pre}.w_gate", f"{pre}.w_up"]
+        )
+        for name in gate_up:
+            w[name] /= s[None, :]
+        if c.is_moe:
+            # The router consumes the same normed activation; compensate it
+            # too or the gating (and thus the function) would change.
+            w[f"{pre}.router"] /= s[None, :]
+
+        # --- attn_out: mild spectrum only (this scale lands on the V cache;
+        # Fig. 9 shows V has few outliers, which keeps KV quantization cheap).
+        s = channel_scale_vector(
+            rng,
+            c.kv_dim,
+            n_outlier=0,
+            magnitude=1.0,
+            moderate_frac=0.15,
+            moderate_range=(1.5, 5.0),
+        )
+        w[f"{pre}.wv"] *= s[:, None]
+        # v channel (kv_head h, dim d) feeds output channel
+        # (h*group + g)*head_dim + d for each query head g in the group.
+        full = np.empty(c.dim, dtype=np.float32)
+        kv_head, d_in_head = np.divmod(np.arange(c.kv_dim), c.head_dim)
+        for g in range(group):
+            out_ch = (kv_head * group + g) * c.head_dim + d_in_head
+            full[out_ch] = s
+        w[f"{pre}.wo"] /= full[None, :]
+
+        # --- ffn_hidden: scale w_up rows, compensate w_down columns.
+        s = channel_scale_vector(rng, c.ffn_dim, n_outlier=n_out, magnitude=mag)
+        if c.is_moe:
+            for e in range(c.n_experts):
+                ep = f"{pre}.experts.{e}"
+                w[f"{ep}.w_up"] *= s[:, None]
+                w[f"{ep}.w_down"] /= s[None, :]
+        else:
+            w[f"{pre}.w_up"] *= s[:, None]
+            w[f"{pre}.w_down"] /= s[None, :]
+
+    return w

@@ -1,0 +1,118 @@
+"""Training loop for the model zoo.
+
+Models are trained as character-level language models on the concatenation
+of the three synthetic corpora, so one checkpoint can be evaluated on all
+three "datasets" (mirroring how one Llama checkpoint is evaluated on
+WikiText2/PTB/C4).  AdamW, cosine decay with warmup, gradient clipping.
+Deterministic given (config, TrainSpec).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import CORPUS_NAMES, corpus_splits
+from repro.data.tokenizer import CharTokenizer
+from repro.models.config import ModelConfig
+from repro.models.net import TrainableLlama
+from repro.tensor.optim import AdamW, clip_grad_norm
+
+__all__ = ["TrainSpec", "TrainResult", "train_model", "training_tokens"]
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """Hyperparameters of a zoo training run."""
+
+    steps: int = 350
+    batch_size: int = 8
+    seq_len: int = 128
+    lr: float = 3e-3
+    warmup: int = 40
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    train_chars: int = 150_000  # per corpus
+
+    def cache_key(self) -> str:
+        return (
+            f"s{self.steps}_b{self.batch_size}_t{self.seq_len}_lr{self.lr}"
+            f"_w{self.warmup}_wd{self.weight_decay}_c{self.train_chars}"
+        )
+
+
+@dataclass
+class TrainResult:
+    """Trained weights plus the loss trace (for diagnostics and tests)."""
+
+    weights: dict[str, np.ndarray]
+    losses: list[float]
+    wall_seconds: float
+
+    @property
+    def final_loss(self) -> float:
+        # Average of the last 10 steps smooths minibatch noise.
+        tail = self.losses[-10:]
+        return float(np.mean(tail))
+
+
+def training_tokens(spec: TrainSpec) -> np.ndarray:
+    """Tokenized training stream: concatenated train splits of all corpora."""
+    tok = CharTokenizer()
+    texts = [corpus_splits(n, train_chars=spec.train_chars)[0] for n in CORPUS_NAMES]
+    return tok.encode("\n".join(texts))
+
+
+def _lr_at(step: int, spec: TrainSpec) -> float:
+    """Linear warmup then cosine decay to 10% of peak."""
+    if step < spec.warmup:
+        return spec.lr * (step + 1) / spec.warmup
+    frac = (step - spec.warmup) / max(1, spec.steps - spec.warmup)
+    return spec.lr * (0.1 + 0.9 * 0.5 * (1.0 + np.cos(np.pi * frac)))
+
+
+def train_model(
+    config: ModelConfig,
+    spec: TrainSpec | None = None,
+    *,
+    verbose: bool = False,
+) -> TrainResult:
+    """Train ``config`` from scratch; returns weights + loss trace."""
+    spec = spec or TrainSpec()
+    rng = np.random.default_rng((config.seed, 999))
+    model = TrainableLlama(config, rng=np.random.default_rng(config.seed))
+    opt = AdamW(
+        model.parameters(),
+        lr=spec.lr,
+        weight_decay=spec.weight_decay,
+    )
+    stream = training_tokens(spec)
+    n_positions = len(stream) - spec.seq_len - 1
+    if n_positions <= 0:
+        raise ValueError("training stream shorter than one sequence")
+
+    losses: list[float] = []
+    t0 = time.perf_counter()
+    for step in range(spec.steps):
+        starts = rng.integers(0, n_positions, size=spec.batch_size)
+        batch = np.stack([stream[s : s + spec.seq_len + 1] for s in starts])
+        tokens, targets = batch[:, :-1], batch[:, 1:]
+        opt.zero_grad()
+        loss = model.loss(tokens, targets)
+        loss.backward()
+        clip_grad_norm(model.parameters(), spec.grad_clip)
+        opt.lr = _lr_at(step, spec)
+        opt.step()
+        losses.append(float(loss.data))
+        if verbose and (step % 50 == 0 or step == spec.steps - 1):
+            print(
+                f"[{config.name}] step {step:4d}  loss {losses[-1]:.4f}  "
+                f"lr {opt.lr:.2e}"
+            )
+    return TrainResult(
+        weights=model.export_weights(),
+        losses=losses,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,93 @@
+"""Quantization primitives: number formats, uniform quantizers, granularity, kernels.
+
+This subpackage is the numeric substrate everything else builds on.  It provides
+
+- :mod:`repro.quant.dtypes` — integer formats (INT2..INT8), FP4 (E2M1), FP8 (E4M3)
+  and MX block formats, each able to round a float array onto its representable grid;
+- :mod:`repro.quant.uniform` — symmetric/asymmetric uniform quantization following
+  Eq. (1)-(3) of the Atom paper, with clipping factors;
+- :mod:`repro.quant.granularity` — per-tensor / per-channel / per-token / per-group
+  scale computation and the grouping reshape helpers;
+- :mod:`repro.quant.qtensor` — the :class:`QuantizedTensor` container;
+- :mod:`repro.quant.matmul` — exact integer matmul reference kernels including the
+  fused group-dequant GEMM of Fig. 8 and the mixed-precision GEMM;
+- :mod:`repro.quant.error` — quantization error metrics and effective-bit accounting;
+- :mod:`repro.quant.packing` — INT2/INT4/INT8 bit-packing (the storage layout
+  the serving model's byte counts assume).
+"""
+
+from repro.quant.dtypes import (
+    FP4_E2M1,
+    FP8_E4M3,
+    FloatFormat,
+    IntFormat,
+    MXFormat,
+    INT2,
+    INT3,
+    INT4,
+    INT6,
+    INT8,
+    int_format,
+)
+from repro.quant.granularity import (
+    Granularity,
+    group_view,
+    ungroup_view,
+)
+from repro.quant.qtensor import QuantizedTensor
+from repro.quant.uniform import (
+    asymmetric_params,
+    dequantize,
+    quantize_asymmetric,
+    quantize_symmetric,
+    quantize_tensor,
+    symmetric_scale,
+)
+from repro.quant.matmul import (
+    fused_group_gemm,
+    mixed_precision_gemm,
+    quantized_gemm,
+)
+from repro.quant.packing import pack_codes, packed_nbytes, unpack_codes
+from repro.quant.error import (
+    cosine_similarity,
+    effective_bits,
+    mse,
+    relative_error,
+    sqnr_db,
+)
+
+__all__ = [
+    "FP4_E2M1",
+    "FP8_E4M3",
+    "FloatFormat",
+    "Granularity",
+    "IntFormat",
+    "INT2",
+    "INT3",
+    "INT4",
+    "INT6",
+    "INT8",
+    "MXFormat",
+    "QuantizedTensor",
+    "asymmetric_params",
+    "cosine_similarity",
+    "dequantize",
+    "effective_bits",
+    "fused_group_gemm",
+    "group_view",
+    "int_format",
+    "mixed_precision_gemm",
+    "mse",
+    "pack_codes",
+    "packed_nbytes",
+    "quantize_asymmetric",
+    "quantize_symmetric",
+    "quantize_tensor",
+    "quantized_gemm",
+    "relative_error",
+    "sqnr_db",
+    "symmetric_scale",
+    "ungroup_view",
+    "unpack_codes",
+]

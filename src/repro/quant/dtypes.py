@@ -1,0 +1,232 @@
+"""Low-bit number formats used by Atom and its baselines.
+
+Two families are modelled:
+
+``IntFormat``
+    Uniform integer grids (INT2..INT8).  A symmetric *n*-bit integer covers
+    ``[-2^(n-1), 2^(n-1)-1]``; the asymmetric variant covers ``[0, 2^n - 1]``
+    with a zero point.  These are the formats NVIDIA tensor cores accelerate
+    (INT8 on Turing+, INT4 on Ampere/Ada), which is what makes Atom's W4A4
+    scheme fast in the first place.
+
+``FloatFormat``
+    Non-uniform minifloat grids.  ``FP4_E2M1`` is the 4-bit format evaluated
+    in Table 4 of the paper (values ``±{0, .5, 1, 1.5, 2, 3, 4, 6}``);
+    ``FP8_E4M3`` is the 8-bit format the paper mentions as an alternative
+    outlier container.  Rounding onto the grid is round-to-nearest-even on
+    the representable values.
+
+``MXFormat``
+    Microscaling block format (Rouhani et al., 2023): blocks of ``block_size``
+    elements share one power-of-two 8-bit exponent scale, with each element
+    stored in a narrow element format.  The paper's §6 notes Blackwell GPUs
+    support MX natively, mitigating Atom's group-quantization overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "IntFormat",
+    "FloatFormat",
+    "MXFormat",
+    "INT2",
+    "INT3",
+    "INT4",
+    "INT6",
+    "INT8",
+    "FP4_E2M1",
+    "FP8_E4M3",
+    "int_format",
+]
+
+
+@dataclass(frozen=True)
+class IntFormat:
+    """A uniform signed/unsigned integer grid of ``bits`` bits."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 16:
+            raise ValueError(f"unsupported integer bit-width: {self.bits}")
+
+    @property
+    def name(self) -> str:
+        return f"INT{self.bits}"
+
+    # Symmetric (signed) range, e.g. INT4 -> [-8, 7].
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    # Asymmetric (unsigned) range, e.g. INT4 -> [0, 15].
+    @property
+    def umin(self) -> int:
+        return 0
+
+    @property
+    def umax(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def n_levels(self) -> int:
+        return 1 << self.bits
+
+    def storage_dtype(self) -> np.dtype:
+        """Smallest NumPy integer dtype that can hold quantized values."""
+        return np.dtype(np.int8) if self.bits <= 8 else np.dtype(np.int16)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+INT2 = IntFormat(2)
+INT3 = IntFormat(3)
+INT4 = IntFormat(4)
+INT6 = IntFormat(6)
+INT8 = IntFormat(8)
+
+_INT_FORMATS = {f.bits: f for f in (INT2, INT3, INT4, INT6, INT8)}
+
+
+def int_format(bits: int) -> IntFormat:
+    """Return the canonical :class:`IntFormat` for ``bits`` (creating if needed)."""
+    return _INT_FORMATS.get(bits) or IntFormat(bits)
+
+
+def _minifloat_grid(exp_bits: int, man_bits: int, *, has_inf: bool = False) -> np.ndarray:
+    """Enumerate the non-negative representable values of a minifloat format.
+
+    Uses the OCP-style convention: no infinities (for E4M3 / E2M1), a single
+    NaN encoding is excluded from the grid, subnormals included.
+    """
+    bias = (1 << (exp_bits - 1)) - 1
+    values = [0.0]
+    # Subnormals: exponent field 0 -> value = mantissa/2^man_bits * 2^(1-bias)
+    for m in range(1, 1 << man_bits):
+        values.append((m / (1 << man_bits)) * 2.0 ** (1 - bias))
+    # Normals.
+    max_exp_field = (1 << exp_bits) - 1 if not has_inf else (1 << exp_bits) - 2
+    for e in range(1, max_exp_field + 1):
+        for m in range(1 << man_bits):
+            # E4M3 OCP reserves exponent=max, mantissa=all-ones for NaN.
+            if e == max_exp_field and m == (1 << man_bits) - 1 and exp_bits == 4:
+                continue
+            values.append((1.0 + m / (1 << man_bits)) * 2.0 ** (e - bias))
+    return np.asarray(sorted(set(values)), dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A minifloat grid defined by exponent/mantissa widths.
+
+    Rounding onto the grid is round-to-nearest with ties broken toward the
+    even-indexed grid value, and saturation at ``max_value``.
+    """
+
+    name: str
+    exp_bits: int
+    man_bits: int
+
+    @property
+    def bits(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def grid(self) -> np.ndarray:
+        """Non-negative representable magnitudes, ascending."""
+        return _grid_cache(self.exp_bits, self.man_bits)
+
+    @property
+    def max_value(self) -> float:
+        return float(self.grid[-1])
+
+    def round(self, x: np.ndarray) -> np.ndarray:
+        """Round ``x`` elementwise onto the signed grid (with saturation)."""
+        x = np.asarray(x, dtype=np.float64)
+        mag = np.minimum(np.abs(x), self.max_value)
+        grid = self.grid
+        # Nearest-value rounding via midpoint bisection.
+        mids = (grid[1:] + grid[:-1]) / 2.0
+        idx = np.searchsorted(mids, mag, side="right")
+        return np.sign(x) * grid[idx]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@lru_cache(maxsize=None)
+def _grid_cache(exp_bits: int, man_bits: int) -> np.ndarray:
+    return _minifloat_grid(exp_bits, man_bits)
+
+
+FP4_E2M1 = FloatFormat("FP4_E2M1", exp_bits=2, man_bits=1)
+FP8_E4M3 = FloatFormat("FP8_E4M3", exp_bits=4, man_bits=3)
+
+
+@dataclass(frozen=True)
+class MXFormat:
+    """Microscaling block format: shared power-of-two scale per block.
+
+    ``element`` is the per-element format (an :class:`IntFormat` or
+    :class:`FloatFormat`); ``block_size`` elements along the last axis share
+    one 8-bit exponent (E8M0) scale.
+    """
+
+    element: "IntFormat | FloatFormat"
+    block_size: int = 32
+
+    @property
+    def name(self) -> str:
+        return f"MX[{self.element.name}x{self.block_size}]"
+
+    def quantize(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Quantize ``x`` (last axis divisible by ``block_size``).
+
+        Returns ``(codes, scales)`` where ``codes`` are the rounded element
+        values *before* applying the shared scale and ``scales`` are
+        power-of-two block scales, one per block.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] % self.block_size != 0:
+            raise ValueError(
+                f"last axis ({x.shape[-1]}) must be divisible by block_size "
+                f"({self.block_size})"
+            )
+        blocks = x.reshape(*x.shape[:-1], -1, self.block_size)
+        amax = np.abs(blocks).max(axis=-1, keepdims=True)
+        if isinstance(self.element, FloatFormat):
+            elem_max = self.element.max_value
+        else:
+            elem_max = float(self.element.qmax)
+        # Shared scale: smallest power of two such that amax/scale fits the
+        # element range.
+        with np.errstate(divide="ignore"):
+            exp = np.log2(np.where(amax > 0, amax / elem_max, 1.0))
+        scales = np.exp2(np.ceil(exp))
+        scaled = blocks / scales
+        if isinstance(self.element, FloatFormat):
+            codes = self.element.round(scaled)
+        else:
+            codes = np.clip(
+                np.round(scaled), self.element.qmin, self.element.qmax
+            )
+        return codes, scales
+
+    def quantize_dequantize(self, x: np.ndarray) -> np.ndarray:
+        """Round ``x`` onto the MX grid and return the float reconstruction."""
+        codes, scales = self.quantize(x)
+        out = codes * scales
+        return out.reshape(np.asarray(x).shape)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,77 @@
+"""Quantization granularity: per-tensor, per-channel, per-token, per-group.
+
+Terminology follows §2 of the paper: the *channel* dimension is the **last**
+dimension of a matrix.  For an activation matrix of shape ``(tokens, channels)``:
+
+- *per-tensor*: one scale for the whole matrix;
+- *per-token*: one scale per row (each token's vector);
+- *per-channel*: one scale per column (used for weights, whose rows are output
+  channels — we quantize weights per output row, which corresponds to
+  "per-channel weight quantization" in the literature);
+- *per-group*: each row is split into contiguous groups of ``group_size``
+  elements, each with its own scale.  Atom uses group size 128.
+
+The helpers here reshape tensors into ``(..., n_groups, group_size)`` views so
+that scale computation is a single vectorized reduction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Granularity", "group_view", "ungroup_view", "reduction_axes"]
+
+
+class Granularity(enum.Enum):
+    """Scale-sharing granularity for uniform quantization."""
+
+    PER_TENSOR = "per_tensor"
+    PER_TOKEN = "per_token"  # one scale per row (leading dims collapsed)
+    PER_CHANNEL = "per_channel"  # one scale per column
+    PER_GROUP = "per_group"  # groups of `group_size` along the last axis
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def group_view(x: np.ndarray, group_size: int) -> np.ndarray:
+    """Reshape the last axis of ``x`` into ``(n_groups, group_size)``.
+
+    Raises ``ValueError`` when the last axis is not divisible by the group
+    size — Atom pads model dimensions so this never happens in practice, and
+    we keep the invariant explicit rather than silently padding.
+    """
+    if group_size <= 0:
+        raise ValueError(f"group_size must be positive, got {group_size}")
+    last = x.shape[-1]
+    if last % group_size != 0:
+        raise ValueError(
+            f"last axis ({last}) not divisible by group_size ({group_size})"
+        )
+    return x.reshape(*x.shape[:-1], last // group_size, group_size)
+
+
+def ungroup_view(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`group_view`: merge the trailing two axes."""
+    if x.ndim < 2:
+        raise ValueError("ungroup_view needs at least two trailing axes")
+    return x.reshape(*x.shape[:-2], x.shape[-2] * x.shape[-1])
+
+
+def reduction_axes(x: np.ndarray, granularity: Granularity) -> tuple[int, ...]:
+    """Axes to reduce over when computing scales for ``granularity``.
+
+    For :data:`Granularity.PER_GROUP`, callers should first apply
+    :func:`group_view` and then reduce over the last axis.
+    """
+    if granularity is Granularity.PER_TENSOR:
+        return tuple(range(x.ndim))
+    if granularity is Granularity.PER_TOKEN:
+        return (x.ndim - 1,)
+    if granularity is Granularity.PER_CHANNEL:
+        return tuple(range(x.ndim - 1))
+    if granularity is Granularity.PER_GROUP:
+        return (x.ndim - 1,)
+    raise ValueError(f"unknown granularity: {granularity!r}")

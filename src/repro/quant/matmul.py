@@ -1,0 +1,143 @@
+"""Exact integer matmul reference kernels.
+
+These model — bit-exactly, in NumPy — what Atom's CUDA kernels compute on
+tensor cores:
+
+- :func:`quantized_gemm` / :func:`fused_group_gemm` implement the fused GEMM
+  of Fig. 8: per-group INT×INT dot products accumulated in int32/int64
+  ("Step 1", the MMA on low-bit tensor cores), then dequantized with the
+  per-group activation and weight scales and summed in float ("Steps 2-3",
+  the fused CUDA-core epilogue).
+- :func:`mixed_precision_gemm` adds the INT8 outlier tail: after channel
+  reordering the last ``n_outlier`` channels of activations and weights form
+  a contiguous block multiplied on INT8 tensor cores, and the two partial
+  results are summed.
+
+Weights follow the ``(out_features, in_features)`` layout, so a GEMM computes
+``Y = X @ W.T`` with ``X`` of shape ``(tokens, in_features)``.
+
+Only symmetric quantization is supported here: §2 of the paper explains that
+asymmetric weight-activation GEMM requires three extra cross-terms, which is
+exactly why Atom quantizes dense-layer operands symmetrically (asymmetric
+quantization is reserved for the KV-cache, which is dequantized before use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.granularity import Granularity
+from repro.quant.qtensor import QuantizedTensor
+
+__all__ = ["quantized_gemm", "fused_group_gemm", "mixed_precision_gemm"]
+
+
+def _as_row_groups(qt: QuantizedTensor, group_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(codes, scales)`` in grouped layout ``(R, G, S)`` / ``(R, G)``.
+
+    Normalizes per-tensor and per-row ("per-token" for activations,
+    "per-output-channel" for weights) tensors into the grouped layout so one
+    einsum kernel handles every granularity combination.
+    """
+    if not qt.symmetric:
+        raise ValueError("integer GEMM requires symmetric quantization (see §2)")
+    if len(qt.orig_shape) != 2:
+        raise ValueError(f"GEMM operands must be 2-D, got shape {qt.orig_shape}")
+    rows, cols = qt.orig_shape
+    if cols % group_size != 0:
+        raise ValueError(f"columns ({cols}) not divisible by group size ({group_size})")
+    n_groups = cols // group_size
+    codes = qt.codes_flat().astype(np.int64).reshape(rows, n_groups, group_size)
+    if qt.granularity is Granularity.PER_GROUP:
+        if qt.group_size != group_size:
+            raise ValueError(
+                f"operand group size {qt.group_size} != GEMM group size {group_size}"
+            )
+        scales = qt.scale.reshape(rows, n_groups)
+    elif qt.granularity is Granularity.PER_TOKEN:
+        scales = np.broadcast_to(qt.scale.reshape(rows, 1), (rows, n_groups))
+    elif qt.granularity is Granularity.PER_TENSOR:
+        scales = np.broadcast_to(qt.scale.reshape(1, 1), (rows, n_groups))
+    else:
+        raise ValueError(
+            f"unsupported GEMM granularity: {qt.granularity} (column-wise scales "
+            "cannot be factored out of the inner product)"
+        )
+    return codes, np.ascontiguousarray(scales, dtype=np.float64)
+
+
+def _common_group_size(xq: QuantizedTensor, wq: QuantizedTensor) -> int:
+    """Pick the contraction group size compatible with both operands."""
+    k = xq.orig_shape[-1]
+    if k != wq.orig_shape[-1]:
+        raise ValueError(
+            f"contraction mismatch: activations have {k} channels, "
+            f"weights have {wq.orig_shape[-1]}"
+        )
+    sizes = set()
+    for qt in (xq, wq):
+        if qt.granularity is Granularity.PER_GROUP:
+            sizes.add(qt.group_size)
+    if not sizes:
+        return k  # both coarse-grained: contract in one group
+    if len(sizes) > 1:
+        raise ValueError(f"operands have mismatched group sizes: {sorted(sizes)}")
+    return sizes.pop()
+
+
+def fused_group_gemm(xq: QuantizedTensor, wq: QuantizedTensor) -> np.ndarray:
+    """Fig. 8's fused GEMM: per-group integer MMA + float dequant-accumulate.
+
+    ``xq``: quantized activations, shape ``(T, K)``; ``wq``: quantized
+    weights, shape ``(O, K)``.  Returns float ``(T, O)``.
+    """
+    group_size = _common_group_size(xq, wq)
+    xg, sx = _as_row_groups(xq, group_size)
+    wg, sw = _as_row_groups(wq, group_size)
+    # Step (1): integer dot product per (token, group, out-channel) triple.
+    partial = np.einsum("tgs,ogs->tgo", xg, wg)
+    # Steps (2)-(3): dequantize each partial with its two scales, accumulate.
+    return np.einsum("tgo,tg,og->to", partial.astype(np.float64), sx, sw)
+
+
+def quantized_gemm(xq: QuantizedTensor, wq: QuantizedTensor) -> np.ndarray:
+    """General quantized GEMM; fast path when neither operand is grouped."""
+    for qt in (xq, wq):
+        if not qt.symmetric:
+            raise ValueError("integer GEMM requires symmetric quantization (see §2)")
+        if len(qt.orig_shape) != 2:
+            raise ValueError(f"GEMM operands must be 2-D, got shape {qt.orig_shape}")
+    if (
+        xq.granularity is not Granularity.PER_GROUP
+        and wq.granularity is not Granularity.PER_GROUP
+    ):
+        x = xq.codes_flat().astype(np.int64)
+        w = wq.codes_flat().astype(np.int64)
+        acc = x @ w.T
+        sx = xq.scale.reshape(-1, 1) if xq.granularity is Granularity.PER_TOKEN else xq.scale.reshape(1, 1)
+        sw = wq.scale.reshape(1, -1) if wq.granularity is Granularity.PER_TOKEN else wq.scale.reshape(1, 1)
+        return acc.astype(np.float64) * sx * sw
+    return fused_group_gemm(xq, wq)
+
+
+def mixed_precision_gemm(
+    xq_body: QuantizedTensor,
+    xq_outlier: QuantizedTensor,
+    wq_body: QuantizedTensor,
+    wq_outlier: QuantizedTensor,
+) -> np.ndarray:
+    """Mixed-precision GEMM: low-bit body plus INT8 outlier tail.
+
+    After reordering, activations/weights are split column-wise into a
+    *body* (normal channels, e.g. INT4 grouped) and an *outlier tail*
+    (e.g. 128 channels in INT8).  The full product is the sum of the two
+    partial GEMMs — this mirrors Atom's kernel, which issues INT4 MMAs for
+    the body and INT8 MMAs for the tail within one fused pipeline.
+    """
+    body = quantized_gemm(xq_body, wq_body)
+    tail = quantized_gemm(xq_outlier, wq_outlier)
+    if body.shape != tail.shape:
+        raise ValueError(
+            f"body/tail output mismatch: {body.shape} vs {tail.shape}"
+        )
+    return body + tail

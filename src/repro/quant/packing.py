@@ -1,0 +1,73 @@
+"""Bit-packing utilities for low-bit code storage.
+
+The simulator computes with int8-held codes, but a real serving stack stores
+INT4 codes two-per-byte (and INT2 four-per-byte) — this is what the memory
+footprints and bandwidth numbers in the serving model assume.  These helpers
+provide the exact packed representation plus round-trip unpacking, so
+storage-size claims are testable against real buffers.
+
+Packing layout: little-endian within a byte (element 0 in the low nibble),
+rows padded to a whole byte.  Signed codes are stored offset-binary
+(``code + 2^(bits-1)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_codes", "unpack_codes", "packed_nbytes"]
+
+_SUPPORTED_BITS = (2, 4, 8)
+
+
+def packed_nbytes(n_elements: int, bits: int) -> int:
+    """Bytes needed to pack ``n_elements`` codes of ``bits`` bits (per row)."""
+    if bits not in _SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")
+    per_byte = 8 // bits
+    return -(-n_elements // per_byte)  # ceil division
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack signed integer codes into a uint8 array (last axis packed).
+
+    ``codes`` must fit the signed ``bits``-bit range.
+    """
+    if bits not in _SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")
+    codes = np.asarray(codes)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if codes.min() < lo or codes.max() > hi:
+        raise ValueError(f"codes outside signed {bits}-bit range [{lo}, {hi}]")
+    offset = (codes.astype(np.int16) + (1 << (bits - 1))).astype(np.uint8)
+    if bits == 8:
+        return offset
+    per_byte = 8 // bits
+    n = codes.shape[-1]
+    pad = (-n) % per_byte
+    if pad:
+        pad_shape = (*codes.shape[:-1], pad)
+        offset = np.concatenate(
+            [offset, np.zeros(pad_shape, dtype=np.uint8)], axis=-1
+        )
+    grouped = offset.reshape(*codes.shape[:-1], -1, per_byte)
+    shifts = np.arange(per_byte, dtype=np.uint8) * bits
+    return (grouped << shifts).sum(axis=-1, dtype=np.uint16).astype(np.uint8)
+
+
+def unpack_codes(packed: np.ndarray, bits: int, n_elements: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns int8 codes, last axis
+    truncated to ``n_elements``."""
+    if bits not in _SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    if bits == 8:
+        out = packed.astype(np.int16) - 128
+        return out[..., :n_elements].astype(np.int8)
+    per_byte = 8 // bits
+    shifts = np.arange(per_byte, dtype=np.uint8) * bits
+    mask = (1 << bits) - 1
+    fields = (packed[..., :, None] >> shifts) & mask
+    flat = fields.reshape(*packed.shape[:-1], -1)
+    out = flat.astype(np.int16) - (1 << (bits - 1))
+    return out[..., :n_elements].astype(np.int8)

@@ -1,0 +1,81 @@
+"""Container for a quantized tensor plus its quantization parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.dtypes import IntFormat
+from repro.quant.granularity import Granularity, ungroup_view
+
+__all__ = ["QuantizedTensor"]
+
+
+@dataclass
+class QuantizedTensor:
+    """A quantized tensor: integer codes + scales (+ zero points).
+
+    ``data`` holds the integer codes.  For :data:`Granularity.PER_GROUP` the
+    codes are stored in grouped layout ``(..., n_groups, group_size)``; other
+    granularities keep the original layout.  ``scale``/``zero`` broadcast
+    against ``data``.
+    """
+
+    data: np.ndarray
+    scale: np.ndarray
+    zero: np.ndarray | None
+    fmt: IntFormat
+    granularity: Granularity
+    group_size: int | None
+    orig_shape: tuple[int, ...]
+
+    @property
+    def symmetric(self) -> bool:
+        return self.zero is None
+
+    @property
+    def bits(self) -> int:
+        return self.fmt.bits
+
+    @property
+    def n_elements(self) -> int:
+        return int(np.prod(self.orig_shape))
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float tensor in the original shape."""
+        q = self.data.astype(np.float64)
+        if self.zero is not None:
+            q = q - self.zero
+        out = q * self.scale
+        if self.granularity is Granularity.PER_GROUP:
+            out = ungroup_view(out)
+        return out.reshape(self.orig_shape)
+
+    def codes_flat(self) -> np.ndarray:
+        """Integer codes reshaped back to the original tensor layout."""
+        q = self.data
+        if self.granularity is Granularity.PER_GROUP:
+            q = ungroup_view(q)
+        return q.reshape(self.orig_shape)
+
+    def storage_bits(self) -> int:
+        """Total bits used: codes + quantization parameters (FP16 scales).
+
+        Matches the paper's *effective bit* accounting: each scale (and zero
+        point) costs 16 bits.
+        """
+        code_bits = self.n_elements * self.fmt.bits
+        n_scales = int(np.prod(self.scale.shape))
+        param_bits = n_scales * 16
+        if self.zero is not None:
+            param_bits += int(np.prod(self.zero.shape)) * 16
+        return code_bits + param_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "sym" if self.symmetric else "asym"
+        return (
+            f"QuantizedTensor(shape={self.orig_shape}, fmt={self.fmt.name}, "
+            f"{kind}, granularity={self.granularity.value}, "
+            f"group_size={self.group_size})"
+        )

@@ -1,0 +1,147 @@
+"""Uniform symmetric / asymmetric quantization (Eq. 1-3 of the paper).
+
+Symmetric quantization (used by Atom for weights and activations)::
+
+    s      = 2 * max(|X|) / (2^n - 1) * c          # c is the clipping factor
+    X_bar  = clamp(round(X / s), -2^(n-1), 2^(n-1) - 1)
+
+Asymmetric quantization (used by Atom for the KV-cache)::
+
+    s      = (max(X) - min(X)) / (2^n - 1) * c
+    z      = round(-min(X) / s)
+    X_bar  = clamp(round(X / s) + z, 0, 2^n - 1)
+
+All functions are vectorized over arbitrary scale shapes: ``scale`` (and
+``zero``) must broadcast against ``x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.dtypes import IntFormat
+from repro.quant.granularity import Granularity, group_view, reduction_axes
+from repro.quant.qtensor import QuantizedTensor
+
+__all__ = [
+    "symmetric_scale",
+    "asymmetric_params",
+    "quantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize",
+    "quantize_tensor",
+]
+
+# Guards against zero-range inputs producing inf scales.
+_EPS = 1e-12
+
+
+def symmetric_scale(
+    x: np.ndarray,
+    fmt: IntFormat,
+    *,
+    clip: float = 1.0,
+    axis: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Compute the symmetric scale over ``axis`` (keepdims), Eq. (3).
+
+    ``clip`` < 1 shrinks the dynamic range, trading clamping error of a few
+    large values for lower rounding error everywhere else (§4.3).
+    """
+    if not 0.0 < clip <= 1.0:
+        raise ValueError(f"clip factor must be in (0, 1], got {clip}")
+    x = np.asarray(x)
+    axes = tuple(range(x.ndim)) if axis is None else axis
+    amax = np.abs(x).max(axis=axes, keepdims=True)
+    # Paper Eq.: s = 2*max|X| / (2^n - 1) * c.  The factor 2 spreads the range
+    # over all 2^n levels; with the signed clamp the effective max level is
+    # qmax = 2^(n-1)-1, i.e. s = max|X| / qmax up to the off-by-one in levels.
+    scale = (2.0 * amax) / (fmt.n_levels - 1) * clip
+    return np.maximum(scale, _EPS)
+
+
+def asymmetric_params(
+    x: np.ndarray,
+    fmt: IntFormat,
+    *,
+    clip: float = 1.0,
+    axis: tuple[int, ...] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute (scale, zero_point) for asymmetric quantization, Eq. (1)."""
+    if not 0.0 < clip <= 1.0:
+        raise ValueError(f"clip factor must be in (0, 1], got {clip}")
+    x = np.asarray(x)
+    axes = tuple(range(x.ndim)) if axis is None else axis
+    xmax = x.max(axis=axes, keepdims=True)
+    xmin = x.min(axis=axes, keepdims=True)
+    scale = (xmax - xmin) / (fmt.n_levels - 1) * clip
+    scale = np.maximum(scale, _EPS)
+    zero = np.round(-xmin / scale)
+    return scale, zero
+
+
+def quantize_symmetric(x: np.ndarray, scale: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Round ``x / scale`` and clamp to the signed range of ``fmt``."""
+    q = np.round(np.asarray(x) / scale)
+    return np.clip(q, fmt.qmin, fmt.qmax).astype(fmt.storage_dtype())
+
+
+def quantize_asymmetric(
+    x: np.ndarray, scale: np.ndarray, zero: np.ndarray, fmt: IntFormat
+) -> np.ndarray:
+    """Round ``x / scale + z`` and clamp to the unsigned range of ``fmt``.
+
+    Stored in a signed container wide enough for ``[0, 2^n - 1]``; INT8
+    asymmetric therefore needs int16 storage.
+    """
+    q = np.round(np.asarray(x) / scale) + zero
+    q = np.clip(q, fmt.umin, fmt.umax)
+    dtype = np.int16 if fmt.umax > np.iinfo(np.int8).max else np.int8
+    return q.astype(dtype)
+
+
+def dequantize(
+    q: np.ndarray, scale: np.ndarray, zero: np.ndarray | None = None
+) -> np.ndarray:
+    """Reconstruct floats: ``s * q`` (symmetric) or ``s * (q - z)``."""
+    q = np.asarray(q, dtype=np.float64)
+    if zero is not None:
+        q = q - zero
+    return q * scale
+
+
+def quantize_tensor(
+    x: np.ndarray,
+    fmt: IntFormat,
+    granularity: Granularity,
+    *,
+    group_size: int = 128,
+    clip: float = 1.0,
+    symmetric: bool = True,
+) -> QuantizedTensor:
+    """One-call quantization of a float tensor at the given granularity.
+
+    This is the workhorse used by RTN, the baselines and Atom's normal-value
+    path.  Returns a :class:`QuantizedTensor` that remembers everything
+    needed to dequantize (including the grouping reshape).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grouped = granularity is Granularity.PER_GROUP
+    work = group_view(x, group_size) if grouped else x
+    axes = reduction_axes(work, granularity)
+    if symmetric:
+        scale = symmetric_scale(work, fmt, clip=clip, axis=axes)
+        zero = None
+        data = quantize_symmetric(work, scale, fmt)
+    else:
+        scale, zero = asymmetric_params(work, fmt, clip=clip, axis=axes)
+        data = quantize_asymmetric(work, scale, zero, fmt)
+    return QuantizedTensor(
+        data=data,
+        scale=scale,
+        zero=zero,
+        fmt=fmt,
+        granularity=granularity,
+        group_size=group_size if grouped else None,
+        orig_shape=x.shape,
+    )

@@ -1,0 +1,73 @@
+"""Serving-efficiency substrate: GPU cost model + discrete-event simulator.
+
+The paper's efficiency results (Figs. 3, 4, 10, 11 and §5.4.2) are measured
+on an RTX 4090 with custom CUDA kernels.  Without a GPU, we reproduce the
+*mechanics* those numbers follow from:
+
+- :mod:`repro.serving.hardware` — published GPU specs (peak TOPS per dtype,
+  memory bandwidth/capacity) and the roofline model (Williams et al. 2009);
+- :mod:`repro.serving.schemes`  — quantization scheme descriptors (FP16,
+  W4A16, W8A8, Atom W4A4) with kernel-efficiency factors calibrated to the
+  paper's §5.4.2 kernel ablation (980 / 900 / 770 TOPS);
+- :mod:`repro.serving.models`   — full-size Llama serving shapes (7B-70B);
+- :mod:`repro.serving.kernels`  — analytic kernel cost models: fused GEMM,
+  FlashInfer-style decode attention, quant/reorder fusion overheads;
+- :mod:`repro.serving.paged_kv` — vLLM-style paged KV-cache allocator;
+- :mod:`repro.serving.engine`   — FCFS continuous-batching serving engine
+  (Orca-style iteration-level scheduling) over simulated time;
+- :mod:`repro.serving.breakdown` — per-operator runtime breakdown (Fig. 3).
+"""
+
+from repro.serving.hardware import A100_40G, RTX_4090, GPUSpec, roofline_throughput
+from repro.serving.schemes import (
+    ATOM_W4A4,
+    FP16,
+    SCHEMES,
+    W4A16,
+    W8A8,
+    QuantScheme,
+)
+from repro.serving.models import LLAMA_7B, LLAMA_13B, LLAMA_70B, ServingModelSpec
+from repro.serving.kernels import (
+    attention_decode_time,
+    reorder_ablation_latency,
+    attention_prefill_time,
+    dense_layer_time,
+    gemm_time,
+    gemm_tops,
+)
+from repro.serving.paged_kv import PagedKVAllocator
+from repro.serving.parallel import NVLINK, PCIE_4, TPConfig, tp_dense_layer_time
+from repro.serving.engine import ServingEngine, ServingResult
+from repro.serving.breakdown import runtime_breakdown
+
+__all__ = [
+    "A100_40G",
+    "ATOM_W4A4",
+    "FP16",
+    "GPUSpec",
+    "LLAMA_13B",
+    "LLAMA_70B",
+    "LLAMA_7B",
+    "PagedKVAllocator",
+    "QuantScheme",
+    "RTX_4090",
+    "SCHEMES",
+    "ServingEngine",
+    "ServingModelSpec",
+    "NVLINK",
+    "PCIE_4",
+    "ServingResult",
+    "TPConfig",
+    "W4A16",
+    "W8A8",
+    "attention_decode_time",
+    "attention_prefill_time",
+    "dense_layer_time",
+    "gemm_time",
+    "gemm_tops",
+    "reorder_ablation_latency",
+    "roofline_throughput",
+    "runtime_breakdown",
+    "tp_dense_layer_time",
+]

@@ -1,0 +1,47 @@
+"""Per-operator runtime breakdown of one decode iteration (Fig. 3).
+
+Fig. 3 profiles FP16 Llama-7B inference across batch sizes and shows the
+dense layer plus self-attention consuming over 90% of execution time — the
+motivation for quantizing both (§3).  This reproduces that measurement on
+the analytic kernel models.
+"""
+
+from __future__ import annotations
+
+from repro.serving.hardware import GPUSpec, RTX_4090
+from repro.serving.kernels import (
+    attention_decode_time,
+    dense_layer_time,
+    other_ops_time,
+)
+from repro.serving.models import ServingModelSpec
+from repro.serving.schemes import FP16, QuantScheme
+
+__all__ = ["runtime_breakdown"]
+
+
+def runtime_breakdown(
+    batch_size: int,
+    spec: ServingModelSpec,
+    *,
+    context_len: int = 1024,
+    scheme: QuantScheme = FP16,
+    gpu: GPUSpec = RTX_4090,
+) -> dict[str, float]:
+    """Fractions of one decode iteration spent per operator class.
+
+    Returns ``{"dense": f, "self_attention": f, "others": f}`` summing to 1.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    t_dense = dense_layer_time(batch_size, spec, scheme, gpu)
+    t_attn = attention_decode_time(
+        [context_len] * batch_size, spec, scheme.kv_bits, gpu
+    )
+    t_other = other_ops_time(batch_size, spec, gpu)
+    total = t_dense + t_attn + t_other
+    return {
+        "dense": t_dense / total,
+        "self_attention": t_attn / total,
+        "others": t_other / total,
+    }

@@ -1,0 +1,363 @@
+"""Continuous-batching serving engine over simulated time (§5.3.2).
+
+Mechanics mirror the paper's serving setup:
+
+- requests are served **FCFS**; when one finishes, the next pending request
+  refills the on-the-fly batch (Orca-style continuous batching);
+- prefill and decode tokens of one iteration are **batched together** into
+  the dense-layer GEMMs (§3, Patel et al. 2023);
+- decode self-attention streams each request's own KV-cache (no batching
+  benefit, §3);
+- KV memory is managed by a paged allocator; weights + KV must fit the
+  GPU's capacity, which caps the achievable batch per scheme — the
+  mechanism behind Fig. 10(c).
+
+Two admission policies are provided:
+
+``"reserve"`` (default)
+    A request is admitted only if pages for its FULL lifetime
+    (prompt + generation) are available.  Conservative, preemption-free.
+``"dynamic"``
+    vLLM-style: admit with pages for the prompt only, grow the cache one
+    token at a time, and on out-of-memory *preempt* the most recently
+    admitted request (free its pages and recompute it later).  Packs larger
+    batches early at the cost of occasional recomputation.
+
+Each iteration's duration comes from the analytic kernels of
+:mod:`repro.serving.kernels`; the engine advances a simulated clock and
+collects throughput, per-token decode latency, and time-to-first-token.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.sharegpt import Request
+from repro.serving.hardware import GPUSpec, RTX_4090
+from repro.serving.kernels import (
+    attention_decode_time,
+    attention_prefill_time,
+    dense_layer_time,
+    other_ops_time,
+    quant_fusion_overhead,
+)
+from repro.serving.models import ServingModelSpec
+from repro.serving.paged_kv import PagedKVAllocator
+from repro.serving.parallel import TPConfig, tp_dense_layer_time, validate_shardable
+from repro.serving.schemes import QuantScheme
+
+__all__ = ["ServingEngine", "ServingResult"]
+
+# Workspace reserved for activations / scratch beyond weights and KV.
+_WORKSPACE_BYTES = 1.0e9
+
+
+@dataclass
+class ServingResult:
+    """Aggregate metrics of one serving run."""
+
+    scheme: str
+    requested_batch: int
+    achieved_batch: float  # mean decode batch occupancy
+    max_batch: int  # peak concurrent requests actually reached
+    throughput_tokens_per_s: float
+    mean_decode_latency_s: float
+    p99_decode_latency_s: float
+    mean_ttft_s: float  # time to first token (queueing + prefill)
+    total_time_s: float
+    decode_tokens: int
+    completed_requests: int
+    preemptions: int
+    memory_limited: bool  # True if the memory cap bound the batch
+    weights_gb: float
+    kv_budget_gb: float
+    time_breakdown: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheme:10s} batch={self.requested_batch:4d} "
+            f"(ach {self.achieved_batch:6.1f}) "
+            f"tput={self.throughput_tokens_per_s:9.1f} tok/s  "
+            f"lat={self.mean_decode_latency_s * 1e3:7.2f} ms"
+            f"{'  [mem-limited]' if self.memory_limited else ''}"
+        )
+
+
+class _Active:
+    """Book-keeping for one in-flight request."""
+
+    __slots__ = ("request", "context_len", "generated", "prefilled")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.context_len = request.prefill_len
+        self.generated = 0
+        self.prefilled = 0  # prompt tokens processed so far
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.prefilled >= self.request.prefill_len
+
+    @property
+    def done(self) -> bool:
+        return self.prefill_done and self.generated >= self.request.decode_len
+
+
+class ServingEngine:
+    """FCFS continuous-batching simulator for one (model, scheme, GPU)."""
+
+    def __init__(
+        self,
+        spec: ServingModelSpec,
+        scheme: QuantScheme,
+        *,
+        gpu: GPUSpec = RTX_4090,
+        max_batch: int = 64,
+        page_size: int = 16,
+        enforce_memory: bool = True,
+        admission: str = "reserve",
+        tp: TPConfig | None = None,
+        prefill_chunk: int | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if admission not in ("reserve", "dynamic"):
+            raise ValueError(f"unknown admission policy: {admission!r}")
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ValueError("prefill_chunk must be >= 1 (or None)")
+        self.spec = spec
+        self.scheme = scheme
+        self.gpu = gpu
+        self.max_batch = max_batch
+        self.enforce_memory = enforce_memory
+        self.admission = admission
+        self.tp = tp
+        self.prefill_chunk = prefill_chunk
+        degree = tp.degree if tp else 1
+        if tp:
+            validate_shardable(spec, degree)
+        # Per-GPU memory accounting: weights and KV shard across the group.
+        self.weights_bytes = (
+            spec.n_params() * scheme.weight_bytes_per_param / degree
+        )
+        kv_budget = gpu.capacity_bytes - self.weights_bytes - _WORKSPACE_BYTES
+        if enforce_memory and kv_budget <= 0:
+            raise ValueError(
+                f"{spec.name} weights at {scheme.name} exceed {gpu.name} memory"
+            )
+        if not enforce_memory:
+            # Fig. 10's dashed lines: estimated performance beyond capacity.
+            kv_budget = max(kv_budget, 1e12)
+        self.kv_budget = kv_budget
+        self._allocator = PagedKVAllocator(
+            kv_budget,
+            spec.kv_bytes_per_token(scheme.kv_bits) / degree,
+            page_size=page_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, requests: list[Request]) -> ServingResult:
+        """Serve ``requests`` to completion; returns aggregate metrics."""
+        pending: deque[Request] = deque(requests)
+        running: list[_Active] = []
+        alloc = self._allocator
+        clock = 0.0
+        decode_tokens = 0
+        delivered_tokens = 0
+        completed = 0
+        preemptions = 0
+        latencies: list[tuple[float, int]] = []  # (iter time, decode count)
+        ttfts: list[float] = []
+        occupancy: list[int] = []
+        peak_batch = 0
+        memory_limited = False
+        breakdown = {"dense": 0.0, "attention": 0.0, "quant": 0.0, "other": 0.0}
+
+        while pending or running:
+            # --- Admission: refill the batch FCFS.
+            while pending and len(running) < self.max_batch:
+                nxt = pending[0]
+                reserve = (
+                    nxt.total_len
+                    if self.admission == "reserve"
+                    else nxt.prefill_len + 1
+                )
+                if self.admission == "dynamic":
+                    # Watermark: keep enough free pages for one decode round
+                    # of every in-flight request, or admission starves decode
+                    # into a preempt/recompute livelock.
+                    slack_after = alloc.free_pages - alloc.pages_for(reserve)
+                    if slack_after < len(running) + 1:
+                        memory_limited = bool(running)
+                        break
+                if not alloc.allocate(nxt.request_id, reserve):
+                    memory_limited = True
+                    break
+                pending.popleft()
+                running.append(_Active(nxt))
+            if not running:
+                raise RuntimeError(
+                    f"cannot admit request {pending[0].request_id}: "
+                    f"KV budget too small for its tokens"
+                )
+
+            # --- Split the batch into prefilling and decoding requests.
+            prefilling = [a for a in running if not a.prefill_done]
+            decoding = [a for a in running if a.prefill_done]
+
+            # --- Grow caches for this iteration's decode (dynamic mode).
+            if self.admission == "dynamic" and decoding:
+                order = [a for a in running if a.prefill_done]  # oldest first
+                preempted: set[int] = set()
+                appended: set[int] = set()
+                survivors: list[_Active] = []
+                for a in order:
+                    rid = a.request.request_id
+                    if rid in preempted:
+                        continue
+                    while not alloc.append_token(rid):
+                        # Out of pages: preempt the most recently admitted
+                        # request whose cache has not grown this iteration
+                        # (vLLM recompute preemption), else preempt `a`.
+                        victim = next(
+                            (
+                                c
+                                for c in reversed(order)
+                                if c is not a
+                                and c.request.request_id not in preempted
+                                and c.request.request_id not in appended
+                            ),
+                            a,
+                        )
+                        if victim is a and len(order) == 1 and not prefilling:
+                            # Recomputing a lone request cannot make progress:
+                            # its full lifetime exceeds the KV budget.
+                            raise RuntimeError(
+                                f"request {rid} exceeds KV capacity: "
+                                f"{a.request.total_len} tokens do not fit"
+                            )
+                        vrid = victim.request.request_id
+                        alloc.free(vrid)
+                        pending.appendleft(victim.request)
+                        preempted.add(vrid)
+                        preemptions += 1
+                        memory_limited = True
+                        if victim is a:
+                            break
+                    if rid not in preempted:
+                        appended.add(rid)
+                        survivors.append(a)
+                decoding = survivors
+                running = prefilling + survivors
+
+            # --- One batched iteration (Sarathi-style: prefill chunks and
+            # decode tokens share the dense GEMMs).
+            decode_batch = len(decoding)
+            chunks: list[tuple[_Active, int]] = []
+            for a in prefilling:
+                remaining = a.request.prefill_len - a.prefilled
+                chunk = (
+                    remaining
+                    if self.prefill_chunk is None
+                    else min(self.prefill_chunk, remaining)
+                )
+                chunks.append((a, chunk))
+            prefill_tokens = sum(c for _, c in chunks)
+            m = prefill_tokens + decode_batch
+            if m == 0:
+                continue  # everything preempted; re-admit next round
+            degree = self.tp.degree if self.tp else 1
+            if self.tp and degree > 1:
+                t_dense = tp_dense_layer_time(
+                    m, self.spec, self.scheme, self.tp, self.gpu
+                )
+            else:
+                t_dense = dense_layer_time(m, self.spec, self.scheme, self.gpu)
+            t_attn = 0.0
+            if decode_batch:
+                # Attention heads shard evenly across the TP group.
+                t_attn += attention_decode_time(
+                    [a.context_len for a in decoding],
+                    self.spec,
+                    self.scheme.kv_bits,
+                    self.gpu,
+                ) / degree
+            for a, chunk in chunks:
+                t_attn += attention_prefill_time(
+                    chunk,
+                    self.spec,
+                    self.gpu,
+                    kv_bits=self.scheme.kv_bits,
+                    prefix_len=a.prefilled,
+                ) / degree
+            t_quant = (
+                quant_fusion_overhead(m, self.spec, self.gpu, fused=True)
+                if self.scheme.a_bits < 16
+                else 0.0
+            )
+            t_other = other_ops_time(m, self.spec, self.gpu)
+            t_iter = t_dense + t_attn + t_quant + t_other
+            breakdown["dense"] += t_dense
+            breakdown["attention"] += t_attn
+            breakdown["quant"] += t_quant
+            breakdown["other"] += t_other
+            clock += t_iter
+
+            # --- Token accounting.
+            if decode_batch:
+                decode_tokens += decode_batch
+                latencies.append((t_iter, decode_batch))
+                occupancy.append(decode_batch)
+            for a in decoding:
+                a.generated += 1
+                a.context_len += 1
+            # Advance prefill progress; a request whose prompt completes in
+            # THIS iteration emits its first token (the prefill pass
+            # produces one logit), then joins decode next iteration.
+            for a, chunk in chunks:
+                a.prefilled += chunk
+                if a.prefill_done:
+                    a.generated += 1
+                    a.context_len += 1
+                    decode_tokens += 1
+                    ttfts.append(clock)
+            peak_batch = max(peak_batch, len(running))
+
+            # --- Retire finished requests (continuous batching refill).
+            still: list[_Active] = []
+            for a in running:
+                if a.done:
+                    alloc.free(a.request.request_id)
+                    completed += 1
+                    delivered_tokens += a.request.decode_len
+                else:
+                    still.append(a)
+            running = still
+
+        lat_samples = np.array([t for t, _ in latencies]) if latencies else np.array([0.0])
+        weights = np.array([n for _, n in latencies]) if latencies else np.array([1.0])
+        mean_lat = float(np.average(lat_samples, weights=weights))
+        order = np.argsort(lat_samples)
+        cdf = np.cumsum(weights[order]) / weights.sum()
+        p99 = float(lat_samples[order][np.searchsorted(cdf, 0.99)]) if latencies else 0.0
+        return ServingResult(
+            scheme=self.scheme.name,
+            requested_batch=self.max_batch,
+            achieved_batch=float(np.mean(occupancy)) if occupancy else 0.0,
+            max_batch=peak_batch,
+            throughput_tokens_per_s=delivered_tokens / clock if clock else 0.0,
+            mean_decode_latency_s=mean_lat,
+            p99_decode_latency_s=p99,
+            mean_ttft_s=float(np.mean(ttfts)) if ttfts else 0.0,
+            total_time_s=clock,
+            decode_tokens=decode_tokens,
+            completed_requests=completed,
+            preemptions=preemptions,
+            memory_limited=memory_limited,
+            weights_gb=self.weights_bytes / 1e9,
+            kv_budget_gb=self.kv_budget / 1e9,
+            time_breakdown=breakdown,
+        )

@@ -1,0 +1,72 @@
+"""GPU hardware specs and the roofline model (§3, Fig. 4).
+
+Peak numbers are the published dense tensor-core rates:
+
+- **A100 (40 GB)** — 312 TFLOPS FP16, 624 TOPS INT8, 1248 TOPS INT4,
+  1555 GB/s HBM2e (the figures quoted in the paper's introduction);
+- **RTX 4090** — 330.3 TFLOPS FP16 (FP16 accumulate), 660.6 TOPS INT8,
+  1321.2 TOPS INT4, 1008 GB/s GDDR6X, 24 GB (the evaluation GPU).
+
+The roofline: an operator with arithmetic intensity ``I`` (ops per byte
+moved) attains ``min(peak_compute, I * bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "RTX_4090", "A100_40G", "roofline_throughput"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Peak capabilities of one GPU."""
+
+    name: str
+    # Peak dense tensor throughput in tera-ops/s, keyed by operand precision.
+    peak_tops: dict[str, float] = field(default_factory=dict)
+    mem_bandwidth_gbps: float = 0.0  # GB/s
+    mem_capacity_gb: float = 0.0
+
+    def peak(self, dtype: str) -> float:
+        """Peak TOPS for ``dtype`` in {'fp16','int8','int4'}."""
+        try:
+            return self.peak_tops[dtype]
+        except KeyError:
+            raise ValueError(
+                f"{self.name} has no peak for {dtype!r}; "
+                f"known: {sorted(self.peak_tops)}"
+            ) from None
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.mem_capacity_gb * 1e9
+
+
+RTX_4090 = GPUSpec(
+    name="RTX 4090",
+    peak_tops={"fp16": 330.3, "int8": 660.6, "int4": 1321.2},
+    mem_bandwidth_gbps=1008.0,
+    mem_capacity_gb=24.0,
+)
+
+A100_40G = GPUSpec(
+    name="A100 40GB",
+    peak_tops={"fp16": 312.0, "int8": 624.0, "int4": 1248.0},
+    mem_bandwidth_gbps=1555.0,
+    mem_capacity_gb=40.0,
+)
+
+
+def roofline_throughput(
+    gpu: GPUSpec, dtype: str, arithmetic_intensity: float
+) -> float:
+    """Attainable TOPS at the given arithmetic intensity (ops/byte)."""
+    if arithmetic_intensity < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    bw_tops = arithmetic_intensity * gpu.bytes_per_second / 1e12
+    return min(gpu.peak(dtype), bw_tops)

@@ -1,0 +1,95 @@
+"""vLLM-style paged KV-cache allocator (Kwon et al. 2023).
+
+Atom integrates PagedAttention for efficient memory usage (§4.5): KV-cache
+is allocated in fixed-size pages of ``page_size`` tokens, eliminating the
+external fragmentation of contiguous per-request reservations and letting
+the engine pack far larger batches — which is precisely what turns Atom's
+4x KV compression into 4x more concurrent requests in Fig. 10(c).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["PagedKVAllocator"]
+
+
+class PagedKVAllocator:
+    """Page-granular token allocator over a byte budget."""
+
+    def __init__(
+        self,
+        budget_bytes: float,
+        kv_bytes_per_token: float,
+        *,
+        page_size: int = 16,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget must be positive")
+        if kv_bytes_per_token <= 0:
+            raise ValueError("kv_bytes_per_token must be positive")
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self.page_bytes = kv_bytes_per_token * page_size
+        self.total_pages = int(budget_bytes // self.page_bytes)
+        self._pages: dict[int, int] = {}  # request_id -> pages held
+        self._tokens: dict[int, int] = {}  # request_id -> tokens stored
+
+    # ------------------------------------------------------------------ #
+    @property
+    def used_pages(self) -> int:
+        return sum(self._pages.values())
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.used_pages
+
+    def pages_for(self, n_tokens: int) -> int:
+        return math.ceil(n_tokens / self.page_size)
+
+    def can_allocate(self, n_tokens: int) -> bool:
+        return self.pages_for(n_tokens) <= self.free_pages
+
+    # ------------------------------------------------------------------ #
+    def allocate(self, request_id: int, n_tokens: int) -> bool:
+        """Reserve pages for a new request's first ``n_tokens``."""
+        if request_id in self._pages:
+            raise KeyError(f"request {request_id} already allocated")
+        need = self.pages_for(max(n_tokens, 1))
+        if need > self.free_pages:
+            return False
+        self._pages[request_id] = need
+        self._tokens[request_id] = n_tokens
+        return True
+
+    def append_token(self, request_id: int) -> bool:
+        """Grow a request's cache by one decoded token (new page if full)."""
+        if request_id not in self._pages:
+            raise KeyError(f"request {request_id} not allocated")
+        tokens = self._tokens[request_id] + 1
+        need = self.pages_for(tokens)
+        extra = need - self._pages[request_id]
+        if extra > self.free_pages:
+            return False
+        self._pages[request_id] += extra
+        self._tokens[request_id] = tokens
+        return True
+
+    def free(self, request_id: int) -> None:
+        self._pages.pop(request_id)
+        self._tokens.pop(request_id)
+
+    def utilization(self) -> float:
+        """Fraction of the budget currently holding live pages."""
+        if self.total_pages == 0:
+            return 0.0
+        return self.used_pages / self.total_pages
+
+    def internal_fragmentation(self) -> float:
+        """Fraction of allocated page capacity that is unused token slots."""
+        alloc_tokens = self.used_pages * self.page_size
+        if alloc_tokens == 0:
+            return 0.0
+        live = sum(self._tokens.values())
+        return 1.0 - live / alloc_tokens

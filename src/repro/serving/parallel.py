@@ -1,0 +1,95 @@
+"""Tensor-parallel serving cost model.
+
+The paper's footnote 2 notes that with quantization, pipelining and tensor
+parallelism to amortize weights, serving a 180B model at batch 256 is
+practical.  This module extends the analytic cost model with Megatron-style
+tensor parallelism so the simulator can serve models larger than one GPU:
+
+- column-parallel projections (``wq/wk/wv``, ``w_gate/w_up``) and
+  row-parallel projections (``wo``, ``w_down``) shard the GEMMs ``G``-ways;
+- two ring all-reduces per decoder layer (after attention output and after
+  the MLP) move ``2*(G-1)/G * m * dim`` FP16 elements each over the
+  interconnect;
+- attention heads shard evenly, so decode attention KV traffic splits
+  ``G``-ways with no extra communication;
+- weights and KV-cache split ``G``-ways per GPU, multiplying the usable
+  capacity.
+
+Interconnect presets: NVLink (A100-class, 600 GB/s per direction aggregated)
+and PCIe 4.0 x16 (consumer 4090 rigs, ~32 GB/s effective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.hardware import GPUSpec, RTX_4090
+from repro.serving.kernels import gemm_time
+from repro.serving.models import ServingModelSpec
+from repro.serving.schemes import QuantScheme
+
+__all__ = ["TPConfig", "NVLINK", "PCIE_4", "tp_dense_layer_time", "tp_allreduce_time", "validate_shardable"]
+
+
+@dataclass(frozen=True)
+class TPConfig:
+    """Tensor-parallel degree and interconnect."""
+
+    degree: int
+    interconnect_gbps: float  # effective all-reduce bandwidth per GPU, GB/s
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        if self.interconnect_gbps <= 0:
+            raise ValueError("interconnect bandwidth must be positive")
+
+
+NVLINK = 300.0  # GB/s effective per-GPU all-reduce bandwidth (NVLink 3)
+PCIE_4 = 25.0  # GB/s effective (PCIe 4.0 x16 with protocol overhead)
+
+
+def validate_shardable(spec: ServingModelSpec, degree: int) -> None:
+    """Megatron constraint: heads and FFN width must split evenly."""
+    if degree == 1:
+        return
+    if spec.n_heads % degree or spec.n_kv_heads % degree or spec.ffn_dim % degree:
+        raise ValueError(
+            f"{spec.name} is not evenly shardable {degree}-ways "
+            f"(heads {spec.n_heads}/{spec.n_kv_heads}, ffn {spec.ffn_dim})"
+        )
+
+
+def tp_allreduce_time(m: int, spec: ServingModelSpec, tp: TPConfig) -> float:
+    """One ring all-reduce of an ``(m, dim)`` FP16 activation."""
+    if tp.degree == 1:
+        return 0.0
+    bytes_per_gpu = 2.0 * (tp.degree - 1) / tp.degree * m * spec.dim * 2.0
+    return bytes_per_gpu / (tp.interconnect_gbps * 1e9)
+
+
+def tp_dense_layer_time(
+    m: int,
+    spec: ServingModelSpec,
+    scheme: QuantScheme,
+    tp: TPConfig,
+    gpu: GPUSpec = RTX_4090,
+) -> float:
+    """Dense-layer time under tensor parallelism.
+
+    Per layer: sharded GEMMs (each GPU computes its slice in parallel, so
+    wall time is one shard) plus two all-reduces.
+    """
+    g = tp.degree
+    shapes = [
+        (spec.dim // g, spec.dim),  # wq (column parallel)
+        (spec.kv_dim // g, spec.dim),  # wk
+        (spec.kv_dim // g, spec.dim),  # wv
+        (spec.dim, spec.dim // g),  # wo (row parallel)
+        (spec.ffn_dim // g, spec.dim),  # w_gate
+        (spec.ffn_dim // g, spec.dim),  # w_up
+        (spec.dim, spec.ffn_dim // g),  # w_down (row parallel)
+    ]
+    per_layer = sum(gemm_time(m, out, inp, scheme, gpu) for out, inp in shapes)
+    per_layer += 2.0 * tp_allreduce_time(m, spec, tp)
+    return per_layer * spec.n_layers

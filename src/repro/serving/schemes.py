@@ -1,0 +1,103 @@
+"""Quantization scheme descriptors for the serving simulator.
+
+Each scheme pins down: operand precisions for the dense GEMMs, KV-cache
+bits, whether the GEMM actually runs on low-bit tensor cores
+(weight-activation) or must dequantize to FP16 first (weight-only), and a
+kernel efficiency factor.
+
+Efficiency factors are calibrated to the paper's kernel ablation (§5.4.2,
+RTX 4090, batch 4096):
+
+- a pure INT4 GEMM reaches ~980 of 1321 peak TOPS -> 0.74 base efficiency;
+- fusing mixed-precision INT8 outlier handling costs 8% -> ~900 TOPS;
+- fusing group dequantization costs most -> ~770 TOPS (0.583 of peak),
+  still ~18% above the INT8 *theoretical* limit;
+- the measured Fig. 11(a) speedups at batch 512 (3.4x over FP16, 1.9x over
+  INT8) then fix FP16 at ~0.68 and W8A8 at ~0.61 effective efficiency.
+
+Weight-only (W4A16) pays an extra dequant penalty on top of the FP16
+pipeline (Lin et al.'s kernels reach ~90% of the FP16 GEMM in the
+compute-bound regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QuantScheme", "FP16", "W4A16", "W8A8", "ATOM_W4A4", "SCHEMES"]
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """A weight/activation/KV precision configuration for serving."""
+
+    name: str
+    w_bits: int
+    a_bits: int
+    kv_bits: int
+    weight_only: bool = False  # dequantize to FP16 before the GEMM
+    mixed_precision: bool = False  # INT8 outlier tail fused into the GEMM
+    group_quant: bool = False  # fused group dequant in the MMA pipeline
+    gemm_efficiency: float = 1.0  # achieved / peak TOPS in compute-bound GEMM
+
+    def __post_init__(self) -> None:
+        if self.weight_only and self.a_bits != 16:
+            raise ValueError("weight-only schemes keep activations FP16")
+        for b, label in ((self.w_bits, "w"), (self.a_bits, "a"), (self.kv_bits, "kv")):
+            if b not in (2, 3, 4, 8, 16):
+                raise ValueError(f"unsupported {label}_bits: {b}")
+        if not 0.0 < self.gemm_efficiency <= 1.0:
+            raise ValueError("gemm_efficiency must be in (0, 1]")
+
+    @property
+    def compute_dtype(self) -> str:
+        """Tensor-core dtype the dense GEMM runs in."""
+        if self.weight_only or max(self.w_bits, self.a_bits) == 16:
+            return "fp16"
+        bits = max(self.w_bits, self.a_bits)
+        return "int8" if bits > 4 else "int4"
+
+    @property
+    def weight_bytes_per_param(self) -> float:
+        return self.w_bits / 8.0
+
+    @property
+    def kv_bytes_per_element(self) -> float:
+        return self.kv_bits / 8.0
+
+
+FP16 = QuantScheme(
+    name="FP16", w_bits=16, a_bits=16, kv_bits=16, gemm_efficiency=0.685
+)
+
+# Weight-only INT4 (AWQ/GPTQ-style kernels): GEMM still FP16; dequant costs
+# ~10% of the FP16 pipeline in the compute-bound regime.
+W4A16 = QuantScheme(
+    name="W4A16",
+    w_bits=4,
+    a_bits=16,
+    kv_bits=16,
+    weight_only=True,
+    gemm_efficiency=0.615,
+)
+
+# SmoothQuant-style INT8 weight-activation quantization with INT8 KV.
+W8A8 = QuantScheme(
+    name="W8A8", w_bits=8, a_bits=8, kv_bits=8, gemm_efficiency=0.613
+)
+
+# Atom: INT4 body + fused INT8 mixed-precision outliers + fused group
+# dequantization; INT4 KV-cache.  770 / 1321 peak = 0.583.
+ATOM_W4A4 = QuantScheme(
+    name="Atom-W4A4",
+    w_bits=4,
+    a_bits=4,
+    kv_bits=4,
+    mixed_precision=True,
+    group_quant=True,
+    gemm_efficiency=0.583,
+)
+
+SCHEMES: dict[str, QuantScheme] = {
+    s.name: s for s in (FP16, W4A16, W8A8, ATOM_W4A4)
+}

@@ -1,0 +1,486 @@
+"""Reverse-mode autograd ``Tensor`` and the NN ops used by the Llama trainer.
+
+Design notes
+------------
+- Data is float32 (training precision); gradients accumulate in float32.
+- The graph is built eagerly: every op records its parents and a closure that
+  pushes gradient to them.  ``Tensor.backward`` runs a topological sort.
+- Broadcasting follows NumPy; ``_unbroadcast`` reduces gradients back to the
+  parent's shape.
+- Hot ops (RMSNorm, softmax, cross-entropy, RoPE) are fused with analytic
+  backward passes instead of being composed from primitives — per the
+  ml-systems guidance of isolating hotspots into dedicated vectorized
+  functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "add",
+    "mul",
+    "matmul",
+    "embedding",
+    "silu",
+    "softmax",
+    "rms_norm",
+    "rope",
+    "cross_entropy",
+    "cat",
+]
+
+
+def _as_array(x, dtype=np.float32) -> np.ndarray:
+    if isinstance(x, np.ndarray):
+        return x.astype(dtype, copy=False)
+    return np.asarray(x, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An array with an autograd tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        *,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents = tuple(_parents)
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag}, name={self.name!r})"
+
+    # ------------------------------------------------------------------ #
+    # Graph machinery
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = grad.astype(np.float32, copy=False)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor (defaults to scalar seed 1)."""
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without a seed requires a scalar")
+            grad = np.ones_like(self.data)
+        # Topological order via iterative DFS (avoids recursion limits on
+        # deep decoder stacks).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+        self._accumulate(_as_array(grad))
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        return add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        return mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-_wrap(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return _wrap(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _wrap(other)
+        return self * other.pow(-1.0)
+
+    def __matmul__(self, other) -> "Tensor":
+        return matmul(self, _wrap(other))
+
+    def pow(self, exponent: float) -> "Tensor":
+        out_data = self.data.astype(np.float64) ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad or self._parents:
+                local = exponent * self.data.astype(np.float64) ** (exponent - 1)
+                self._accumulate(grad * local.astype(np.float32))
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _backward=backward,
+        )
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _backward=backward,
+        )
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        in_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, in_shape).copy())
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _backward=backward,
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        n = self.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    # ------------------------------------------------------------------ #
+    # Shape ops
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(shape)
+        in_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(in_shape))
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _backward=backward,
+        )
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _backward=backward,
+        )
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+        in_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros(in_shape, dtype=np.float32)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor(
+            out_data,
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _backward=backward,
+        )
+
+
+def _wrap(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+def _needs_grad(*tensors: Tensor) -> bool:
+    return any(t.requires_grad or t._parents for t in tensors)
+
+
+# ---------------------------------------------------------------------- #
+# Binary primitives
+# ---------------------------------------------------------------------- #
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad, a.shape))
+        b._accumulate(_unbroadcast(grad, b.shape))
+
+    return Tensor(
+        out_data,
+        requires_grad=_needs_grad(a, b),
+        _parents=(a, b),
+        _backward=backward,
+    )
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * b.data, a.shape))
+        b._accumulate(_unbroadcast(grad * a.data, b.shape))
+
+    return Tensor(
+        out_data,
+        requires_grad=_needs_grad(a, b),
+        _parents=(a, b),
+        _backward=backward,
+    )
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matmul ``(..., m, k) @ (..., k, n)``."""
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        ga = grad @ np.swapaxes(b.data, -1, -2)
+        gb = np.swapaxes(a.data, -1, -2) @ grad
+        a._accumulate(_unbroadcast(ga, a.shape))
+        b._accumulate(_unbroadcast(gb, b.shape))
+
+    return Tensor(
+        out_data,
+        requires_grad=_needs_grad(a, b),
+        _parents=(a, b),
+        _backward=backward,
+    )
+
+
+def cat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            idx = [slice(None)] * grad.ndim
+            idx[axis] = slice(start, stop)
+            t._accumulate(grad[tuple(idx)])
+
+    return Tensor(
+        out_data,
+        requires_grad=_needs_grad(*tensors),
+        _parents=tuple(tensors),
+        _backward=backward,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# NN ops
+# ---------------------------------------------------------------------- #
+def embedding(weight: Tensor, idx: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by an integer index array."""
+    idx = np.asarray(idx)
+    out_data = weight.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, idx, grad)
+        weight._accumulate(full)
+
+    return Tensor(
+        out_data,
+        requires_grad=weight.requires_grad,
+        _parents=(weight,),
+        _backward=backward,
+    )
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish: ``x * sigmoid(x)`` (the SwiGLU gate nonlinearity)."""
+    sig = 1.0 / (1.0 + np.exp(-x.data))
+    out_data = x.data * sig
+
+    def backward(grad: np.ndarray) -> None:
+        local = sig * (1.0 + x.data * (1.0 - sig))
+        x._accumulate(grad * local)
+
+    return Tensor(
+        out_data,
+        requires_grad=x.requires_grad or bool(x._parents),
+        _parents=(x,),
+        _backward=backward,
+    )
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax with the fused Jacobian-vector backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor(
+        out_data,
+        requires_grad=x.requires_grad or bool(x._parents),
+        _parents=(x,),
+        _backward=backward,
+    )
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-5) -> Tensor:
+    """Fused RMSNorm: ``x / sqrt(mean(x^2) + eps) * weight``."""
+    ms = (x.data.astype(np.float64) ** 2).mean(axis=-1, keepdims=True)
+    inv = (1.0 / np.sqrt(ms + eps)).astype(np.float32)
+    normed = x.data * inv
+    out_data = normed * weight.data
+
+    def backward(grad: np.ndarray) -> None:
+        d = x.shape[-1]
+        gw = grad * weight.data  # gradient w.r.t. normed input
+        # d/dx of x*inv where inv depends on all elements of the last axis.
+        dot = (gw * x.data).sum(axis=-1, keepdims=True)
+        gx = inv * gw - (inv**3 / d) * x.data * dot
+        x._accumulate(gx)
+        weight._accumulate(_unbroadcast(grad * normed, weight.shape))
+
+    return Tensor(
+        out_data,
+        requires_grad=_needs_grad(x, weight),
+        _parents=(x, weight),
+        _backward=backward,
+    )
+
+
+def rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotary position embedding on the last axis (rotate-half convention).
+
+    ``x`` has shape ``(..., T, D)`` with even ``D``; ``cos``/``sin`` have
+    shape ``(T, D/2)`` and are treated as constants (precomputed tables).
+    """
+    d = x.shape[-1]
+    if d % 2 != 0:
+        raise ValueError(f"RoPE head dim must be even, got {d}")
+    x1 = x.data[..., : d // 2]
+    x2 = x.data[..., d // 2 :]
+    out_data = np.concatenate([x1 * cos - x2 * sin, x2 * cos + x1 * sin], axis=-1)
+
+    def backward(grad: np.ndarray) -> None:
+        g1 = grad[..., : d // 2]
+        g2 = grad[..., d // 2 :]
+        # Inverse rotation (rotate by -theta).
+        gx = np.concatenate([g1 * cos + g2 * sin, g2 * cos - g1 * sin], axis=-1)
+        x._accumulate(gx)
+
+    return Tensor(
+        out_data,
+        requires_grad=x.requires_grad or bool(x._parents),
+        _parents=(x,),
+        _backward=backward,
+    )
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean token-level cross-entropy, fused log-softmax + NLL.
+
+    ``logits``: ``(N, V)``; ``targets``: int array ``(N,)``.  Targets equal
+    to ``-1`` are ignored (padding).
+    """
+    targets = np.asarray(targets).reshape(-1)
+    n, v = logits.data.reshape(-1, logits.shape[-1]).shape
+    flat = logits.data.reshape(n, v).astype(np.float64)
+    mask = targets >= 0
+    count = max(int(mask.sum()), 1)
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    logz = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    logp = shifted - logz
+    safe_targets = np.where(mask, targets, 0)
+    nll = -logp[np.arange(n), safe_targets]
+    loss = float((nll * mask).sum() / count)
+
+    def backward(grad: np.ndarray) -> None:
+        p = np.exp(logp)
+        p[np.arange(n), safe_targets] -= 1.0
+        p *= (mask / count)[:, None]
+        logits._accumulate((float(grad) * p).reshape(logits.shape).astype(np.float32))
+
+    return Tensor(
+        np.float32(loss),
+        requires_grad=logits.requires_grad or bool(logits._parents),
+        _parents=(logits,),
+        _backward=backward,
+    )

@@ -1,0 +1,76 @@
+"""Benchmark reporting helpers: tables, ASCII figures, artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_bars, ascii_series, format_table, save_artifact
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2.5], [33, 4.123456]])
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159], [12345.6], [1e-5], [float("nan")]])
+        assert "3.142" in out
+        assert "1.23e+04" in out
+        assert "1.00e-05" in out
+        assert "-" in out  # NaN renders as a dash
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestAsciiSeries:
+    def test_contains_marks_and_legend(self):
+        out = ascii_series([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_log_scale_label(self):
+        out = ascii_series([1, 2], {"s": [1, 1000]}, logy=True)
+        assert "log scale" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ascii_series([1, 2], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([], {})
+
+    def test_constant_series_ok(self):
+        out = ascii_series([0, 1], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+
+class TestAsciiBars:
+    def test_bars_scale_with_values(self):
+        out = ascii_bars(["a", "b"], [1.0, 2.0])
+        a_len = out.splitlines()[0].count("#")
+        b_len = out.splitlines()[1].count("#")
+        assert b_len == 2 * a_len
+
+    def test_zero_value_has_no_bar(self):
+        out = ascii_bars(["z", "b"], [0.0, 2.0])
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+
+class TestArtifacts:
+    def test_save_and_override_dir(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("ATOM_REPRO_RESULTS", str(tmp_path))
+        path = save_artifact("probe.txt", "hello world")
+        assert path.read_text() == "hello world\n"
+        assert path.parent == tmp_path
+        assert "hello world" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Shared fixtures: trained models (zoo-cached) and quantized variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AtomConfig, AtomQuantizer
+from repro.models.llama import LlamaModel
+from repro.models.zoo import load_model, load_weights
+
+
+@pytest.fixture(scope="session")
+def model7b() -> LlamaModel:
+    """The 7B-analog model with injected outliers (trains on first use)."""
+    return load_model("llama-7b-sim")
+
+
+@pytest.fixture(scope="session")
+def pristine7b() -> LlamaModel:
+    """The 7B-analog model WITHOUT outlier injection."""
+    config, weights = load_weights("llama-7b-sim")
+    return LlamaModel(config, weights)
+
+
+@pytest.fixture(scope="session")
+def moe_model() -> LlamaModel:
+    """The Mixtral-analog MoE model."""
+    return load_model("mixtral-sim")
+
+
+@pytest.fixture(scope="session")
+def atom7b(model7b: LlamaModel) -> LlamaModel:
+    """The 7B analog quantized with the full Atom recipe."""
+    return AtomQuantizer(AtomConfig.paper_default()).quantize(model7b)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,59 @@
+"""Clipping-factor grid search (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clipping import DEFAULT_GRID, search_clip
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(41)
+
+
+class TestSearchClip:
+    def test_returns_grid_member(self, rng):
+        clip, _ = search_clip(rng.normal(size=(32, 64)), 4)
+        assert clip in DEFAULT_GRID
+
+    def test_heavy_tailed_data_prefers_clipping(self, rng):
+        """With rare extreme values, some clipping must beat none."""
+        x = rng.normal(size=(64, 256))
+        mask = rng.random(x.shape) < 0.001
+        x[mask] *= 30.0
+        clip, mse_best = search_clip(x, 4)
+        assert clip < 1.0
+
+    def test_uniform_data_prefers_no_clipping(self, rng):
+        """Uniform data has no tail to trade away: c=1 is optimal."""
+        x = rng.uniform(-1, 1, size=(64, 256))
+        clip, _ = search_clip(x, 4)
+        assert clip == 1.0
+
+    def test_best_mse_is_minimum_over_grid(self, rng):
+        from repro.quant.dtypes import IntFormat
+        from repro.quant.uniform import dequantize, quantize_symmetric, symmetric_scale
+
+        x = rng.normal(size=(16, 64))
+        _, best = search_clip(x, 4, grid=(0.8, 1.0))
+        for c in (0.8, 1.0):
+            s = symmetric_scale(x, IntFormat(4), clip=c, axis=(1,))
+            q = quantize_symmetric(x, s, IntFormat(4))
+            mse = float(np.mean((dequantize(q, s) - x) ** 2))
+            assert best <= mse + 1e-15
+
+    def test_custom_grid(self, rng):
+        clip, _ = search_clip(rng.normal(size=(8, 32)), 4, grid=(0.75,))
+        assert clip == 0.75
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            search_clip(rng.normal(size=32), 4)
+
+    def test_lower_bits_clip_more_or_equal(self, rng):
+        """At fewer bits each level is precious, so optimal clipping is at
+        least as aggressive (statistically, on gaussian data)."""
+        x = rng.normal(size=(128, 256))
+        clip8, _ = search_clip(x, 8)
+        clip3, _ = search_clip(x, 3)
+        assert clip3 <= clip8

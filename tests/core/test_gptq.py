@@ -1,0 +1,152 @@
+"""GPTQ weight quantization with ragged group scales."""
+
+import numpy as np
+import pytest
+
+from repro.core.gptq import gptq_quantize, hessian, rtn_weight_quantize
+from repro.core.groups import make_group_slices
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(53)
+
+
+def _setup(rng, n_in=64, n_out=32, n=1000, channel_sigma=1.0):
+    mix = rng.normal(size=(n_in, n_in)) / np.sqrt(n_in)
+    scales = np.exp(rng.normal(0, channel_sigma, size=n_in))
+    x = rng.normal(size=(n, n_in)) @ mix * scales
+    w = rng.normal(size=(n_out, n_in))
+    return w, x
+
+
+def _slices(n_in, **kw):
+    defaults = dict(n_outlier=4, group_size=16, body_bits=4, outlier_bits=8)
+    defaults.update(kw)
+    return make_group_slices(n_in, **defaults)
+
+
+class TestGPTQ:
+    def test_beats_rtn_on_hessian_weighted_error(self, rng):
+        w, x = _setup(rng)
+        h = hessian(x)
+        slices = _slices(64)
+        g = gptq_quantize(w, h, slices, clip=0.85).dequantize()
+        r = rtn_weight_quantize(w, slices, clip=0.85).dequantize()
+        err_g = np.linalg.norm((w - g) @ x.T)
+        err_r = np.linalg.norm((w - r) @ x.T)
+        assert err_g < err_r
+
+    def test_beats_rtn_consistently(self, rng):
+        wins = 0
+        for _ in range(5):
+            w, x = _setup(rng)
+            slices = _slices(64)
+            g = gptq_quantize(w, hessian(x), slices, clip=1.0).dequantize()
+            r = rtn_weight_quantize(w, slices, clip=1.0).dequantize()
+            wins += np.linalg.norm((w - g) @ x.T) < np.linalg.norm((w - r) @ x.T)
+        assert wins >= 4
+
+    def test_high_bits_near_exact(self, rng):
+        w, x = _setup(rng)
+        slices = _slices(64, body_bits=8, outlier_bits=8)
+        deq = gptq_quantize(w, hessian(x), slices, clip=1.0).dequantize()
+        assert np.linalg.norm(deq - w) / np.linalg.norm(w) < 0.02
+
+    def test_fp16_slices_absorb_compensation_losslessly(self, rng):
+        """FP16 outlier tails store the error-compensated weights verbatim
+        (scale None); with EVERY slice FP16 nothing is quantized at all, so
+        the reconstruction must be the exact original weights."""
+        w, x = _setup(rng)
+        all_fp16 = _slices(64, n_outlier=0, group_size=None, body_bits=4,
+                           outlier_bits=None)
+        # Make the single body slice FP16 too:
+        from repro.core.groups import GroupSlice
+        sliced = gptq_quantize(w, hessian(x), [GroupSlice(0, 64, None)])
+        np.testing.assert_allclose(sliced.dequantize(), w, atol=1e-6)
+        assert sliced.scales == [None]
+        # Mixed case: the tail is FP16 (scale None) and the executor treats
+        # it as full precision.
+        sliced = gptq_quantize(w, hessian(x), _slices(64, n_outlier=8,
+                                                      outlier_bits=None))
+        assert sliced.scales[-1] is None
+        assert sliced.codes[-1].shape == (w.shape[0], 8)
+
+    def test_int_codes_within_range(self, rng):
+        w, x = _setup(rng)
+        sliced = gptq_quantize(w, hessian(x), _slices(64))
+        for s, codes in zip(sliced.slices, sliced.codes):
+            if s.bits == 4:
+                assert codes.min() >= -8 and codes.max() <= 7
+            elif s.bits == 8:
+                assert codes.min() >= -128 and codes.max() <= 127
+
+    def test_fp4_format(self, rng):
+        from repro.quant.dtypes import FP4_E2M1
+
+        w, x = _setup(rng)
+        sliced = gptq_quantize(w, hessian(x), _slices(64), fmt="fp")
+        body = sliced.codes[0]
+        grid = set(np.concatenate([-FP4_E2M1.grid, FP4_E2M1.grid]).tolist())
+        assert set(np.unique(body).tolist()) <= grid
+
+    def test_dead_channels_handled(self, rng):
+        w, x = _setup(rng)
+        x[:, 10] = 0.0  # dead input channel => zero Hessian diagonal
+        sliced = gptq_quantize(w, hessian(x), _slices(64))
+        assert np.isfinite(sliced.dequantize()).all()
+
+    def test_hessian_shape_validated(self, rng):
+        w, _ = _setup(rng)
+        with pytest.raises(ValueError, match="Hessian"):
+            gptq_quantize(w, np.eye(32), _slices(64))
+
+    def test_slices_must_cover_input(self, rng):
+        w, x = _setup(rng)
+        with pytest.raises(ValueError, match="cover"):
+            gptq_quantize(w, hessian(x), _slices(32))
+
+    def test_storage_bits_accounting(self, rng):
+        w, x = _setup(rng)
+        sliced = gptq_quantize(w, hessian(x), _slices(64))
+        # body: 60 cols int4 + scales per (row, 4 groups); tail: 4 cols int8 + 1 scale/row
+        rows = 32
+        expected = (
+            rows * 16 * 4 * 4  # 4 body groups of 16 cols at 4 bits... wait
+        )
+        # Compute from first principles instead:
+        expected = 0
+        for s in sliced.slices:
+            expected += rows * s.width * (s.bits or 16)
+            expected += rows * 16  # one fp16 scale per row per slice
+        assert sliced.storage_bits() == expected
+
+
+class TestRTNWeightQuantize:
+    def test_reconstruction_error_bounded(self, rng):
+        w, _ = _setup(rng)
+        sliced = rtn_weight_quantize(w, _slices(64, body_bits=8))
+        err = np.abs(sliced.dequantize() - w)
+        # INT8 per-row-per-group: error <= step/2 = amax/127
+        assert err.max() < np.abs(w).max() / 100
+
+    def test_clip_clamps_extremes(self, rng):
+        w = np.ones((4, 16))
+        w[0, 0] = 100.0
+        slices = make_group_slices(16, n_outlier=0, group_size=None, body_bits=4, outlier_bits=None)
+        deq = rtn_weight_quantize(w, slices, clip=0.5).dequantize()
+        assert deq[0, 0] < 100.0  # clamped
+
+    def test_mismatched_slices_rejected(self, rng):
+        w, _ = _setup(rng)
+        with pytest.raises(ValueError):
+            rtn_weight_quantize(w, _slices(64)[:-1]).dequantize()
+
+
+class TestHessian:
+    def test_symmetric_psd(self, rng):
+        _, x = _setup(rng)
+        h = hessian(x)
+        np.testing.assert_allclose(h, h.T)
+        eig = np.linalg.eigvalsh(h)
+        assert eig.min() > -1e-8

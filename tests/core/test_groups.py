@@ -1,0 +1,83 @@
+"""Ragged group-slice layout."""
+
+import pytest
+
+from repro.core.groups import GroupSlice, make_group_slices
+
+
+class TestGroupSlice:
+    def test_width(self):
+        assert GroupSlice(0, 16, 4).width == 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            GroupSlice(5, 5, 4)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError, match="bits"):
+            GroupSlice(0, 8, 1)
+
+    def test_none_bits_is_fp16(self):
+        s = GroupSlice(0, 8, None)
+        assert s.bits is None
+
+
+class TestMakeGroupSlices:
+    def test_paper_layout(self):
+        """4096 channels, 128 outliers, group 128 => 31 body + 1 outlier."""
+        slices = make_group_slices(
+            4096, n_outlier=128, group_size=128, body_bits=4, outlier_bits=8
+        )
+        assert len(slices) == 32
+        body = slices[:-1]
+        assert all(s.width == 128 and s.bits == 4 and not s.is_outlier for s in body)
+        tail = slices[-1]
+        assert tail.is_outlier and tail.bits == 8 and tail.width == 128
+
+    def test_covers_all_channels_contiguously(self):
+        slices = make_group_slices(
+            100, n_outlier=7, group_size=16, body_bits=4, outlier_bits=8
+        )
+        assert slices[0].start == 0
+        assert slices[-1].stop == 100
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+
+    def test_ragged_last_body_group(self):
+        slices = make_group_slices(
+            70, n_outlier=6, group_size=16, body_bits=4, outlier_bits=8
+        )
+        body = [s for s in slices if not s.is_outlier]
+        assert [s.width for s in body] == [16, 16, 16, 16]
+        # 70 - 6 = 64, exactly 4 groups; now a truly ragged case:
+        slices = make_group_slices(
+            74, n_outlier=6, group_size=16, body_bits=4, outlier_bits=8
+        )
+        body = [s for s in slices if not s.is_outlier]
+        assert [s.width for s in body] == [16, 16, 16, 16, 4]
+
+    def test_no_group_quant_single_body_slice(self):
+        slices = make_group_slices(
+            64, n_outlier=4, group_size=None, body_bits=4, outlier_bits=8
+        )
+        assert len(slices) == 2
+        assert slices[0].width == 60
+
+    def test_no_outliers(self):
+        slices = make_group_slices(
+            64, n_outlier=0, group_size=32, body_bits=4, outlier_bits=8
+        )
+        assert len(slices) == 2
+        assert not any(s.is_outlier for s in slices)
+
+    def test_fp16_outlier_slice(self):
+        slices = make_group_slices(
+            64, n_outlier=4, group_size=None, body_bits=4, outlier_bits=None
+        )
+        assert slices[-1].bits is None
+
+    def test_outlier_bounds_validated(self):
+        with pytest.raises(ValueError):
+            make_group_slices(64, n_outlier=64, group_size=16, body_bits=4, outlier_bits=8)
+        with pytest.raises(ValueError):
+            make_group_slices(64, n_outlier=-1, group_size=16, body_bits=4, outlier_bits=8)

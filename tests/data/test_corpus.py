@@ -1,0 +1,87 @@
+"""Synthetic corpora: determinism, distinctness, learnable structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import CORPUS_NAMES, corpus_splits, generate_corpus, _spec
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_corpus("synthwiki", 5000, seed=1)
+        b = generate_corpus("synthwiki", 5000, seed=1)
+        assert a == b
+
+    def test_seed_changes_text(self):
+        assert generate_corpus("synthwiki", 2000, seed=1) != generate_corpus(
+            "synthwiki", 2000, seed=2
+        )
+
+    def test_min_length_honored(self):
+        assert len(generate_corpus("synthptb", 10_000)) >= 10_000
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(ValueError, match="unknown corpus"):
+            generate_corpus("wikitext2", 100)
+
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_all_corpora_generate(self, name):
+        text = generate_corpus(name, 3000)
+        assert len(text) >= 3000
+        assert text.count(".") > 10  # sentences exist
+
+    def test_corpora_have_distinct_vocabularies(self):
+        words = {
+            name: set(generate_corpus(name, 20_000).lower().split())
+            for name in CORPUS_NAMES
+        }
+        wiki, ptb = words["synthwiki"], words["synthptb"]
+        overlap = len(wiki & ptb) / len(wiki | ptb)
+        assert overlap < 0.5  # different grammars => mostly disjoint words
+
+    def test_ptb_contains_numbers_wiki_does_not(self):
+        ptb = generate_corpus("synthptb", 20_000)
+        wiki = generate_corpus("synthwiki", 20_000)
+        assert any(c.isdigit() for c in ptb)
+        assert not any(c.isdigit() for c in wiki)
+
+    def test_wiki_has_headers(self):
+        assert "= " in generate_corpus("synthwiki", 30_000)
+
+    def test_word_structure_is_learnable(self):
+        """Bigram structure: a noun's preferred verbs appear far more often
+        after it than chance."""
+        spec = _spec("synthwiki")
+        text = generate_corpus("synthwiki", 200_000)
+        words = text.lower().replace(".", "").split()
+        noun = spec.nouns[0]
+        followers = [
+            words[i + 1]
+            for i in range(len(words) - 1)
+            if words[i] == noun and i + 1 < len(words)
+        ]
+        verb_followers = [w for w in followers if any(w.startswith(v) for v in spec.verbs)]
+        if len(verb_followers) < 10:
+            pytest.skip("noun too rare in sample")
+        preferred = {spec.verbs[i] for i in spec._verb_pref[noun]}
+        frac = np.mean(
+            [any(w.startswith(v) for v in preferred) for w in verb_followers]
+        )
+        # 3 preferred of ~25 verbs at 80% preference => ~0.8 vs 0.12 chance.
+        assert frac > 0.5
+
+
+class TestSplits:
+    def test_splits_are_disjoint_samples(self):
+        train, eval_ = corpus_splits("synthwiki", train_chars=20_000, eval_chars=5_000)
+        assert train[:2000] != eval_[:2000]
+
+    def test_split_sizes(self):
+        train, eval_ = corpus_splits("synthptb", train_chars=10_000, eval_chars=2_000)
+        assert len(train) >= 10_000
+        assert len(eval_) >= 2_000
+
+    def test_splits_deterministic(self):
+        a = corpus_splits("synthc4")
+        b = corpus_splits("synthc4")
+        assert a == b

@@ -1,0 +1,69 @@
+"""ShareGPT-like workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+
+
+class TestRequest:
+    def test_total_len(self):
+        r = Request(0, prefill_len=100, decode_len=50)
+        assert r.total_len == 150
+
+    @pytest.mark.parametrize("prefill,decode", [(0, 10), (10, 0), (-1, 5)])
+    def test_invalid_lengths_rejected(self, prefill, decode):
+        with pytest.raises(ValueError):
+            Request(0, prefill_len=prefill, decode_len=decode)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = ShareGPTWorkload(seed=5).sample_requests(50)
+        b = ShareGPTWorkload(seed=5).sample_requests(50)
+        assert [(r.prefill_len, r.decode_len) for r in a] == [
+            (r.prefill_len, r.decode_len) for r in b
+        ]
+
+    def test_request_ids_unique_and_ordered(self):
+        reqs = ShareGPTWorkload(seed=1).sample_requests(100)
+        ids = [r.request_id for r in reqs]
+        assert ids == sorted(set(ids))
+
+    def test_mean_decode_matches_sharegpt_statistics(self):
+        stats = ShareGPTWorkload(seed=2).length_stats(4000)
+        # Configured response mean is 338 (vLLM's ShareGPT statistics).
+        assert 250 < stats["mean_decode"] < 430
+
+    def test_multi_round_prefill_exceeds_single_prompt_mean(self):
+        # Concatenated conversation history fattens the prefill tail well
+        # beyond the per-round prompt mean of 161.
+        stats = ShareGPTWorkload(seed=2).length_stats(4000)
+        assert stats["mean_prefill"] > 161
+
+    def test_max_len_respected(self):
+        w = ShareGPTWorkload(seed=3, max_len=512)
+        for r in w.sample_requests(500):
+            assert r.total_len <= 512
+
+    def test_conversation_prefills_grow(self):
+        w = ShareGPTWorkload(seed=9, mean_rounds=5.0)
+        for _ in range(50):
+            conv = w.sample_conversation()
+            if len(conv) >= 2:
+                prefills = [r.prefill_len for r in conv]
+                assert all(b > a for a, b in zip(prefills, prefills[1:]))
+                return
+        pytest.fail("no multi-round conversation sampled")
+
+    def test_exact_request_count(self):
+        assert len(ShareGPTWorkload(seed=0).sample_requests(73)) == 73
+
+    def test_invalid_mean_rounds(self):
+        with pytest.raises(ValueError):
+            ShareGPTWorkload(mean_rounds=0.5)
+
+    def test_p95_above_mean(self):
+        stats = ShareGPTWorkload(seed=4).length_stats(2000)
+        assert stats["p95_prefill"] > stats["mean_prefill"]
+        assert stats["p95_decode"] > stats["mean_decode"]

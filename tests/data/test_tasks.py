@@ -1,0 +1,75 @@
+"""Synthetic zero-shot tasks: structure, determinism, difficulty ordering."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import _spec
+from repro.data.tasks import (
+    TASK_NAMES,
+    TASK_SPECS,
+    MultipleChoiceItem,
+    build_task,
+)
+
+
+class TestItems:
+    def test_six_tasks_like_table1(self):
+        assert len(TASK_NAMES) == 6
+
+    @pytest.mark.parametrize("name", TASK_NAMES)
+    def test_build_is_deterministic(self, name):
+        a = build_task(name, n_items=20)
+        b = build_task(name, n_items=20)
+        assert a == b
+
+    @pytest.mark.parametrize("name", TASK_NAMES)
+    def test_item_structure(self, name):
+        spec = next(s for s in TASK_SPECS if s.name == name)
+        for item in build_task(name, n_items=10):
+            assert len(item.choices) == spec.n_choices
+            assert 0 <= item.answer < spec.n_choices
+            assert item.context
+            assert all(c.startswith(" ") for c in item.choices)
+
+    def test_correct_choice_uses_real_vocabulary(self):
+        grammar = _spec("synthwiki")
+        vocab = set(grammar.nouns) | set(grammar.adjectives) | {"the"}
+        vocab |= {v + "s" for v in grammar.verbs}
+        for item in build_task("piqa_s", n_items=20):
+            words = item.choices[item.answer].strip().rstrip(".").split()
+            assert all(w in vocab for w in words), words
+
+    def test_distractors_differ_from_answer(self):
+        for item in build_task("arc_e_s", n_items=20):
+            answer = item.choices[item.answer]
+            for i, c in enumerate(item.choices):
+                if i != item.answer:
+                    assert c != answer
+
+    def test_distractors_preserve_word_count(self):
+        # CV substitutions never add/remove words (subtlety requirement).
+        for item in build_task("arc_c_s", n_items=20):
+            n = len(item.choices[item.answer].split())
+            assert all(len(c.split()) == n for c in item.choices)
+
+    def test_harder_task_has_fewer_substitutions(self):
+        def edits(item: MultipleChoiceItem) -> int:
+            good = item.choices[item.answer]
+            other = item.choices[(item.answer + 1) % len(item.choices)]
+            return sum(a != b for a, b in zip(good, other))
+
+        easy = np.mean([edits(i) for i in build_task("hellaswag_s", n_items=40)])
+        hard = np.mean([edits(i) for i in build_task("arc_c_s", n_items=40)])
+        assert hard < easy
+
+    def test_answer_positions_shuffled(self):
+        answers = [i.answer for i in build_task("arc_e_s", n_items=60)]
+        assert len(set(answers)) > 1  # not always at index 0
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            build_task("mmlu")
+
+    def test_invalid_answer_index_rejected(self):
+        with pytest.raises(ValueError):
+            MultipleChoiceItem("ctx", ("a", "b"), answer=2)

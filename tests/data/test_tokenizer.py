@@ -1,0 +1,56 @@
+"""Character tokenizer: roundtrips, specials, corpus coverage."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import CORPUS_NAMES, generate_corpus
+from repro.data.tokenizer import CharTokenizer
+
+
+@pytest.fixture()
+def tok():
+    return CharTokenizer()
+
+
+class TestTokenizer:
+    def test_roundtrip(self, tok):
+        text = "The quick fox, 42 = fine.\n"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_special_ids_distinct(self, tok):
+        assert len({tok.PAD, tok.BOS, tok.EOS, tok.UNK}) == 4
+
+    def test_bos_eos(self, tok):
+        ids = tok.encode("ab", add_bos=True, add_eos=True)
+        assert ids[0] == tok.BOS
+        assert ids[-1] == tok.EOS
+        assert len(ids) == 4
+
+    def test_unknown_char_maps_to_unk(self, tok):
+        ids = tok.encode("aéb")  # é not in alphabet
+        assert ids[1] == tok.UNK
+
+    def test_unk_decodes_to_empty(self, tok):
+        assert tok.decode(np.array([tok.UNK])) == ""
+
+    def test_vocab_size_stable(self, tok):
+        # Token ids are baked into trained checkpoints; the vocab must not
+        # drift silently.
+        assert tok.vocab_size == 80
+        assert len(tok) == 80
+
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_covers_all_corpora(self, tok, name):
+        ids = tok.encode(generate_corpus(name, 30_000))
+        assert not np.any(ids == tok.UNK)
+
+    def test_duplicate_alphabet_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CharTokenizer("aab")
+
+    def test_ids_dense_and_stable(self, tok):
+        ids = tok.encode("abc")
+        np.testing.assert_array_equal(ids, [4, 5, 6])
+
+    def test_encode_dtype(self, tok):
+        assert tok.encode("xyz").dtype == np.int64

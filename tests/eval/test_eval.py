@@ -1,0 +1,138 @@
+"""Evaluation harnesses: perplexity, zero-shot scoring, ablation."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import CORPUS_NAMES
+from repro.eval import perplexity, zero_shot_accuracy, zero_shot_suite
+from repro.eval.perplexity import nll_per_token
+from repro.eval.zeroshot import score_sequences
+
+
+class TestPerplexity:
+    def test_deterministic(self, model7b):
+        a = perplexity(model7b, "synthwiki", eval_chars=2048)
+        b = perplexity(model7b, "synthwiki", eval_chars=2048)
+        assert a == b
+
+    def test_trained_model_much_better_than_chance(self, model7b):
+        ppl = perplexity(model7b, "synthwiki", eval_chars=2048)
+        assert ppl < model7b.config.vocab_size / 4
+
+    @pytest.mark.parametrize("corpus", CORPUS_NAMES)
+    def test_all_corpora_evaluable(self, model7b, corpus):
+        assert perplexity(model7b, corpus, eval_chars=2048) > 1.0
+
+    def test_ppl_is_exp_nll(self, model7b):
+        nll = nll_per_token(model7b, "synthptb", eval_chars=2048)
+        ppl = perplexity(model7b, "synthptb", eval_chars=2048)
+        assert ppl == pytest.approx(np.exp(nll))
+
+    def test_batch_size_does_not_change_result(self, model7b):
+        a = perplexity(model7b, "synthwiki", eval_chars=2048, batch_size=4)
+        b = perplexity(model7b, "synthwiki", eval_chars=2048, batch_size=16)
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_too_short_eval_rejected(self, model7b):
+        with pytest.raises(ValueError, match="shorter"):
+            perplexity(model7b, "synthwiki", eval_chars=10, seq_len=128)
+
+
+class TestScoreSequences:
+    def test_matches_unbatched_scoring(self, model7b):
+        rng = np.random.default_rng(5)
+        seqs = [
+            rng.integers(4, model7b.config.vocab_size, size=rng.integers(10, 30))
+            for _ in range(7)
+        ]
+        starts = [int(rng.integers(1, len(s) - 1)) for s in seqs]
+        batched = score_sequences(model7b, seqs, starts, batch_size=3)
+        single = np.array(
+            [model7b.sequence_logprob(s, start=st) for s, st in zip(seqs, starts)]
+        )
+        np.testing.assert_allclose(batched, single, atol=1e-3)
+
+    def test_padding_does_not_leak(self, model7b):
+        """A sequence scored alone == scored in a batch with longer ones."""
+        rng = np.random.default_rng(6)
+        short = rng.integers(4, 80, size=12)
+        long = rng.integers(4, 80, size=40)
+        alone = score_sequences(model7b, [short], [4])
+        together = score_sequences(model7b, [short, long], [4, 4])
+        assert together[0] == pytest.approx(alone[0], abs=1e-4)
+
+    def test_length_mismatch_rejected(self, model7b):
+        with pytest.raises(ValueError):
+            score_sequences(model7b, [np.arange(5)], [1, 2])
+
+
+class TestZeroShot:
+    def test_fp16_beats_chance_on_all_tasks(self, model7b):
+        from repro.data.tasks import TASK_SPECS
+
+        for spec in TASK_SPECS:
+            acc = zero_shot_accuracy(model7b, spec.name, n_items=40)
+            chance = 1.0 / spec.n_choices
+            assert acc > chance + 0.1, spec.name
+
+    def test_suite_includes_average(self, model7b):
+        res = zero_shot_suite(model7b, n_items=20)
+        tasks = [k for k in res if k != "avg"]
+        assert res["avg"] == pytest.approx(np.mean([res[t] for t in tasks]))
+
+    def test_quantization_drops_accuracy(self, model7b):
+        """The Table 1 mechanism: aggressive quantization flips rankings."""
+        from repro.core import AtomConfig, AtomQuantizer
+
+        rtn = AtomQuantizer(AtomConfig.rtn_w4a4()).quantize(model7b)
+        base = zero_shot_accuracy(model7b, "hellaswag_s", n_items=60)
+        quant = zero_shot_accuracy(rtn, "hellaswag_s", n_items=60)
+        assert quant < base
+
+    def test_atom_drop_small(self, model7b, atom7b):
+        base = zero_shot_suite(model7b, n_items=40)["avg"]
+        atom = zero_shot_suite(atom7b, n_items=40)["avg"]
+        assert atom > base - 0.12  # paper: ~1-2% drop; allow sim noise
+
+    def test_hard_task_harder_than_easy(self, model7b):
+        easy = zero_shot_accuracy(model7b, "hellaswag_s", n_items=60)
+        hard = zero_shot_accuracy(model7b, "arc_c_s", n_items=60)
+        assert hard < easy
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, model7b):
+        from repro.eval.ablation import run_accuracy_ablation
+
+        return run_accuracy_ablation(model7b, eval_chars=4096)
+
+    def test_step_order_matches_table3(self, rows):
+        from repro.eval.ablation import ABLATION_STEPS
+
+        assert tuple(r.label for r in rows) == ABLATION_STEPS
+
+    def test_rtn_blows_up(self, rows):
+        fp16, rtn = rows[0].ppl, rows[1].ppl
+        assert rtn > 2.5 * fp16
+
+    def test_outlier_handling_recovers_most_loss(self, rows):
+        """Table 3: keeping outliers is the single biggest recovery."""
+        rtn, outliers = rows[1].ppl, rows[2].ppl
+        assert outliers < rtn / 1.5
+
+    def test_int8_outliers_cost_almost_nothing(self, rows):
+        fp16_out, int8_out = rows[2].ppl, rows[3].ppl
+        assert abs(int8_out - fp16_out) < 0.15
+
+    def test_group_quant_is_major_gain(self, rows):
+        int8_out, grouped = rows[3].ppl, rows[4].ppl
+        assert grouped < int8_out - 0.5
+
+    def test_final_atom_close_to_fp16(self, rows):
+        fp16, final = rows[0].ppl, rows[-1].ppl
+        assert final < 1.5 * fp16
+
+    def test_deltas_recorded(self, rows):
+        assert rows[0].delta_from_previous == 0.0
+        assert rows[1].delta_from_previous > 0

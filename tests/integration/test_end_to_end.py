@@ -1,0 +1,107 @@
+"""Cross-module integration: the full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro.core import AtomConfig, AtomQuantizer
+from repro.data.sharegpt import ShareGPTWorkload
+from repro.data.tokenizer import CharTokenizer
+from repro.eval import perplexity, zero_shot_suite
+from repro.serving import ATOM_W4A4, FP16, LLAMA_7B, ServingEngine
+
+
+class TestAccuracyPipeline:
+    """Zoo model -> Atom quantization -> evaluation, end to end."""
+
+    def test_headline_accuracy_story(self, model7b, atom7b):
+        """The paper's central claim in one test: naive W4A4 collapses,
+        Atom W4A4 stays near FP16."""
+        rtn = AtomQuantizer(AtomConfig.rtn_w4a4()).quantize(model7b)
+        fp16 = perplexity(model7b, "synthwiki", eval_chars=4096)
+        atom = perplexity(atom7b, "synthwiki", eval_chars=4096)
+        naive = perplexity(rtn, "synthwiki", eval_chars=4096)
+        assert naive > 2.5 * fp16
+        assert atom < 1.4 * fp16
+
+    def test_quantized_generation_stays_on_distribution(self, atom7b):
+        """Greedy text from the quantized model still looks like the
+        training corpus (words made of the corpus alphabet, spaces/periods)."""
+        tok = CharTokenizer()
+        out = atom7b.generate(tok.encode("The ", add_bos=True), 80)
+        text = tok.decode(out)
+        assert " " in text
+        letters = [c for c in text if c.isalpha()]
+        assert len(letters) > 40
+
+    def test_accuracy_and_serving_consistency(self, model7b, atom7b):
+        """The same scheme that wins accuracy also wins the serving sim —
+        the paper's combined story."""
+        # Accuracy side.
+        fp16_acc = zero_shot_suite(model7b, n_items=30)["avg"]
+        atom_acc = zero_shot_suite(atom7b, n_items=30)["avg"]
+        assert atom_acc > fp16_acc - 0.15
+        # Serving side.
+        reqs = ShareGPTWorkload(seed=11, max_len=2048).sample_requests(128)
+        fp16_r = ServingEngine(LLAMA_7B, FP16, max_batch=128).run(reqs)
+        atom_r = ServingEngine(LLAMA_7B, ATOM_W4A4, max_batch=128).run(reqs)
+        assert atom_r.throughput_tokens_per_s > 3 * fp16_r.throughput_tokens_per_s
+
+    def test_quantize_all_family_sizes(self):
+        """Every zoo model quantizes cleanly under the paper recipe."""
+        from repro.models.zoo import load_model
+
+        for name in ("llama-13b-sim", "llama2-70b-sim", "mixtral-sim"):
+            model = load_model(name)
+            q = AtomQuantizer(AtomConfig.paper_default()).quantize(model)
+            toks = np.random.default_rng(0).integers(0, 80, size=(1, 16))
+            assert np.isfinite(q.forward(toks)).all(), name
+
+    def test_bits_sweep_is_monotone(self, model7b):
+        """More bits never hurt: the W8A8 > W6A6 > W4A4 > W3A3 staircase."""
+        ppls = []
+        for bits in (8, 6, 4, 3):
+            cfg = AtomConfig.paper_default().with_(
+                a_bits=bits, w_bits=bits, kv_bits=min(bits, 4)
+            )
+            q = AtomQuantizer(cfg).quantize(model7b)
+            ppls.append(perplexity(q, "synthwiki", eval_chars=4096))
+        assert ppls == sorted(ppls)
+
+    def test_calibration_determinism_end_to_end(self, model7b):
+        """Two independent quantization runs produce bit-identical models."""
+        a = AtomQuantizer(AtomConfig.paper_default()).quantize(model7b)
+        b = AtomQuantizer(AtomConfig.paper_default()).quantize(model7b)
+        toks = np.random.default_rng(1).integers(0, 80, size=(2, 32))
+        np.testing.assert_array_equal(a.forward(toks), b.forward(toks))
+
+
+class TestServingPipeline:
+    def test_workload_to_metrics(self):
+        """ShareGPT workload -> engine -> sane aggregate metrics."""
+        reqs = ShareGPTWorkload(seed=5, max_len=2048).sample_requests(200)
+        r = ServingEngine(LLAMA_7B, ATOM_W4A4, max_batch=64).run(reqs)
+        assert r.completed_requests == 200
+        assert r.throughput_tokens_per_s > 0
+        assert 0 < r.mean_decode_latency_s < r.p99_decode_latency_s + 1e-12
+        assert r.achieved_batch <= r.max_batch <= 64
+        assert r.time_breakdown["dense"] > 0
+        assert r.time_breakdown["attention"] > 0
+
+    def test_dynamic_vs_reserve_same_work(self):
+        """Both admission policies deliver identical token counts."""
+        reqs = ShareGPTWorkload(seed=6, max_len=2048).sample_requests(96)
+        total = sum(q.decode_len for q in reqs)
+        for admission in ("reserve", "dynamic"):
+            r = ServingEngine(
+                LLAMA_7B, FP16, max_batch=96, admission=admission
+            ).run(reqs)
+            delivered = r.throughput_tokens_per_s * r.total_time_s
+            assert delivered == pytest.approx(total)
+
+    def test_bigger_model_slower(self):
+        from repro.serving import LLAMA_13B
+
+        reqs = ShareGPTWorkload(seed=7, max_len=2048).sample_requests(64)
+        small = ServingEngine(LLAMA_7B, ATOM_W4A4, max_batch=32).run(reqs)
+        big = ServingEngine(LLAMA_13B, ATOM_W4A4, max_batch=32).run(reqs)
+        assert big.throughput_tokens_per_s < small.throughput_tokens_per_s

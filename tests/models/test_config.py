@@ -1,0 +1,92 @@
+"""Model configs: presets, validation, cache keys."""
+
+import pytest
+
+from repro.models.config import MODEL_FAMILY, ModelConfig, get_config
+
+
+class TestPresets:
+    def test_family_has_llama1_sizes(self):
+        for name in ("llama-7b-sim", "llama-13b-sim", "llama-30b-sim", "llama-65b-sim"):
+            assert name in MODEL_FAMILY
+
+    def test_param_counts_grow_with_size(self):
+        sizes = ["llama-7b-sim", "llama-13b-sim", "llama-30b-sim", "llama-65b-sim"]
+        params = [get_config(n).n_params() for n in sizes]
+        assert params == sorted(params)
+        assert params[-1] / params[0] > 5  # meaningful spread like 7B->65B
+
+    def test_param_count_matches_manual(self):
+        c = get_config("llama-7b-sim")
+        manual = (
+            2 * c.vocab_size * c.dim
+            + c.n_layers
+            * (2 * c.dim * c.dim + 2 * c.dim * c.kv_dim + 3 * c.dim * c.ffn_dim + 2 * c.dim)
+            + c.dim
+        )
+        assert c.n_params() == manual
+
+    def test_mixtral_is_moe(self):
+        assert get_config("mixtral-sim").is_moe
+        assert not get_config("llama-7b-sim").is_moe
+
+    def test_llama2_70b_uses_gqa(self):
+        c = get_config("llama2-70b-sim")
+        assert c.n_kv_heads < c.n_heads
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            get_config("gpt-5")
+
+    def test_default_outlier_count(self):
+        c = get_config("llama-7b-sim")
+        assert c.n_outlier == max(2, c.dim // 16)
+
+
+class TestValidation:
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError, match="divisible by n_heads"):
+            ModelConfig("bad", dim=65, n_heads=4, ffn_dim=192)
+
+    def test_odd_head_dim_rejected(self):
+        # dim=36 / 4 heads => head dim 9, which RoPE cannot rotate.
+        with pytest.raises(ValueError, match="even"):
+            ModelConfig("bad", dim=36, n_heads=4, n_kv_heads=4, ffn_dim=36, group_size=4)
+
+    def test_gqa_divisibility(self):
+        with pytest.raises(ValueError, match="n_kv_heads"):
+            ModelConfig("bad", dim=64, n_heads=4, n_kv_heads=3, ffn_dim=192)
+
+    def test_group_size_divisibility(self):
+        with pytest.raises(ValueError, match="group_size"):
+            ModelConfig("bad", dim=64, n_heads=4, n_kv_heads=4, ffn_dim=190)
+
+    def test_outlier_count_bounded(self):
+        with pytest.raises(ValueError, match="n_outlier"):
+            ModelConfig("bad", dim=64, n_heads=4, n_kv_heads=4, ffn_dim=192, n_outlier=64)
+
+
+class TestCacheKey:
+    def test_stable(self):
+        a = get_config("llama-7b-sim").cache_key()
+        b = get_config("llama-7b-sim").cache_key()
+        assert a == b
+
+    def test_differs_across_models(self):
+        assert (
+            get_config("llama-7b-sim").cache_key()
+            != get_config("llama-13b-sim").cache_key()
+        )
+
+    def test_quantization_knobs_do_not_invalidate_checkpoints(self):
+        base = ModelConfig("x", dim=64, n_heads=4, n_kv_heads=4, ffn_dim=192)
+        requant = ModelConfig(
+            "x", dim=64, n_heads=4, n_kv_heads=4, ffn_dim=192,
+            group_size=16, n_outlier=8, outlier_scale=99.0,
+        )
+        assert base.cache_key() == requant.cache_key()
+
+    def test_architecture_change_invalidates(self):
+        a = ModelConfig("x", dim=64, n_heads=4, n_kv_heads=4, ffn_dim=192)
+        b = ModelConfig("x", dim=64, n_heads=4, n_kv_heads=4, ffn_dim=192, seed=1)
+        assert a.cache_key() != b.cache_key()

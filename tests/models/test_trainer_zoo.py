@@ -1,0 +1,80 @@
+"""Trainer loop and the disk-cached model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import ModelConfig, get_config
+from repro.models.trainer import TrainSpec, train_model, training_tokens
+from repro.models.zoo import load_model, load_weights, zoo_cache_dir
+
+
+@pytest.fixture(scope="module")
+def quick_spec():
+    return TrainSpec(steps=30, batch_size=4, seq_len=32, train_chars=20_000)
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return ModelConfig("tiny-test", dim=32, n_layers=1, n_heads=2, n_kv_heads=2,
+                       ffn_dim=64, group_size=16, seed=3)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_cfg, quick_spec):
+        result = train_model(tiny_cfg, quick_spec)
+        first = np.mean(result.losses[:5])
+        last = np.mean(result.losses[-5:])
+        assert last < first - 0.3
+
+    def test_deterministic(self, tiny_cfg, quick_spec):
+        a = train_model(tiny_cfg, quick_spec)
+        b = train_model(tiny_cfg, quick_spec)
+        assert a.losses == b.losses
+        for k in a.weights:
+            np.testing.assert_array_equal(a.weights[k], b.weights[k])
+
+    def test_final_loss_property(self, tiny_cfg, quick_spec):
+        result = train_model(tiny_cfg, quick_spec)
+        assert result.final_loss == pytest.approx(np.mean(result.losses[-10:]))
+
+    def test_training_tokens_cover_all_corpora(self, quick_spec):
+        stream = training_tokens(quick_spec)
+        assert len(stream) >= 3 * quick_spec.train_chars
+
+    def test_spec_cache_key_reflects_params(self):
+        assert TrainSpec(steps=10).cache_key() != TrainSpec(steps=20).cache_key()
+
+
+class TestZoo:
+    def test_load_weights_caches_to_disk(self, tiny_cfg, quick_spec, monkeypatch, tmp_path):
+        monkeypatch.setenv("ATOM_REPRO_CACHE", str(tmp_path))
+        monkeypatch.setattr(
+            "repro.models.config.MODEL_FAMILY",
+            {"tiny-test": tiny_cfg},
+        )
+        _, w1 = load_weights("tiny-test", spec=quick_spec)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        _, w2 = load_weights("tiny-test", spec=quick_spec)
+        for k in w1:
+            np.testing.assert_array_equal(w1[k], w2[k])
+
+    def test_load_model_applies_outliers_by_default(self):
+        m = load_model("llama-7b-sim")
+        pristine = load_model("llama-7b-sim", with_outliers=False)
+        # Norm gains should differ (scaled) but logits agree.
+        g1 = m.weights["layers.0.attn_norm"]
+        g0 = pristine.weights["layers.0.attn_norm"]
+        assert not np.allclose(g1, g0)
+        toks = np.random.default_rng(0).integers(0, 80, size=(1, 16))
+        np.testing.assert_allclose(
+            m.forward(toks), pristine.forward(toks), atol=5e-5
+        )
+
+    def test_trained_model_beats_uniform(self):
+        m = load_model("llama-7b-sim")
+        toks = training_tokens(TrainSpec())[:1024].reshape(8, 128)
+        assert m.nll(toks) < 0.6 * np.log(m.config.vocab_size)
+
+    def test_cache_dir_exists(self):
+        assert zoo_cache_dir().is_dir()

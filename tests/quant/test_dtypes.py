@@ -1,0 +1,147 @@
+"""Number formats: integer ranges, minifloat grids, MX block scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.dtypes import (
+    FP4_E2M1,
+    FP8_E4M3,
+    FloatFormat,
+    IntFormat,
+    INT2,
+    INT3,
+    INT4,
+    INT8,
+    MXFormat,
+    int_format,
+)
+
+
+class TestIntFormat:
+    def test_int4_symmetric_range(self):
+        assert INT4.qmin == -8
+        assert INT4.qmax == 7
+
+    def test_int4_asymmetric_range(self):
+        assert INT4.umin == 0
+        assert INT4.umax == 15
+
+    def test_int8_ranges(self):
+        assert (INT8.qmin, INT8.qmax) == (-128, 127)
+        assert (INT8.umin, INT8.umax) == (0, 255)
+
+    def test_n_levels(self):
+        assert INT2.n_levels == 4
+        assert INT3.n_levels == 8
+        assert INT4.n_levels == 16
+
+    def test_storage_dtype(self):
+        assert INT8.storage_dtype() == np.int8
+        assert IntFormat(12).storage_dtype() == np.int16
+
+    @pytest.mark.parametrize("bits", [0, 1, 17, -3])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            IntFormat(bits)
+
+    def test_int_format_lookup_returns_canonical(self):
+        assert int_format(4) is INT4
+        assert int_format(5).bits == 5
+
+
+class TestFP4Grid:
+    def test_grid_matches_paper_e2m1_values(self):
+        # The FP4 values evaluated in Table 4: +-{0, .5, 1, 1.5, 2, 3, 4, 6}.
+        np.testing.assert_allclose(
+            FP4_E2M1.grid, [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+        )
+
+    def test_bits(self):
+        assert FP4_E2M1.bits == 4
+        assert FP8_E4M3.bits == 8
+
+    def test_fp8_e4m3_max_is_448(self):
+        # OCP E4M3: max finite value is 448 (exponent max, mantissa 110).
+        assert FP8_E4M3.max_value == 448.0
+
+    def test_round_exact_on_grid(self):
+        vals = np.concatenate([-FP4_E2M1.grid[::-1], FP4_E2M1.grid])
+        np.testing.assert_array_equal(FP4_E2M1.round(vals), vals)
+
+    def test_round_saturates(self):
+        assert FP4_E2M1.round(np.array([100.0]))[0] == 6.0
+        assert FP4_E2M1.round(np.array([-100.0]))[0] == -6.0
+
+    def test_round_nearest(self):
+        # 2.4 is closer to 2 than 3; 2.6 closer to 3.
+        assert FP4_E2M1.round(np.array([2.4]))[0] == 2.0
+        assert FP4_E2M1.round(np.array([2.6]))[0] == 3.0
+
+    def test_sign_symmetry(self):
+        x = np.linspace(-6, 6, 101)
+        np.testing.assert_allclose(FP4_E2M1.round(-x), -FP4_E2M1.round(x))
+
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_round_returns_nearest_grid_point(self, x):
+        rounded = float(FP4_E2M1.round(np.array([x]))[0])
+        signed_grid = np.concatenate([-FP4_E2M1.grid, FP4_E2M1.grid])
+        clipped = np.clip(x, -6.0, 6.0)
+        best = signed_grid[np.argmin(np.abs(signed_grid - clipped))]
+        assert abs(rounded - clipped) <= abs(best - clipped) + 1e-12
+
+    def test_idempotent(self):
+        x = np.random.default_rng(0).normal(size=100) * 3
+        once = FP4_E2M1.round(x)
+        np.testing.assert_array_equal(FP4_E2M1.round(once), once)
+
+
+class TestMXFormat:
+    def test_block_scales_are_powers_of_two(self, rng):
+        m = MXFormat(FP4_E2M1, block_size=32)
+        _, scales = m.quantize(rng.normal(size=(4, 64)))
+        log2 = np.log2(scales)
+        np.testing.assert_allclose(log2, np.round(log2))
+
+    def test_block_size_divisibility_enforced(self, rng):
+        m = MXFormat(FP4_E2M1, block_size=32)
+        with pytest.raises(ValueError, match="divisible"):
+            m.quantize(rng.normal(size=(4, 60)))
+
+    def test_roundtrip_shape(self, rng):
+        m = MXFormat(FP4_E2M1, block_size=16)
+        x = rng.normal(size=(3, 48))
+        assert m.quantize_dequantize(x).shape == x.shape
+
+    def test_values_fit_element_range_after_scaling(self, rng):
+        m = MXFormat(FP4_E2M1, block_size=32)
+        codes, _ = m.quantize(rng.normal(size=(8, 64)) * 100)
+        assert np.abs(codes).max() <= FP4_E2M1.max_value
+
+    def test_int8_element_variant(self, rng):
+        m = MXFormat(INT8, block_size=32)
+        x = rng.normal(size=(4, 64))
+        err = np.abs(m.quantize_dequantize(x) - x).max()
+        # INT8 blocks should reconstruct within ~1% of block max.
+        assert err < 0.02 * np.abs(x).max()
+
+    def test_zero_block(self):
+        m = MXFormat(FP4_E2M1, block_size=32)
+        out = m.quantize_dequantize(np.zeros((1, 32)))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_relative_error_bounded(self, rng):
+        m = MXFormat(FP4_E2M1, block_size=32)
+        x = rng.normal(size=(16, 64))
+        rel = np.linalg.norm(m.quantize_dequantize(x) - x) / np.linalg.norm(x)
+        assert rel < 0.35  # FP4 has ~2 significant bits
+
+    def test_name(self):
+        assert MXFormat(FP4_E2M1, 32).name == "MX[FP4_E2M1x32]"
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1)

@@ -1,0 +1,83 @@
+"""Error metrics and effective-bit accounting."""
+
+import numpy as np
+import pytest
+
+from repro.quant.error import (
+    cosine_similarity,
+    effective_bits,
+    mse,
+    relative_error,
+    sqnr_db,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestMetrics:
+    def test_mse_zero_on_identity(self, rng):
+        x = rng.normal(size=(8, 8))
+        assert mse(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        assert mse(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_relative_error_scale_invariant(self, rng):
+        x = rng.normal(size=32)
+        y = x + rng.normal(size=32) * 0.1
+        assert np.isclose(relative_error(x, y), relative_error(10 * x, 10 * y))
+
+    def test_relative_error_zero_signal(self):
+        assert relative_error(np.zeros(4), np.zeros(4)) == 0.0
+        assert relative_error(np.zeros(4), np.ones(4)) == float("inf")
+
+    def test_sqnr_infinite_on_exact(self, rng):
+        x = rng.normal(size=16)
+        assert sqnr_db(x, x) == float("inf")
+
+    def test_sqnr_increases_with_precision(self, rng):
+        x = rng.normal(size=1000)
+        coarse = np.round(x * 4) / 4
+        fine = np.round(x * 64) / 64
+        assert sqnr_db(x, fine) > sqnr_db(x, coarse)
+
+    def test_sqnr_known_magnitude(self, rng):
+        # Noise at 10% signal power => ~10 dB.
+        x = rng.normal(size=100_000)
+        noisy = x + rng.normal(size=100_000) * np.sqrt(0.1)
+        assert abs(sqnr_db(x, noisy) - 10.0) < 0.3
+
+    def test_cosine_bounds(self, rng):
+        x = rng.normal(size=64)
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+        assert cosine_similarity(x, -x) == pytest.approx(-1.0)
+
+    def test_cosine_zero_vectors(self):
+        assert cosine_similarity(np.zeros(4), np.zeros(4)) == 1.0
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+
+class TestEffectiveBits:
+    def test_paper_footnote_value(self):
+        """((4096-128)*4 + 128*8)/4096 + 16/128 = 4.25 (footnote 1)."""
+        assert effective_bits(4096, 128, 4, high_bits=8, group_size=128) == 4.25
+
+    def test_no_outliers(self):
+        assert effective_bits(1024, 0, 4, group_size=128) == 4.125
+
+    def test_monotone_in_outliers(self):
+        vals = [effective_bits(4096, n, 4) for n in (0, 128, 256, 512)]
+        assert vals == sorted(vals)
+
+    def test_outliers_exceeding_channels_rejected(self):
+        with pytest.raises(ValueError):
+            effective_bits(64, 128, 4)
+
+    def test_nonpositive_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            effective_bits(0, 0, 4)
+        with pytest.raises(ValueError):
+            effective_bits(64, 0, 4, group_size=0)

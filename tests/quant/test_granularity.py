@@ -1,0 +1,66 @@
+"""Grouping reshape helpers and reduction-axis selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.granularity import (
+    Granularity,
+    group_view,
+    reduction_axes,
+    ungroup_view,
+)
+
+
+class TestGroupView:
+    def test_shape(self):
+        x = np.arange(64).reshape(4, 16)
+        g = group_view(x, 8)
+        assert g.shape == (4, 2, 8)
+
+    def test_is_view_of_same_data(self):
+        x = np.arange(32).reshape(2, 16).astype(float)
+        g = group_view(x, 8)
+        g[0, 0, 0] = -1.0
+        assert x[0, 0] == -1.0
+
+    def test_ungroup_inverse(self):
+        x = np.random.default_rng(0).normal(size=(3, 4, 32))
+        np.testing.assert_array_equal(ungroup_view(group_view(x, 8)), x)
+
+    @given(st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, groups, size):
+        x = np.arange(4 * groups * size).reshape(4, groups * size)
+        np.testing.assert_array_equal(ungroup_view(group_view(x, size)), x)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError, match="divisible"):
+            group_view(np.zeros((2, 10)), 4)
+
+    def test_nonpositive_group_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            group_view(np.zeros((2, 8)), 0)
+
+    def test_ungroup_requires_two_axes(self):
+        with pytest.raises(ValueError):
+            ungroup_view(np.zeros(8))
+
+
+class TestReductionAxes:
+    def test_per_tensor(self):
+        x = np.zeros((2, 3, 4))
+        assert reduction_axes(x, Granularity.PER_TENSOR) == (0, 1, 2)
+
+    def test_per_token(self):
+        x = np.zeros((2, 3, 4))
+        assert reduction_axes(x, Granularity.PER_TOKEN) == (2,)
+
+    def test_per_channel(self):
+        x = np.zeros((2, 3, 4))
+        assert reduction_axes(x, Granularity.PER_CHANNEL) == (0, 1)
+
+    def test_per_group_reduces_last(self):
+        x = np.zeros((2, 3, 4, 8))  # grouped layout
+        assert reduction_axes(x, Granularity.PER_GROUP) == (3,)

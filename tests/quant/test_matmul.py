@@ -1,0 +1,146 @@
+"""Integer GEMM kernels: exactness against the dequantized reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.dtypes import INT4, INT8
+from repro.quant.granularity import Granularity
+from repro.quant.matmul import fused_group_gemm, mixed_precision_gemm, quantized_gemm
+from repro.quant.uniform import quantize_tensor
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+def _q(x, fmt, gran, **kw):
+    return quantize_tensor(x, fmt, gran, **kw)
+
+
+class TestQuantizedGemm:
+    def test_per_token_x_per_token_w_exact(self, rng):
+        x = rng.normal(size=(8, 32))
+        w = rng.normal(size=(16, 32))
+        xq = _q(x, INT8, Granularity.PER_TOKEN)
+        wq = _q(w, INT8, Granularity.PER_TOKEN)
+        got = quantized_gemm(xq, wq)
+        ref = xq.dequantize() @ wq.dequantize().T
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_per_tensor_operands(self, rng):
+        x = rng.normal(size=(4, 16))
+        w = rng.normal(size=(8, 16))
+        xq = _q(x, INT4, Granularity.PER_TENSOR)
+        wq = _q(w, INT4, Granularity.PER_TENSOR)
+        np.testing.assert_allclose(
+            quantized_gemm(xq, wq), xq.dequantize() @ wq.dequantize().T, atol=1e-10
+        )
+
+    def test_grouped_both_operands(self, rng):
+        x = rng.normal(size=(8, 64))
+        w = rng.normal(size=(16, 64))
+        xq = _q(x, INT4, Granularity.PER_GROUP, group_size=16)
+        wq = _q(w, INT4, Granularity.PER_GROUP, group_size=16)
+        np.testing.assert_allclose(
+            fused_group_gemm(xq, wq), xq.dequantize() @ wq.dequantize().T, atol=1e-10
+        )
+
+    def test_mixed_granularity_token_x_group_w(self, rng):
+        x = rng.normal(size=(8, 64))
+        w = rng.normal(size=(16, 64))
+        xq = _q(x, INT8, Granularity.PER_TOKEN)
+        wq = _q(w, INT4, Granularity.PER_GROUP, group_size=16)
+        np.testing.assert_allclose(
+            quantized_gemm(xq, wq), xq.dequantize() @ wq.dequantize().T, atol=1e-10
+        )
+
+    @given(
+        m=st.integers(1, 8),
+        o=st.integers(1, 8),
+        groups=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exactness_property(self, m, o, groups):
+        rng = np.random.default_rng(m * 100 + o * 10 + groups)
+        k = groups * 8
+        x = rng.normal(size=(m, k))
+        w = rng.normal(size=(o, k))
+        xq = _q(x, INT4, Granularity.PER_GROUP, group_size=8)
+        wq = _q(w, INT4, Granularity.PER_GROUP, group_size=8)
+        np.testing.assert_allclose(
+            fused_group_gemm(xq, wq), xq.dequantize() @ wq.dequantize().T, atol=1e-9
+        )
+
+    def test_contraction_mismatch_raises(self, rng):
+        xq = _q(rng.normal(size=(4, 32)), INT4, Granularity.PER_TOKEN)
+        wq = _q(rng.normal(size=(8, 16)), INT4, Granularity.PER_TOKEN)
+        with pytest.raises(ValueError, match="contraction"):
+            fused_group_gemm(xq, wq)
+
+    def test_group_size_mismatch_raises(self, rng):
+        xq = _q(rng.normal(size=(4, 32)), INT4, Granularity.PER_GROUP, group_size=8)
+        wq = _q(rng.normal(size=(8, 32)), INT4, Granularity.PER_GROUP, group_size=16)
+        with pytest.raises(ValueError, match="group size"):
+            fused_group_gemm(xq, wq)
+
+    def test_asymmetric_operand_rejected(self, rng):
+        xq = _q(rng.normal(size=(4, 16)), INT4, Granularity.PER_TOKEN, symmetric=False)
+        wq = _q(rng.normal(size=(8, 16)), INT4, Granularity.PER_TOKEN)
+        with pytest.raises(ValueError, match="symmetric"):
+            quantized_gemm(xq, wq)
+
+    def test_per_channel_rejected(self, rng):
+        xq = _q(rng.normal(size=(4, 16)), INT4, Granularity.PER_CHANNEL)
+        wq = _q(rng.normal(size=(8, 16)), INT4, Granularity.PER_TOKEN)
+        with pytest.raises(ValueError, match="granularity"):
+            fused_group_gemm(xq, wq)
+
+    def test_non_2d_rejected(self, rng):
+        xq = _q(rng.normal(size=(2, 4, 16)), INT4, Granularity.PER_TOKEN)
+        wq = _q(rng.normal(size=(8, 16)), INT4, Granularity.PER_TOKEN)
+        with pytest.raises(ValueError, match="2-D"):
+            quantized_gemm(xq, wq)
+
+
+class TestMixedPrecisionGemm:
+    def test_body_plus_tail_equals_full(self, rng):
+        """Splitting channels into INT4 body + INT8 tail sums exactly."""
+        x = rng.normal(size=(8, 48))
+        w = rng.normal(size=(16, 48))
+        xb = _q(x[:, :32], INT4, Granularity.PER_GROUP, group_size=16)
+        xo = _q(x[:, 32:], INT8, Granularity.PER_TOKEN)
+        wb = _q(w[:, :32], INT4, Granularity.PER_GROUP, group_size=16)
+        wo = _q(w[:, 32:], INT8, Granularity.PER_TOKEN)
+        got = mixed_precision_gemm(xb, xo, wb, wo)
+        ref = (
+            xb.dequantize() @ wb.dequantize().T
+            + xo.dequantize() @ wo.dequantize().T
+        )
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_shape_mismatch_raises(self, rng):
+        xb = _q(rng.normal(size=(8, 16)), INT4, Granularity.PER_TOKEN)
+        wb = _q(rng.normal(size=(16, 16)), INT4, Granularity.PER_TOKEN)
+        wo = _q(rng.normal(size=(12, 16)), INT8, Granularity.PER_TOKEN)
+        with pytest.raises(ValueError, match="mismatch"):
+            mixed_precision_gemm(xb, xb, wb, wo)
+
+    def test_int8_tail_more_accurate_than_int4_tail(self, rng):
+        """INT8 outlier handling should reduce end-to-end GEMM error for
+        outlier-heavy tails (the rationale of §4.1)."""
+        x = rng.normal(size=(32, 48))
+        x[:, 32:] *= 50.0  # outlier channels at the end
+        w = rng.normal(size=(16, 48))
+        ref = x @ w.T
+        out = {}
+        for fmt in (INT4, INT8):
+            xb = _q(x[:, :32], INT4, Granularity.PER_TOKEN)
+            xo = _q(x[:, 32:], fmt, Granularity.PER_TOKEN)
+            wb = _q(w[:, :32], INT4, Granularity.PER_TOKEN)
+            wo = _q(w[:, 32:], fmt, Granularity.PER_TOKEN)
+            got = mixed_precision_gemm(xb, xo, wb, wo)
+            out[fmt.bits] = np.linalg.norm(got - ref)
+        assert out[8] < out[4]

@@ -1,0 +1,79 @@
+"""Bit-packing: roundtrips, layout, storage accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.packing import pack_codes, packed_nbytes, unpack_codes
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_roundtrip(self, bits, rng):
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        codes = rng.integers(lo, hi + 1, size=(8, 33)).astype(np.int8)
+        packed = pack_codes(codes, bits)
+        np.testing.assert_array_equal(unpack_codes(packed, bits, 33), codes)
+
+    def test_int4_packs_two_per_byte(self, rng):
+        codes = rng.integers(-8, 8, size=(4, 32)).astype(np.int8)
+        assert pack_codes(codes, 4).shape == (4, 16)
+
+    def test_int2_packs_four_per_byte(self, rng):
+        codes = rng.integers(-2, 2, size=(4, 32)).astype(np.int8)
+        assert pack_codes(codes, 2).shape == (4, 8)
+
+    def test_odd_length_padded(self, rng):
+        codes = rng.integers(-8, 8, size=(2, 7)).astype(np.int8)
+        packed = pack_codes(codes, 4)
+        assert packed.shape == (2, 4)
+        np.testing.assert_array_equal(unpack_codes(packed, 4, 7), codes)
+
+    def test_little_endian_nibble_layout(self):
+        codes = np.array([[-8, 7]], dtype=np.int8)  # offsets 0 and 15
+        packed = pack_codes(codes, 4)
+        assert packed[0, 0] == 0 | (15 << 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            pack_codes(np.array([8], dtype=np.int16), 4)
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.zeros(4, dtype=np.int8), 3)
+        with pytest.raises(ValueError):
+            packed_nbytes(10, 5)
+
+    def test_packed_nbytes(self):
+        assert packed_nbytes(4096, 4) == 2048
+        assert packed_nbytes(7, 4) == 4
+        assert packed_nbytes(7, 2) == 2
+        assert packed_nbytes(7, 8) == 7
+
+    @given(
+        arrays(np.int8, st.integers(1, 40), elements=st.integers(-8, 7)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property_int4(self, codes):
+        packed = pack_codes(codes, 4)
+        assert packed.nbytes <= codes.nbytes // 2 + 1
+        np.testing.assert_array_equal(unpack_codes(packed, 4, len(codes)), codes)
+
+    def test_quantized_weight_memory_matches_serving_model(self, rng):
+        """The serving model's 0.5 bytes/param for W4 is exactly what the
+        packed representation occupies."""
+        from repro.quant.dtypes import INT4
+        from repro.quant.granularity import Granularity
+        from repro.quant.uniform import quantize_tensor
+
+        w = rng.normal(size=(64, 4096))
+        qt = quantize_tensor(w, INT4, Granularity.PER_TOKEN)
+        packed = pack_codes(qt.codes_flat(), 4)
+        assert packed.nbytes == w.size // 2

@@ -1,0 +1,55 @@
+"""QuantizedTensor container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.quant.dtypes import INT4, INT8
+from repro.quant.granularity import Granularity
+from repro.quant.uniform import quantize_tensor
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestQuantizedTensor:
+    def test_codes_flat_restores_layout(self, rng):
+        x = rng.normal(size=(4, 32))
+        qt = quantize_tensor(x, INT4, Granularity.PER_GROUP, group_size=8)
+        assert qt.codes_flat().shape == (4, 32)
+
+    def test_symmetric_flag(self, rng):
+        x = rng.normal(size=(4, 8))
+        assert quantize_tensor(x, INT4, Granularity.PER_TOKEN).symmetric
+        assert not quantize_tensor(
+            x, INT4, Granularity.PER_TOKEN, symmetric=False
+        ).symmetric
+
+    def test_bits_and_elements(self, rng):
+        qt = quantize_tensor(rng.normal(size=(4, 8)), INT8, Granularity.PER_TENSOR)
+        assert qt.bits == 8
+        assert qt.n_elements == 32
+
+    def test_storage_bits_per_tensor(self, rng):
+        qt = quantize_tensor(rng.normal(size=(4, 8)), INT4, Granularity.PER_TENSOR)
+        # 32 codes * 4 bits + 1 scale * 16 bits
+        assert qt.storage_bits() == 32 * 4 + 16
+
+    def test_storage_bits_grouped_matches_effective_bits_footnote(self, rng):
+        """Recreate footnote 1's accounting: group 128, INT4 => +16/128 bits."""
+        x = rng.normal(size=(1, 4096))
+        qt = quantize_tensor(x, INT4, Granularity.PER_GROUP, group_size=128)
+        per_element = qt.storage_bits() / qt.n_elements
+        assert np.isclose(per_element, 4 + 16 / 128)
+
+    def test_asymmetric_storage_counts_zero_points(self, rng):
+        x = rng.normal(size=(4, 8))
+        sym = quantize_tensor(x, INT4, Granularity.PER_TOKEN)
+        asym = quantize_tensor(x, INT4, Granularity.PER_TOKEN, symmetric=False)
+        assert asym.storage_bits() == sym.storage_bits() + 4 * 16
+
+    def test_dequantize_error_small_at_int8(self, rng):
+        x = rng.normal(size=(16, 16))
+        qt = quantize_tensor(x, INT8, Granularity.PER_TOKEN)
+        assert np.abs(qt.dequantize() - x).max() < 0.05

@@ -1,0 +1,156 @@
+"""Uniform symmetric/asymmetric quantization (Eq. 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.dtypes import INT4, INT8
+from repro.quant.granularity import Granularity
+from repro.quant.uniform import (
+    asymmetric_params,
+    dequantize,
+    quantize_asymmetric,
+    quantize_symmetric,
+    quantize_tensor,
+    symmetric_scale,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSymmetricScale:
+    def test_matches_paper_formula(self, rng):
+        x = rng.normal(size=(4, 8))
+        s = symmetric_scale(x, INT4)
+        expected = 2.0 * np.abs(x).max() / (INT4.n_levels - 1)
+        assert s.shape == (1, 1)
+        assert np.isclose(s.item(), expected)
+
+    def test_clip_scales_linearly(self, rng):
+        x = rng.normal(size=(4, 8))
+        s1 = symmetric_scale(x, INT4, clip=1.0)
+        s2 = symmetric_scale(x, INT4, clip=0.5)
+        np.testing.assert_allclose(s2, s1 * 0.5)
+
+    def test_axis_keepdims(self, rng):
+        x = rng.normal(size=(4, 8))
+        s = symmetric_scale(x, INT4, axis=(1,))
+        assert s.shape == (4, 1)
+
+    def test_zero_input_yields_positive_scale(self):
+        s = symmetric_scale(np.zeros((2, 2)), INT4)
+        assert s.item() > 0.0
+
+    @pytest.mark.parametrize("clip", [0.0, -0.5, 1.5])
+    def test_invalid_clip_rejected(self, clip, rng):
+        with pytest.raises(ValueError):
+            symmetric_scale(rng.normal(size=(2, 2)), INT4, clip=clip)
+
+
+class TestRoundtrip:
+    def test_symmetric_error_bounded_by_half_scale(self, rng):
+        x = rng.normal(size=(16, 16))
+        s = symmetric_scale(x, INT8)
+        q = quantize_symmetric(x, s, INT8)
+        err = np.abs(dequantize(q, s) - x)
+        assert err.max() <= s.item() / 2 + 1e-12
+
+    def test_asymmetric_error_bounded_by_scale(self, rng):
+        x = rng.normal(size=(16, 16)) + 5.0  # one-sided distribution
+        s, z = asymmetric_params(x, INT8)
+        q = quantize_asymmetric(x, s, z, INT8)
+        err = np.abs(dequantize(q, s, z) - x)
+        # zero-point rounding adds at most one extra half-step
+        assert err.max() <= s.item() + 1e-12
+
+    def test_asymmetric_beats_symmetric_on_shifted_data(self, rng):
+        x = rng.normal(size=(64, 64)) + 10.0
+        ss = symmetric_scale(x, INT4)
+        sym = dequantize(quantize_symmetric(x, ss, INT4), ss)
+        sa, z = asymmetric_params(x, INT4)
+        asym = dequantize(quantize_asymmetric(x, sa, z, INT4), sa, z)
+        assert np.mean((asym - x) ** 2) < np.mean((sym - x) ** 2)
+
+    def test_codes_within_range(self, rng):
+        x = rng.normal(size=(8, 8)) * 100
+        s = symmetric_scale(x, INT4, clip=0.5)  # force clamping
+        q = quantize_symmetric(x, s, INT4)
+        assert q.min() >= INT4.qmin and q.max() <= INT4.qmax
+
+    def test_asymmetric_int8_storage_is_int16(self, rng):
+        x = rng.normal(size=(4, 4))
+        s, z = asymmetric_params(x, INT8)
+        q = quantize_asymmetric(x, s, z, INT8)
+        assert q.dtype == np.int16  # [0, 255] exceeds int8
+
+    @given(
+        arrays(
+            np.float64,
+            (8, 16),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_roundtrip_property(self, x):
+        s = symmetric_scale(x, INT8, axis=(1,))
+        q = quantize_symmetric(x, s, INT8)
+        recon = dequantize(q, s)
+        # Error bounded by half a step everywhere (no clipping at c=1).
+        assert np.all(np.abs(recon - x) <= s / 2 + 1e-9)
+
+
+class TestQuantizeTensor:
+    def test_per_tensor_scale_shape(self, rng):
+        qt = quantize_tensor(rng.normal(size=(8, 32)), INT4, Granularity.PER_TENSOR)
+        assert qt.scale.shape == (1, 1)
+
+    def test_per_token_scale_shape(self, rng):
+        qt = quantize_tensor(rng.normal(size=(8, 32)), INT4, Granularity.PER_TOKEN)
+        assert qt.scale.shape == (8, 1)
+
+    def test_per_channel_scale_shape(self, rng):
+        qt = quantize_tensor(rng.normal(size=(8, 32)), INT4, Granularity.PER_CHANNEL)
+        assert qt.scale.shape == (1, 32)
+
+    def test_per_group_scale_shape(self, rng):
+        qt = quantize_tensor(
+            rng.normal(size=(8, 32)), INT4, Granularity.PER_GROUP, group_size=16
+        )
+        assert qt.scale.shape == (8, 2, 1)
+
+    def test_finer_granularity_reduces_error(self, rng):
+        # Heavy-tailed per-channel magnitudes: finer scales must win.
+        x = rng.normal(size=(32, 64)) * np.exp(rng.normal(0, 2, size=64))
+        errs = []
+        for g in (Granularity.PER_TENSOR, Granularity.PER_TOKEN):
+            qt = quantize_tensor(x, INT4, g)
+            errs.append(np.mean((qt.dequantize() - x) ** 2))
+        qt = quantize_tensor(x, INT4, Granularity.PER_GROUP, group_size=16)
+        errs.append(np.mean((qt.dequantize() - x) ** 2))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_asymmetric_tensor(self, rng):
+        qt = quantize_tensor(
+            rng.normal(size=(8, 32)) + 4,
+            INT4,
+            Granularity.PER_TOKEN,
+            symmetric=False,
+        )
+        assert not qt.symmetric
+        assert qt.zero is not None
+
+    def test_dequantize_restores_shape(self, rng):
+        x = rng.normal(size=(3, 5, 32))
+        qt = quantize_tensor(x, INT8, Granularity.PER_GROUP, group_size=8)
+        assert qt.dequantize().shape == x.shape
+
+    def test_group_indivisible_raises(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            quantize_tensor(
+                rng.normal(size=(4, 30)), INT4, Granularity.PER_GROUP, group_size=16
+            )

@@ -1,0 +1,68 @@
+"""Runtime breakdown (Fig. 3) and serving model shapes."""
+
+import pytest
+
+from repro.serving.breakdown import runtime_breakdown
+from repro.serving.models import LLAMA_13B, LLAMA_70B, LLAMA_7B
+
+
+class TestServingModels:
+    def test_llama7b_params_about_7b(self):
+        assert LLAMA_7B.n_params() == pytest.approx(6.7e9, rel=0.05)
+
+    def test_llama70b_params(self):
+        assert LLAMA_70B.n_params() == pytest.approx(69e9, rel=0.05)
+
+    def test_sizes_ordered(self):
+        assert LLAMA_7B.n_params() < LLAMA_13B.n_params() < LLAMA_70B.n_params()
+
+    def test_kv_bytes_per_token_fp16(self):
+        # 2 * 32 layers * 4096 * 2 bytes = 512 KB/token for Llama-7B FP16.
+        assert LLAMA_7B.kv_bytes_per_token(16) == pytest.approx(2 * 32 * 4096 * 2)
+
+    def test_kv_bytes_scale_with_bits(self):
+        assert LLAMA_7B.kv_bytes_per_token(4) == LLAMA_7B.kv_bytes_per_token(16) / 4
+
+    def test_gqa_shrinks_kv(self):
+        # Llama-70B: 8 kv heads of 64 => kv_dim 1024 vs dim 8192.
+        assert LLAMA_70B.kv_dim == 1024
+
+    def test_dense_gemm_shapes_count(self):
+        assert len(LLAMA_7B.dense_gemm_shapes()) == 7
+
+
+class TestRuntimeBreakdown:
+    def test_fractions_sum_to_one(self):
+        for b in (1, 8, 64, 256):
+            frac = runtime_breakdown(b, LLAMA_7B)
+            assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_dense_plus_attention_over_90_percent(self):
+        """Fig. 3's headline: dense + self-attention > 90% of runtime."""
+        for b in (1, 8, 32, 128, 256):
+            frac = runtime_breakdown(b, LLAMA_7B)
+            assert frac["dense"] + frac["self_attention"] > 0.9
+
+    def test_attention_share_grows_with_batch(self):
+        shares = [
+            runtime_breakdown(b, LLAMA_7B)["self_attention"]
+            for b in (1, 8, 32, 128)
+        ]
+        assert shares == sorted(shares)
+
+    def test_dense_dominates_small_batch(self):
+        frac = runtime_breakdown(1, LLAMA_7B)
+        assert frac["dense"] > frac["self_attention"]
+
+    def test_attention_dominates_large_batch(self):
+        frac = runtime_breakdown(256, LLAMA_7B, context_len=1024)
+        assert frac["self_attention"] > frac["dense"]
+
+    def test_longer_context_raises_attention_share(self):
+        short = runtime_breakdown(32, LLAMA_7B, context_len=256)
+        long = runtime_breakdown(32, LLAMA_7B, context_len=2048)
+        assert long["self_attention"] > short["self_attention"]
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            runtime_breakdown(0, LLAMA_7B)

@@ -1,0 +1,98 @@
+"""Chunked prefill (Sarathi-style, Agrawal et al. 2024 — cited in §1)."""
+
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.serving.engine import ServingEngine
+from repro.serving.kernels import attention_prefill_time
+from repro.serving.models import LLAMA_7B
+from repro.serving.schemes import ATOM_W4A4, FP16
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return ShareGPTWorkload(seed=3, max_len=2048).sample_requests(192)
+
+
+def _run(chunk, *, reqs, scheme=ATOM_W4A4, max_batch=64):
+    return ServingEngine(
+        LLAMA_7B, scheme, max_batch=max_batch, prefill_chunk=chunk
+    ).run(reqs)
+
+
+class TestPrefillChunkKernel:
+    def test_zero_prefix_matches_whole_prompt(self):
+        whole = attention_prefill_time(1024, LLAMA_7B)
+        assert whole > 0
+
+    def test_chunked_sum_close_to_whole(self):
+        """Splitting a prompt into chunks preserves total attention compute
+        up to the extra prefix-KV re-reads."""
+        whole = attention_prefill_time(1024, LLAMA_7B)
+        chunked = sum(
+            attention_prefill_time(256, LLAMA_7B, prefix_len=p)
+            for p in (0, 256, 512, 768)
+        )
+        assert chunked >= whole  # re-reads make chunking strictly costlier
+        assert chunked < 1.5 * whole
+
+    def test_later_chunks_cost_more(self):
+        early = attention_prefill_time(256, LLAMA_7B, prefix_len=0)
+        late = attention_prefill_time(256, LLAMA_7B, prefix_len=1536)
+        assert late > early
+
+
+class TestChunkedPrefillEngine:
+    def test_all_complete_with_chunking(self, requests):
+        r = _run(128, reqs=requests)
+        assert r.completed_requests == len(requests)
+
+    def test_token_conservation(self, requests):
+        r = _run(128, reqs=requests)
+        delivered = r.throughput_tokens_per_s * r.total_time_s
+        assert delivered == pytest.approx(sum(q.decode_len for q in requests))
+
+    def test_chunking_cuts_tail_latency(self, requests):
+        """The Sarathi claim: mixing prefill chunks with decode removes the
+        long-prompt latency spikes from decode iterations."""
+        whole = _run(None, reqs=requests)
+        chunked = _run(128, reqs=requests)
+        assert chunked.p99_decode_latency_s < 0.8 * whole.p99_decode_latency_s
+
+    def test_throughput_roughly_preserved(self, requests):
+        whole = _run(None, reqs=requests)
+        chunked = _run(128, reqs=requests)
+        ratio = chunked.throughput_tokens_per_s / whole.throughput_tokens_per_s
+        assert 0.9 < ratio < 1.2
+
+    def test_smaller_chunks_smoother(self, requests):
+        coarse = _run(512, reqs=requests).p99_decode_latency_s
+        fine = _run(64, reqs=requests).p99_decode_latency_s
+        assert fine < coarse
+
+    def test_chunk_none_matches_legacy_behavior(self, requests):
+        a = _run(None, reqs=requests)
+        b = ServingEngine(LLAMA_7B, ATOM_W4A4, max_batch=64).run(requests)
+        assert a.total_time_s == b.total_time_s
+
+    def test_ttft_of_long_prompt_increases_with_chunking(self):
+        """Chunking trades first-token latency of long prompts for decode
+        smoothness (the knob's known cost)."""
+        long_prompt = [Request(0, prefill_len=2000, decode_len=4)]
+        whole = _run(None, reqs=long_prompt, scheme=FP16, max_batch=4)
+        chunked = _run(100, reqs=long_prompt, scheme=FP16, max_batch=4)
+        assert chunked.mean_ttft_s > whole.mean_ttft_s
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError, match="prefill_chunk"):
+            ServingEngine(LLAMA_7B, FP16, prefill_chunk=0)
+
+    def test_works_with_dynamic_admission(self, requests):
+        r = ServingEngine(
+            LLAMA_7B,
+            FP16,
+            max_batch=96,
+            admission="dynamic",
+            prefill_chunk=256,
+        ).run(requests)
+        assert r.completed_requests == len(requests)

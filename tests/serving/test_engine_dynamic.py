@@ -1,0 +1,93 @@
+"""Dynamic admission with vLLM-style recompute preemption, and TTFT."""
+
+import numpy as np
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.serving.engine import ServingEngine
+from repro.serving.models import LLAMA_7B
+from repro.serving.schemes import ATOM_W4A4, FP16
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return ShareGPTWorkload(seed=3, max_len=2048).sample_requests(128)
+
+
+def _run(scheme, *, admission, reqs, max_batch=128, enforce=True):
+    return ServingEngine(
+        LLAMA_7B,
+        scheme,
+        max_batch=max_batch,
+        enforce_memory=enforce,
+        admission=admission,
+    ).run(reqs)
+
+
+class TestDynamicAdmission:
+    def test_all_requests_still_complete(self, requests):
+        r = _run(FP16, admission="dynamic", reqs=requests)
+        assert r.completed_requests == len(requests)
+
+    def test_delivered_tokens_exact(self, requests):
+        """Throughput counts delivered tokens exactly once even when
+        preempted requests are recomputed."""
+        r = _run(FP16, admission="dynamic", reqs=requests)
+        delivered = r.throughput_tokens_per_s * r.total_time_s
+        assert delivered == pytest.approx(sum(q.decode_len for q in requests))
+
+    def test_decode_work_includes_recompute(self, requests):
+        r = _run(FP16, admission="dynamic", reqs=requests)
+        if r.preemptions:
+            assert r.decode_tokens > sum(q.decode_len for q in requests)
+
+    def test_dynamic_packs_bigger_peak_batch_when_memory_tight(self, requests):
+        reserve = _run(FP16, admission="reserve", reqs=requests)
+        dynamic = _run(FP16, admission="dynamic", reqs=requests)
+        assert dynamic.max_batch > reserve.max_batch
+
+    def test_preemptions_happen_only_under_pressure(self, requests):
+        # Atom's compressed KV leaves plenty of headroom: no preemption.
+        atom = _run(ATOM_W4A4, admission="dynamic", reqs=requests)
+        assert atom.preemptions == 0
+        # FP16 at max batch is memory-starved: preemption kicks in.
+        fp16 = _run(FP16, admission="dynamic", reqs=requests)
+        assert fp16.preemptions > 0
+
+    def test_no_preemption_without_memory_limit(self, requests):
+        r = _run(FP16, admission="dynamic", enforce=False, reqs=requests)
+        assert r.preemptions == 0
+
+    def test_reserve_mode_never_preempts(self, requests):
+        r = _run(FP16, admission="reserve", reqs=requests)
+        assert r.preemptions == 0
+
+    def test_deterministic(self, requests):
+        a = _run(FP16, admission="dynamic", reqs=requests)
+        b = _run(FP16, admission="dynamic", reqs=requests)
+        assert a.total_time_s == b.total_time_s
+        assert a.preemptions == b.preemptions
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            ServingEngine(LLAMA_7B, FP16, admission="lifo")
+
+
+class TestTTFT:
+    def test_ttft_positive_and_below_total(self, requests):
+        r = _run(ATOM_W4A4, admission="reserve", reqs=requests)
+        assert 0 < r.mean_ttft_s < r.total_time_s
+
+    def test_atom_ttft_far_below_fp16(self, requests):
+        """Atom's batch headroom drains the queue much faster, so requests
+        wait far less before their first token."""
+        fp16 = _run(FP16, admission="reserve", reqs=requests)
+        atom = _run(ATOM_W4A4, admission="reserve", reqs=requests)
+        assert atom.mean_ttft_s < fp16.mean_ttft_s / 3
+
+    def test_single_request_ttft_is_first_iteration(self):
+        req = [Request(0, prefill_len=256, decode_len=8)]
+        r = _run(FP16, admission="reserve", reqs=req, max_batch=4, enforce=False)
+        # Only one prefill iteration happened before the first token.
+        assert r.mean_ttft_s <= r.total_time_s
+        assert r.mean_ttft_s > 0

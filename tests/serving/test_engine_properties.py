@@ -1,0 +1,76 @@
+"""Property-based engine invariants over randomized workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sharegpt import Request
+from repro.serving.engine import ServingEngine
+from repro.serving.models import LLAMA_7B
+from repro.serving.schemes import ATOM_W4A4, FP16
+
+request_lists = st.lists(
+    st.tuples(st.integers(1, 1500), st.integers(1, 200)),
+    min_size=1,
+    max_size=12,
+).map(
+    lambda pairs: [
+        Request(i, prefill_len=p, decode_len=d) for i, (p, d) in enumerate(pairs)
+    ]
+)
+
+
+class TestEngineInvariants:
+    @given(reqs=request_lists, batch=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_reserve_mode_invariants(self, reqs, batch):
+        engine = ServingEngine(LLAMA_7B, ATOM_W4A4, max_batch=batch)
+        r = engine.run(reqs)
+        # Everything completes and every page is returned.
+        assert r.completed_requests == len(reqs)
+        assert engine._allocator.used_pages == 0
+        # Exact token accounting.
+        assert r.decode_tokens == sum(q.decode_len for q in reqs)
+        # Batch bounds respected.
+        assert r.max_batch <= batch
+        # Time is positive and breakdown covers it.
+        assert r.total_time_s > 0
+        assert sum(r.time_breakdown.values()) == pytest.approx(r.total_time_s)
+
+    @given(
+        reqs=request_lists,
+        batch=st.integers(1, 16),
+        chunk=st.one_of(st.none(), st.integers(16, 512)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dynamic_mode_invariants(self, reqs, batch, chunk):
+        engine = ServingEngine(
+            LLAMA_7B,
+            FP16,
+            max_batch=batch,
+            admission="dynamic",
+            prefill_chunk=chunk,
+        )
+        try:
+            r = engine.run(reqs)
+        except RuntimeError:
+            # A single request genuinely exceeding the KV budget is a
+            # legitimate refusal, not a violated invariant.
+            biggest = max(q.total_len for q in reqs)
+            assert biggest * LLAMA_7B.kv_bytes_per_token(16) > 0
+            return
+        assert r.completed_requests == len(reqs)
+        assert engine._allocator.used_pages == 0
+        delivered = r.throughput_tokens_per_s * r.total_time_s
+        assert delivered == pytest.approx(sum(q.decode_len for q in reqs))
+
+    @given(reqs=request_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_scheme_dominance_is_workload_independent(self, reqs):
+        """Atom >= FP16 throughput on ANY workload (it is faster on every
+        kernel, so no workload can reverse the ordering)."""
+        fp16 = ServingEngine(LLAMA_7B, FP16, max_batch=8, enforce_memory=False).run(reqs)
+        atom = ServingEngine(LLAMA_7B, ATOM_W4A4, max_batch=8, enforce_memory=False).run(reqs)
+        assert atom.throughput_tokens_per_s >= fp16.throughput_tokens_per_s
+        assert atom.total_time_s <= fp16.total_time_s

@@ -1,0 +1,135 @@
+"""Paged KV-cache allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.paged_kv import PagedKVAllocator
+
+
+def _alloc(budget_pages=64, page_size=16, bytes_per_token=1.0):
+    return PagedKVAllocator(
+        budget_pages * page_size * bytes_per_token,
+        bytes_per_token,
+        page_size=page_size,
+    )
+
+
+class TestAllocation:
+    def test_total_pages(self):
+        a = _alloc(budget_pages=64)
+        assert a.total_pages == 64
+
+    def test_pages_for_rounds_up(self):
+        a = _alloc(page_size=16)
+        assert a.pages_for(1) == 1
+        assert a.pages_for(16) == 1
+        assert a.pages_for(17) == 2
+
+    def test_allocate_and_free(self):
+        a = _alloc()
+        assert a.allocate(1, 100)
+        assert a.used_pages == 7  # ceil(100/16)
+        a.free(1)
+        assert a.used_pages == 0
+
+    def test_allocation_fails_when_full(self):
+        a = _alloc(budget_pages=4, page_size=16)
+        assert a.allocate(1, 64)  # exactly 4 pages
+        assert not a.allocate(2, 1)
+
+    def test_failed_allocation_leaves_state_clean(self):
+        a = _alloc(budget_pages=4, page_size=16)
+        a.allocate(1, 60)
+        assert not a.allocate(2, 17)
+        assert a.used_pages == 4
+        a.free(1)
+        assert a.allocate(2, 17)
+
+    def test_double_allocate_rejected(self):
+        a = _alloc()
+        a.allocate(1, 10)
+        with pytest.raises(KeyError):
+            a.allocate(1, 10)
+
+    def test_append_token_grows_page_on_boundary(self):
+        a = _alloc(page_size=4)
+        a.allocate(1, 4)
+        assert a.used_pages == 1
+        assert a.append_token(1)  # token 5 -> second page
+        assert a.used_pages == 2
+
+    def test_append_within_page_no_growth(self):
+        a = _alloc(page_size=4)
+        a.allocate(1, 2)
+        assert a.append_token(1)
+        assert a.used_pages == 1
+
+    def test_append_fails_when_exhausted(self):
+        a = _alloc(budget_pages=1, page_size=4)
+        a.allocate(1, 4)
+        assert not a.append_token(1)
+
+    def test_append_unknown_request_rejected(self):
+        with pytest.raises(KeyError):
+            _alloc().append_token(99)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PagedKVAllocator(0, 1.0)
+        with pytest.raises(ValueError):
+            PagedKVAllocator(100, 0)
+        with pytest.raises(ValueError):
+            PagedKVAllocator(100, 1.0, page_size=0)
+
+
+class TestFragmentation:
+    def test_utilization(self):
+        a = _alloc(budget_pages=10, page_size=16)
+        a.allocate(1, 32)
+        assert a.utilization() == pytest.approx(0.2)
+
+    def test_internal_fragmentation(self):
+        a = _alloc(page_size=16)
+        a.allocate(1, 17)  # 2 pages for 17 tokens => 15 wasted slots
+        assert a.internal_fragmentation() == pytest.approx(15 / 32)
+
+    def test_paging_bounds_fragmentation(self):
+        """The PagedAttention claim: waste is bounded by one page per
+        request regardless of sequence lengths."""
+        a = _alloc(budget_pages=1000, page_size=16)
+        rng = np.random.default_rng(0)
+        for rid in range(50):
+            a.allocate(rid, int(rng.integers(1, 200)))
+        waste_pages = a.internal_fragmentation() * a.used_pages
+        assert waste_pages <= 50  # <= one page per request
+
+    def test_empty_fragmentation_zero(self):
+        assert _alloc().internal_fragmentation() == 0.0
+        assert _alloc().utilization() == 0.0
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_alloc_free_conserves_pages(self, sizes):
+        a = _alloc(budget_pages=10_000)
+        for rid, n in enumerate(sizes):
+            assert a.allocate(rid, n)
+        assert a.used_pages == sum(a.pages_for(n) for n in sizes)
+        for rid in range(len(sizes)):
+            a.free(rid)
+        assert a.used_pages == 0
+
+    @given(st.integers(1, 64), st.integers(1, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_append_sequence_matches_direct_allocation(self, page_size, total):
+        """Appending tokens one by one ends at exactly ceil(total/page)."""
+        a = PagedKVAllocator(1e9, 1.0, page_size=page_size)
+        a.allocate(0, 1)
+        for _ in range(total - 1):
+            assert a.append_token(0)
+        assert a.used_pages == a.pages_for(total)

@@ -1,0 +1,113 @@
+"""AdamW optimizer and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import AdamW, Tensor, clip_grad_norm
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestClipGradNorm:
+    def test_returns_preclip_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 3.0, dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(6.0)
+
+    def test_scales_to_max_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 3.0, dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_scaling_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_global_norm_across_params(self):
+        ps = []
+        for _ in range(4):
+            p = Tensor(np.zeros(1), requires_grad=True)
+            p.grad = np.array([1.0], dtype=np.float32)
+            ps.append(p)
+        norm = clip_grad_norm(ps, max_norm=1.0)
+        assert norm == pytest.approx(2.0)
+        total = np.sqrt(sum(float((p.grad**2).sum()) for p in ps))
+        assert total == pytest.approx(1.0, rel=1e-5)
+
+    def test_skips_none_grads(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestAdamW:
+    def test_minimizes_quadratic(self, rng):
+        target = rng.normal(size=8).astype(np.float32)
+        p = Tensor(np.zeros(8), requires_grad=True)
+        opt = AdamW([p], lr=0.1, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            ((p - Tensor(target)).pow(2.0)).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_weight_decay_is_decoupled(self):
+        # With zero gradient, decoupled decay shrinks weights geometrically.
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 * (1 - 0.1 * 0.5))
+
+    def test_first_step_size_about_lr(self):
+        # Adam's bias correction makes the first step ~= lr * sign(grad).
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = AdamW([p], lr=0.01, weight_decay=0.0)
+        p.grad = np.array([2.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_zero_grad_clears_all(self, rng):
+        p = Tensor(rng.normal(size=3), requires_grad=True)
+        opt = AdamW([p])
+        p.grad = np.ones(3, dtype=np.float32)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_step_skips_missing_grads(self, rng):
+        p = Tensor(rng.normal(size=3), requires_grad=True)
+        before = p.data.copy()
+        opt = AdamW([p], weight_decay=0.0)
+        opt.step()  # no grad set
+        np.testing.assert_array_equal(p.data, before)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            AdamW([])
+
+    def test_faster_than_sgd_on_ill_conditioned(self, rng):
+        """Adam's per-coordinate scaling should beat plain SGD on a badly
+        scaled quadratic within a fixed budget."""
+        scales = np.array([100.0, 1.0, 0.01], dtype=np.float32)
+
+        def loss_value(v):
+            return float((scales * v**2).sum())
+
+        adam_p = Tensor(np.ones(3), requires_grad=True)
+        opt = AdamW([adam_p], lr=0.05, weight_decay=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            (Tensor(scales) * adam_p * adam_p).sum().backward()
+            opt.step()
+
+        sgd_v = np.ones(3, dtype=np.float32)
+        lr = 0.004  # near the stability limit for curvature 200
+        for _ in range(200):
+            sgd_v -= lr * 2 * scales * sgd_v
+        assert loss_value(adam_p.data) < loss_value(sgd_v)

@@ -1,0 +1,45 @@
+"""CLI smoke tests (invoked in-process for speed)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quantize_defaults(self):
+        args = build_parser().parse_args(["quantize"])
+        assert args.model == "llama-7b-sim"
+        assert args.bits == 4
+        assert args.kv is True
+
+    def test_serve_scheme_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheme", "W2A2"])
+
+
+class TestCommands:
+    def test_zoo_lists_models(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "llama-7b-sim" in out and "mixtral-sim" in out
+
+    def test_serve_runs(self, capsys):
+        assert main(["serve", "--scheme", "Atom-W4A4", "--requests", "32",
+                     "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Atom-W4A4" in out and "tokens/s" in out
+
+    def test_quantize_runs(self, capsys, model7b):
+        # model7b fixture guarantees the zoo checkpoint exists already.
+        assert main(["quantize", "-m", "llama-7b-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "synthwiki" in out and "quantized ppl" in out
+
+    def test_ablation_runs(self, capsys, model7b):
+        assert main(["ablation", "-m", "llama-7b-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "W4A4 RTN" in out and "GPTQ" in out

@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from benchmarks.conftest import paper_note
 from repro.bench import format_table, save_artifact
-from repro.serving import LLAMA_7B, runtime_breakdown
+from repro.data.sharegpt import ShareGPTWorkload
+from repro.serving import (
+    FP16,
+    LLAMA_7B,
+    ServingEngine,
+    TraceRecorder,
+    runtime_breakdown,
+)
 
 BATCHES = (1, 4, 16, 32, 64, 128, 256)
 
@@ -44,3 +51,25 @@ def test_fig3_runtime_breakdown(benchmark):
     attn = [results[b]["self_attention"] for b in BATCHES]
     assert attn == sorted(attn)  # attention share grows with batch
     assert results[1]["dense"] > 0.8  # GEMV weight streaming dominates at b=1
+
+
+def test_fig3_breakdown_derivable_from_trace(benchmark):
+    """Cross-check: a full serving run's telemetry trace reproduces the
+    engine's aggregate time breakdown, and the trace-derived operator shares
+    show the same Fig. 3 shape (dense + attention > 90%)."""
+
+    def _run():
+        reqs = ShareGPTWorkload(seed=0, max_len=2048).sample_requests(64)
+        recorder = TraceRecorder()
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=64, telemetry=recorder
+        )
+        return engine.run(reqs), recorder.summary()
+
+    result, trace = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for phase, t in result.time_breakdown.items():
+        assert abs(trace.time_breakdown[phase] - t) <= 1e-6
+    total = sum(trace.time_breakdown.values())
+    assert abs(total - result.total_time_s) <= 1e-6
+    dense_attn = trace.time_breakdown["dense"] + trace.time_breakdown["attention"]
+    assert dense_attn / total > 0.9

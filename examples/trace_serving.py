@@ -1,0 +1,96 @@
+"""Serving-trace walkthrough: what the telemetry subsystem records.
+
+Runs the same ShareGPT-like workload twice on a memory-tight FP16 engine
+and on Atom W4A4, with a :class:`TraceRecorder` attached, then mines the
+traces for the per-iteration signal the aggregate :class:`ServingResult`
+hides: batch-occupancy ramp, page-pool pressure, and preemption storms
+under the ``"dynamic"`` admission policy.
+
+Run:  python examples/trace_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.data.sharegpt import ShareGPTWorkload
+from repro.serving import (
+    ATOM_W4A4,
+    FP16,
+    LLAMA_7B,
+    ServingEngine,
+    TraceRecorder,
+)
+from repro.serving.telemetry import IterationSample, RequestPreempted
+
+
+def run_traced(scheme):
+    reqs = ShareGPTWorkload(seed=7, max_len=2048).sample_requests(128)
+    recorder = TraceRecorder()
+    engine = ServingEngine(
+        LLAMA_7B, scheme, max_batch=128, admission="dynamic", telemetry=recorder
+    )
+    result = engine.run(reqs)
+    return result, recorder
+
+
+def main() -> None:
+    rows = []
+    traces = {}
+    for scheme in (FP16, ATOM_W4A4):
+        result, recorder = run_traced(scheme)
+        summary = recorder.summary()
+        traces[scheme.name] = recorder
+        rows.append(
+            [
+                scheme.name,
+                summary.iterations,
+                f"{summary.mean_occupancy:.1f}",
+                summary.peak_running,
+                summary.preemptions,
+                f"{summary.peak_kv_utilization:.2f}",
+                f"{summary.p99_decode_latency_s * 1e3:.1f}",
+            ]
+        )
+        # The aggregate result and the trace agree exactly.
+        assert all(
+            abs(summary.time_breakdown[k] - v) < 1e-9
+            for k, v in result.time_breakdown.items()
+        )
+    print(
+        format_table(
+            ["scheme", "iters", "occupancy", "peak batch", "preempt",
+             "peak KV util", "p99 ms"],
+            rows,
+            title="Trace summaries (dynamic admission, 128 requests, 24 GB)",
+        )
+    )
+
+    # Drill into the FP16 trace: where do preemptions cluster?
+    events = traces["FP16"].events
+    storms = [e.iteration for e in events if isinstance(e, RequestPreempted)]
+    print(f"\nFP16 preemptions at iterations: {storms or 'none'}")
+
+    # Page-pool pressure over time, coarse-grained.
+    samples = [e for e in events if isinstance(e, IterationSample)]
+    step = max(1, len(samples) // 8)
+    rows = [
+        [s.iteration, s.decode_batch, s.pending, f"{s.kv_utilization:.2f}",
+         s.free_pages]
+        for s in samples[::step]
+    ]
+    print()
+    print(
+        format_table(
+            ["iter", "decode batch", "pending", "KV util", "free pages"],
+            rows,
+            title="FP16 page-pool pressure (sampled)",
+        )
+    )
+    print(
+        "\nAtom's 4-bit KV quadruples the page budget: same workload, no"
+        "\npreemptions, and the batch ramps to the request-count ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@ Usage::
     python -m repro quantize -m llama-7b-sim     # quantize + evaluate
     python -m repro ablation -m llama-7b-sim     # Table 3 on one model
     python -m repro serve --scheme Atom-W4A4     # serving simulation
+    python -m repro trace --scheme FP16 -o t.jsonl   # serving event trace
 """
 
 from __future__ import annotations
@@ -135,6 +136,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.data.sharegpt import ShareGPTWorkload
+    from repro.serving import SCHEMES, ServingEngine, TraceRecorder
+    from repro.serving.models import LLAMA_13B, LLAMA_70B, LLAMA_7B
+    from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
+    from repro.serving.telemetry import write_csv, write_jsonl
+
+    specs = {"llama-7b": LLAMA_7B, "llama-13b": LLAMA_13B, "llama-70b": LLAMA_70B}
+    spec = specs[args.model]
+    tp = None
+    if args.tp > 1:
+        ic = NVLINK if args.interconnect == "nvlink" else PCIE_4
+        tp = TPConfig(args.tp, ic)
+    reqs = ShareGPTWorkload(seed=args.seed, max_len=2048).sample_requests(
+        args.requests
+    )
+    recorder = TraceRecorder()
+    engine = ServingEngine(
+        specs[args.model],
+        SCHEMES[args.scheme],
+        max_batch=args.batch,
+        admission=args.admission,
+        tp=tp,
+        telemetry=recorder,
+    )
+    result = engine.run(reqs)
+    write_jsonl(recorder.events, args.output)
+    print(f"wrote {len(recorder.events)} events to {args.output}")
+    if args.csv:
+        write_csv(recorder.events, args.csv)
+        print(f"wrote iteration metrics to {args.csv}")
+
+    s = recorder.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["iterations", s.iterations],
+                ["admitted / finished", f"{s.admitted} / {s.finished}"],
+                ["preemptions", s.preemptions],
+                ["mean decode occupancy", f"{s.mean_occupancy:.1f}"],
+                ["peak batch", s.peak_running],
+                ["mean decode latency (ms)", f"{s.mean_decode_latency_s * 1e3:.2f}"],
+                ["p50 / p90 / p99 (ms)",
+                 f"{s.p50_decode_latency_s * 1e3:.2f} / "
+                 f"{s.p90_decode_latency_s * 1e3:.2f} / "
+                 f"{s.p99_decode_latency_s * 1e3:.2f}"],
+                ["mean / peak KV utilization",
+                 f"{s.mean_kv_utilization:.2f} / {s.peak_kv_utilization:.2f}"],
+                ["min free pages", s.min_free_pages],
+            ],
+            title=f"{spec.name} {args.scheme}, {args.admission} admission, "
+            f"{len(reqs)} requests",
+        )
+    )
+    total = sum(s.time_breakdown.values())
+    rows = [
+        [phase, f"{t:.3f}", f"{100 * t / total:.1f}%"]
+        for phase, t in s.time_breakdown.items()
+    ]
+    if tp:
+        rows.append(["  (comm, in dense)", f"{s.comm_time_s:.3f}",
+                     f"{100 * s.comm_time_s / total:.1f}%"])
+    print()
+    print(format_table(["phase", "seconds", "share"], rows,
+                       title="Per-phase time (trace-derived)"))
+    drift = max(
+        abs(s.time_breakdown[k] - result.time_breakdown[k])
+        for k in result.time_breakdown
+    )
+    print(f"\nreconciliation vs ServingResult.time_breakdown: "
+          f"max drift {drift:.2e} s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -173,6 +249,25 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--interconnect", choices=("nvlink", "pcie"), default="nvlink")
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=_cmd_serve)
+
+    t = sub.add_parser(
+        "trace", help="run a serving workload with telemetry and dump the trace"
+    )
+    t.add_argument("-m", "--model", default="llama-7b",
+                   choices=("llama-7b", "llama-13b", "llama-70b"))
+    t.add_argument("--scheme", default="Atom-W4A4",
+                   choices=("FP16", "W4A16", "W8A8", "Atom-W4A4"))
+    t.add_argument("--batch", type=int, default=64)
+    t.add_argument("--requests", type=int, default=128)
+    t.add_argument("--admission", choices=("reserve", "dynamic"), default="dynamic")
+    t.add_argument("--tp", type=int, default=1, help="tensor-parallel degree")
+    t.add_argument("--interconnect", choices=("nvlink", "pcie"), default="nvlink")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("-o", "--output", default="trace.jsonl",
+                   help="JSONL trace output path")
+    t.add_argument("--csv", default=None,
+                   help="also write per-iteration metrics to this CSV path")
+    t.set_defaults(func=_cmd_trace)
     return p
 
 

@@ -15,7 +15,10 @@ on an RTX 4090 with custom CUDA kernels.  Without a GPU, we reproduce the
 - :mod:`repro.serving.paged_kv` — vLLM-style paged KV-cache allocator;
 - :mod:`repro.serving.engine`   — FCFS continuous-batching serving engine
   (Orca-style iteration-level scheduling) over simulated time;
-- :mod:`repro.serving.breakdown` — per-operator runtime breakdown (Fig. 3).
+- :mod:`repro.serving.breakdown` — per-operator runtime breakdown (Fig. 3);
+- :mod:`repro.serving.telemetry` — structured event-trace + metrics
+  telemetry (typed events, per-iteration samples, JSONL/CSV export) with a
+  no-op null sink as the engine-wide default.
 """
 
 from repro.serving.hardware import A100_40G, RTX_4090, GPUSpec, roofline_throughput
@@ -40,6 +43,16 @@ from repro.serving.paged_kv import PagedKVAllocator
 from repro.serving.parallel import NVLINK, PCIE_4, TPConfig, tp_dense_layer_time
 from repro.serving.engine import ServingEngine, ServingResult
 from repro.serving.breakdown import runtime_breakdown
+from repro.serving.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TraceRecorder,
+    TraceSummary,
+    read_jsonl,
+    summarize,
+    write_csv,
+    write_jsonl,
+)
 
 __all__ = [
     "A100_40G",
@@ -56,9 +69,13 @@ __all__ = [
     "ServingEngine",
     "ServingModelSpec",
     "NVLINK",
+    "NULL_TELEMETRY",
     "PCIE_4",
     "ServingResult",
     "TPConfig",
+    "Telemetry",
+    "TraceRecorder",
+    "TraceSummary",
     "W4A16",
     "W8A8",
     "attention_decode_time",
@@ -66,8 +83,12 @@ __all__ = [
     "dense_layer_time",
     "gemm_time",
     "gemm_tops",
+    "read_jsonl",
     "reorder_ablation_latency",
     "roofline_throughput",
     "runtime_breakdown",
+    "summarize",
     "tp_dense_layer_time",
+    "write_csv",
+    "write_jsonl",
 ]

@@ -46,8 +46,19 @@ from repro.serving.kernels import (
 )
 from repro.serving.models import ServingModelSpec
 from repro.serving.paged_kv import PagedKVAllocator
-from repro.serving.parallel import TPConfig, tp_dense_layer_time, validate_shardable
+from repro.serving.parallel import (
+    TPConfig,
+    tp_dense_layer_breakdown,
+    tp_dense_layer_time,
+    validate_shardable,
+)
 from repro.serving.schemes import QuantScheme
+from repro.serving.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    weighted_mean,
+    weighted_percentile,
+)
 
 __all__ = ["ServingEngine", "ServingResult"]
 
@@ -121,6 +132,7 @@ class ServingEngine:
         admission: str = "reserve",
         tp: TPConfig | None = None,
         prefill_chunk: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -136,6 +148,7 @@ class ServingEngine:
         self.admission = admission
         self.tp = tp
         self.prefill_chunk = prefill_chunk
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         degree = tp.degree if tp else 1
         if tp:
             validate_shardable(spec, degree)
@@ -156,6 +169,7 @@ class ServingEngine:
             kv_budget,
             spec.kv_bytes_per_token(scheme.kv_bits) / degree,
             page_size=page_size,
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------ #
@@ -164,6 +178,8 @@ class ServingEngine:
         pending: deque[Request] = deque(requests)
         running: list[_Active] = []
         alloc = self._allocator
+        tel = self.telemetry
+        iteration = 0
         clock = 0.0
         decode_tokens = 0
         delivered_tokens = 0
@@ -177,6 +193,7 @@ class ServingEngine:
         breakdown = {"dense": 0.0, "attention": 0.0, "quant": 0.0, "other": 0.0}
 
         while pending or running:
+            tel.begin_iteration(iteration, clock)
             # --- Admission: refill the batch FCFS.
             while pending and len(running) < self.max_batch:
                 nxt = pending[0]
@@ -196,6 +213,13 @@ class ServingEngine:
                 if not alloc.allocate(nxt.request_id, reserve):
                     memory_limited = True
                     break
+                if tel.enabled:
+                    tel.request_admitted(
+                        nxt.request_id,
+                        nxt.prefill_len,
+                        nxt.decode_len,
+                        alloc.pages_for(reserve),
+                    )
                 pending.popleft()
                 running.append(_Active(nxt))
             if not running:
@@ -240,7 +264,8 @@ class ServingEngine:
                                 f"{a.request.total_len} tokens do not fit"
                             )
                         vrid = victim.request.request_id
-                        alloc.free(vrid)
+                        freed = alloc.free(vrid)
+                        tel.request_preempted(vrid, freed)
                         pending.appendleft(victim.request)
                         preempted.add(vrid)
                         preemptions += 1
@@ -268,6 +293,7 @@ class ServingEngine:
             prefill_tokens = sum(c for _, c in chunks)
             m = prefill_tokens + decode_batch
             if m == 0:
+                iteration += 1
                 continue  # everything preempted; re-admit next round
             degree = self.tp.degree if self.tp else 1
             if self.tp and degree > 1:
@@ -305,6 +331,7 @@ class ServingEngine:
             breakdown["quant"] += t_quant
             breakdown["other"] += t_other
             clock += t_iter
+            tel.set_clock(clock)
 
             # --- Token accounting.
             if decode_batch:
@@ -324,25 +351,49 @@ class ServingEngine:
                     a.context_len += 1
                     decode_tokens += 1
                     ttfts.append(clock)
-            peak_batch = max(peak_batch, len(running))
+            batch_now = len(running)
+            peak_batch = max(peak_batch, batch_now)
 
             # --- Retire finished requests (continuous batching refill).
             still: list[_Active] = []
             for a in running:
                 if a.done:
-                    alloc.free(a.request.request_id)
+                    freed = alloc.free(a.request.request_id)
+                    tel.request_finished(a.request.request_id, freed)
                     completed += 1
                     delivered_tokens += a.request.decode_len
                 else:
                     still.append(a)
             running = still
 
-        lat_samples = np.array([t for t, _ in latencies]) if latencies else np.array([0.0])
-        weights = np.array([n for _, n in latencies]) if latencies else np.array([1.0])
-        mean_lat = float(np.average(lat_samples, weights=weights))
-        order = np.argsort(lat_samples)
-        cdf = np.cumsum(weights[order]) / weights.sum()
-        p99 = float(lat_samples[order][np.searchsorted(cdf, 0.99)]) if latencies else 0.0
+            if tel.enabled:
+                t_comm = (
+                    tp_dense_layer_breakdown(
+                        m, self.spec, self.scheme, self.tp, self.gpu
+                    )[1]
+                    if self.tp and degree > 1
+                    else 0.0
+                )
+                tel.iteration_sample(
+                    prefill_tokens=prefill_tokens,
+                    decode_batch=decode_batch,
+                    running=batch_now,
+                    pending=len(pending),
+                    t_dense=t_dense,
+                    t_attention=t_attn,
+                    t_quant=t_quant,
+                    t_other=t_other,
+                    t_comm=t_comm,
+                    t_iter=t_iter,
+                    kv_utilization=alloc.utilization(),
+                    free_pages=alloc.free_pages,
+                )
+            iteration += 1
+
+        lat_samples = [t for t, _ in latencies] if latencies else [0.0]
+        lat_weights = [n for _, n in latencies] if latencies else [1]
+        mean_lat = weighted_mean(lat_samples, lat_weights)
+        p99 = weighted_percentile(lat_samples, lat_weights, 0.99) if latencies else 0.0
         return ServingResult(
             scheme=self.scheme.name,
             requested_batch=self.max_batch,

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import math
 
+from repro.serving.telemetry import NULL_TELEMETRY, Telemetry
+
 __all__ = ["PagedKVAllocator"]
 
 
 class PagedKVAllocator:
-    """Page-granular token allocator over a byte budget."""
+    """Page-granular token allocator over a byte budget.
+
+    When given a recording ``telemetry`` sink, every page-count change is
+    emitted as a ``pages`` event (positive delta on allocate/grow, negative
+    on free), so page accounting is auditable from the trace alone.
+    """
 
     def __init__(
         self,
@@ -23,6 +30,7 @@ class PagedKVAllocator:
         kv_bytes_per_token: float,
         *,
         page_size: int = 16,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if budget_bytes <= 0:
             raise ValueError("budget must be positive")
@@ -33,6 +41,7 @@ class PagedKVAllocator:
         self.page_size = page_size
         self.page_bytes = kv_bytes_per_token * page_size
         self.total_pages = int(budget_bytes // self.page_bytes)
+        self.telemetry = telemetry
         self._pages: dict[int, int] = {}  # request_id -> pages held
         self._tokens: dict[int, int] = {}  # request_id -> tokens stored
 
@@ -61,6 +70,8 @@ class PagedKVAllocator:
             return False
         self._pages[request_id] = need
         self._tokens[request_id] = n_tokens
+        if self.telemetry.enabled:
+            self.telemetry.page_delta(request_id, need, self.free_pages)
         return True
 
     def append_token(self, request_id: int) -> bool:
@@ -74,11 +85,17 @@ class PagedKVAllocator:
             return False
         self._pages[request_id] += extra
         self._tokens[request_id] = tokens
+        if extra and self.telemetry.enabled:
+            self.telemetry.page_delta(request_id, extra, self.free_pages)
         return True
 
-    def free(self, request_id: int) -> None:
-        self._pages.pop(request_id)
+    def free(self, request_id: int) -> int:
+        """Release a request's pages; returns how many were freed."""
+        freed = self._pages.pop(request_id)
         self._tokens.pop(request_id)
+        if self.telemetry.enabled:
+            self.telemetry.page_delta(request_id, -freed, self.free_pages)
+        return freed
 
     def utilization(self) -> float:
         """Fraction of the budget currently holding live pages."""

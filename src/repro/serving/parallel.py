@@ -28,7 +28,15 @@ from repro.serving.kernels import gemm_time
 from repro.serving.models import ServingModelSpec
 from repro.serving.schemes import QuantScheme
 
-__all__ = ["TPConfig", "NVLINK", "PCIE_4", "tp_dense_layer_time", "tp_allreduce_time", "validate_shardable"]
+__all__ = [
+    "TPConfig",
+    "NVLINK",
+    "PCIE_4",
+    "tp_dense_layer_time",
+    "tp_dense_layer_breakdown",
+    "tp_allreduce_time",
+    "validate_shardable",
+]
 
 
 @dataclass(frozen=True)
@@ -93,3 +101,20 @@ def tp_dense_layer_time(
     per_layer = sum(gemm_time(m, out, inp, scheme, gpu) for out, inp in shapes)
     per_layer += 2.0 * tp_allreduce_time(m, spec, tp)
     return per_layer * spec.n_layers
+
+
+def tp_dense_layer_breakdown(
+    m: int,
+    spec: ServingModelSpec,
+    scheme: QuantScheme,
+    tp: TPConfig,
+    gpu: GPUSpec = RTX_4090,
+) -> tuple[float, float]:
+    """``(gemm_seconds, allreduce_seconds)`` components of the dense layer.
+
+    The communication share is what the serving telemetry reports per
+    iteration (``t_comm``); the two components sum to
+    :func:`tp_dense_layer_time` up to float associativity.
+    """
+    comm = 2.0 * tp_allreduce_time(m, spec, tp) * spec.n_layers
+    return tp_dense_layer_time(m, spec, scheme, tp, gpu) - comm, comm

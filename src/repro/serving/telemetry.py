@@ -1,0 +1,462 @@
+"""Structured event-trace + metrics telemetry for the serving engine.
+
+The paper's serving evaluation is all about *where time and memory go*
+inside the serving loop — the per-operator runtime breakdown of Fig. 3, the
+end-to-end throughput/latency of Fig. 10, and the kernel ablations of §5.4.
+The :class:`ServingEngine` aggregates one :class:`ServingResult` per run;
+this module records the underlying per-iteration signal so scheduling and
+memory decisions (batch occupancy, preemption storms, page-pool pressure)
+can be observed, exported, and regression-tested.
+
+Design:
+
+- :class:`Telemetry` is the **null sink**: every hook is a no-op, and it is
+  the default everywhere, so runs without telemetry are bit-identical to a
+  build without this module.
+- :class:`TraceRecorder` overrides the hooks to append **typed events**
+  (request admitted / preempted / finished, page-pool deltas, one
+  :class:`IterationSample` per engine iteration with token counts and
+  per-phase kernel times).
+- :func:`summarize` re-aggregates a flat event list into
+  :class:`TraceSummary` — per-phase totals that reconcile exactly with
+  ``ServingResult.time_breakdown``, and weighted decode-latency percentiles
+  computed with the same machinery the engine uses.
+- Events round-trip through JSON lines (:func:`write_jsonl` /
+  :func:`read_jsonl`); iteration samples also export to CSV
+  (:func:`write_csv`) for spreadsheet/pandas analysis.
+
+Event schema (one JSON object per line, ``event`` field dispatches):
+
+``admitted``    request enters the running batch: ``request_id``,
+                ``prefill_len``, ``decode_len``, ``pages`` reserved.
+``preempted``   dynamic-admission victim: ``request_id``, ``pages_freed``
+                (its whole cache — recompute preemption frees everything).
+``finished``    request completed: ``request_id``, ``pages_freed``.
+``pages``       page-pool delta from the allocator: ``request_id``,
+                ``delta`` (+allocated / -freed pages), ``free_pages`` after.
+``iteration``   one engine iteration: ``prefill_tokens``, ``decode_batch``,
+                ``running``, ``pending``, per-phase seconds ``t_dense``
+                (includes ``t_comm`` when tensor-parallel), ``t_attention``,
+                ``t_quant``, ``t_other``, their sum ``t_iter``,
+                ``kv_utilization`` and ``free_pages`` at iteration end.
+
+All events carry ``t`` (simulated clock, seconds) and ``iteration`` (the
+engine iteration during which they occurred).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import IO, Iterable
+
+import numpy as np
+
+__all__ = [
+    "Telemetry",
+    "TraceRecorder",
+    "NULL_TELEMETRY",
+    "TraceEvent",
+    "RequestAdmitted",
+    "RequestPreempted",
+    "RequestFinished",
+    "PagePoolDelta",
+    "IterationSample",
+    "TraceSummary",
+    "summarize",
+    "weighted_mean",
+    "weighted_percentile",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Typed events
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: simulated clock + engine iteration index."""
+
+    t: float
+    iteration: int
+
+    #: JSONL dispatch tag; subclasses override.
+    event: str = field(init=False, default="event", repr=False)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["event"] = self.event
+        return d
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(TraceEvent):
+    request_id: int = 0
+    prefill_len: int = 0
+    decode_len: int = 0
+    pages: int = 0
+
+    event: str = field(init=False, default="admitted", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestPreempted(TraceEvent):
+    request_id: int = 0
+    pages_freed: int = 0
+
+    event: str = field(init=False, default="preempted", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestFinished(TraceEvent):
+    request_id: int = 0
+    pages_freed: int = 0
+
+    event: str = field(init=False, default="finished", repr=False)
+
+
+@dataclass(frozen=True)
+class PagePoolDelta(TraceEvent):
+    """Allocator-level page accounting: ``delta`` > 0 allocates, < 0 frees."""
+
+    request_id: int = 0
+    delta: int = 0
+    free_pages: int = 0
+
+    event: str = field(init=False, default="pages", repr=False)
+
+
+@dataclass(frozen=True)
+class IterationSample(TraceEvent):
+    """Per-iteration metrics: token mix, phase times, page-pool state."""
+
+    prefill_tokens: int = 0
+    decode_batch: int = 0
+    running: int = 0
+    pending: int = 0
+    t_dense: float = 0.0  # includes t_comm under tensor parallelism
+    t_attention: float = 0.0
+    t_quant: float = 0.0
+    t_other: float = 0.0
+    t_comm: float = 0.0  # all-reduce share of t_dense (0 when TP degree 1)
+    t_iter: float = 0.0
+    kv_utilization: float = 0.0
+    free_pages: int = 0
+
+    event: str = field(init=False, default="iteration", repr=False)
+
+
+_EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.event: cls  # type: ignore[misc]
+    for cls in (
+        RequestAdmitted,
+        RequestPreempted,
+        RequestFinished,
+        PagePoolDelta,
+        IterationSample,
+    )
+}
+
+
+def event_from_dict(d: dict) -> TraceEvent:
+    """Rebuild a typed event from its JSONL dict form."""
+    kind = d.get("event")
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event type: {kind!r}")
+    names = {f.name for f in fields(cls) if f.init}
+    return cls(**{k: v for k, v in d.items() if k in names})
+
+
+# --------------------------------------------------------------------------- #
+# Sinks
+# --------------------------------------------------------------------------- #
+class Telemetry:
+    """Null telemetry sink: every hook is a no-op.
+
+    This is the engine-wide default; a run with the null sink performs no
+    event construction and produces results bit-identical to a run without
+    any telemetry wiring at all.
+    """
+
+    enabled = False
+
+    def begin_iteration(self, iteration: int, clock: float) -> None:
+        pass
+
+    def set_clock(self, clock: float) -> None:
+        pass
+
+    def request_admitted(
+        self, request_id: int, prefill_len: int, decode_len: int, pages: int
+    ) -> None:
+        pass
+
+    def request_preempted(self, request_id: int, pages_freed: int) -> None:
+        pass
+
+    def request_finished(self, request_id: int, pages_freed: int) -> None:
+        pass
+
+    def page_delta(self, request_id: int, delta: int, free_pages: int) -> None:
+        pass
+
+    def iteration_sample(self, **metrics) -> None:
+        pass
+
+
+#: Shared process-wide null sink (stateless, safe to share).
+NULL_TELEMETRY = Telemetry()
+
+
+class TraceRecorder(Telemetry):
+    """Telemetry sink that records every event in memory."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._iteration = 0
+        self._clock = 0.0
+
+    # -- clock / iteration context (driven by the engine) -------------- #
+    def begin_iteration(self, iteration: int, clock: float) -> None:
+        self._iteration = iteration
+        self._clock = clock
+
+    def set_clock(self, clock: float) -> None:
+        self._clock = clock
+
+    # -- event hooks ---------------------------------------------------- #
+    def request_admitted(
+        self, request_id: int, prefill_len: int, decode_len: int, pages: int
+    ) -> None:
+        self.events.append(
+            RequestAdmitted(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                prefill_len=prefill_len,
+                decode_len=decode_len,
+                pages=pages,
+            )
+        )
+
+    def request_preempted(self, request_id: int, pages_freed: int) -> None:
+        self.events.append(
+            RequestPreempted(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                pages_freed=pages_freed,
+            )
+        )
+
+    def request_finished(self, request_id: int, pages_freed: int) -> None:
+        self.events.append(
+            RequestFinished(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                pages_freed=pages_freed,
+            )
+        )
+
+    def page_delta(self, request_id: int, delta: int, free_pages: int) -> None:
+        self.events.append(
+            PagePoolDelta(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                delta=delta,
+                free_pages=free_pages,
+            )
+        )
+
+    def iteration_sample(self, **metrics) -> None:
+        self.events.append(
+            IterationSample(t=self._clock, iteration=self._iteration, **metrics)
+        )
+
+    # -- convenience ----------------------------------------------------- #
+    def samples(self) -> list[IterationSample]:
+        return [e for e in self.events if isinstance(e, IterationSample)]
+
+    def summary(self) -> "TraceSummary":
+        return summarize(self.events)
+
+
+# --------------------------------------------------------------------------- #
+# Percentile machinery (shared with ServingEngine)
+# --------------------------------------------------------------------------- #
+def weighted_mean(values, weights) -> float:
+    """Weighted arithmetic mean (``np.average`` semantics)."""
+    return float(np.average(np.asarray(values), weights=np.asarray(weights)))
+
+
+def weighted_percentile(values, weights, q: float) -> float:
+    """Weighted percentile by CDF inversion.
+
+    The sample whose cumulative weight share first reaches ``q`` is returned
+    — exactly the engine's historical p99 computation, factored out so
+    trace re-aggregation matches :class:`ServingResult` bit-for-bit.
+    """
+    values = np.asarray(values)
+    weights = np.asarray(weights)
+    if values.size == 0:
+        return 0.0
+    order = np.argsort(values)
+    cdf = np.cumsum(weights[order]) / weights.sum()
+    idx = min(int(np.searchsorted(cdf, q)), values.size - 1)
+    return float(values[order][idx])
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceSummary:
+    """Re-aggregated view of one trace (reconciles with ServingResult)."""
+
+    iterations: int
+    total_time_s: float
+    admitted: int
+    finished: int
+    preemptions: int
+    decode_tokens: int  # decode-iteration work, excludes prefill first tokens
+    mean_occupancy: float
+    peak_running: int
+    time_breakdown: dict[str, float]
+    comm_time_s: float
+    mean_decode_latency_s: float
+    p50_decode_latency_s: float
+    p90_decode_latency_s: float
+    p99_decode_latency_s: float
+    mean_kv_utilization: float
+    peak_kv_utilization: float
+    min_free_pages: int
+
+    def percentiles(self) -> dict[str, float]:
+        return {
+            "mean": self.mean_decode_latency_s,
+            "p50": self.p50_decode_latency_s,
+            "p90": self.p90_decode_latency_s,
+            "p99": self.p99_decode_latency_s,
+        }
+
+
+def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Aggregate a flat event list into a :class:`TraceSummary`.
+
+    Phase totals are accumulated in event order, so they equal the engine's
+    own running sums exactly; latency percentiles use the engine's weighted
+    CDF-inversion machinery on decode iterations only.
+    """
+    events = list(events)
+    samples = [e for e in events if isinstance(e, IterationSample)]
+    breakdown = {"dense": 0.0, "attention": 0.0, "quant": 0.0, "other": 0.0}
+    comm = 0.0
+    for s in samples:
+        breakdown["dense"] += s.t_dense
+        breakdown["attention"] += s.t_attention
+        breakdown["quant"] += s.t_quant
+        breakdown["other"] += s.t_other
+        comm += s.t_comm
+    decode = [s for s in samples if s.decode_batch > 0]
+    lat = [s.t_iter for s in decode]
+    wts = [s.decode_batch for s in decode]
+    return TraceSummary(
+        iterations=len(samples),
+        total_time_s=samples[-1].t if samples else 0.0,
+        admitted=sum(1 for e in events if isinstance(e, RequestAdmitted)),
+        finished=sum(1 for e in events if isinstance(e, RequestFinished)),
+        preemptions=sum(1 for e in events if isinstance(e, RequestPreempted)),
+        decode_tokens=sum(wts),
+        mean_occupancy=float(np.mean(wts)) if wts else 0.0,
+        peak_running=max((s.running for s in samples), default=0),
+        time_breakdown=breakdown,
+        comm_time_s=comm,
+        mean_decode_latency_s=weighted_mean(lat, wts) if lat else 0.0,
+        p50_decode_latency_s=weighted_percentile(lat, wts, 0.50),
+        p90_decode_latency_s=weighted_percentile(lat, wts, 0.90),
+        p99_decode_latency_s=weighted_percentile(lat, wts, 0.99),
+        mean_kv_utilization=(
+            float(np.mean([s.kv_utilization for s in samples])) if samples else 0.0
+        ),
+        peak_kv_utilization=max((s.kv_utilization for s in samples), default=0.0),
+        min_free_pages=min((s.free_pages for s in samples), default=0),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Export / import
+# --------------------------------------------------------------------------- #
+def write_jsonl(events: Iterable[TraceEvent], dest: "str | Path | IO[str]") -> None:
+    """Write events as JSON lines (one event object per line)."""
+
+    def _dump(fh: "IO[str]") -> None:
+        for e in events:
+            fh.write(json.dumps(e.to_dict(), sort_keys=True) + "\n")
+
+    if hasattr(dest, "write"):
+        _dump(dest)  # type: ignore[arg-type]
+    else:
+        with open(dest, "w") as fh:
+            _dump(fh)
+
+
+def read_jsonl(src: "str | Path | IO[str]") -> list[TraceEvent]:
+    """Parse a JSONL trace back into typed events (inverse of write_jsonl)."""
+
+    def _load(fh: "IO[str]") -> list[TraceEvent]:
+        out = []
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(event_from_dict(json.loads(line)))
+        return out
+
+    if hasattr(src, "read"):
+        return _load(src)  # type: ignore[arg-type]
+    with open(src) as fh:
+        return _load(fh)
+
+
+_CSV_COLUMNS = (
+    "iteration",
+    "t",
+    "prefill_tokens",
+    "decode_batch",
+    "running",
+    "pending",
+    "t_dense",
+    "t_attention",
+    "t_quant",
+    "t_other",
+    "t_comm",
+    "t_iter",
+    "kv_utilization",
+    "free_pages",
+)
+
+
+def write_csv(events: Iterable[TraceEvent], dest: "str | Path | IO[str]") -> None:
+    """Write the per-iteration metric samples as CSV (one row per iteration)."""
+    samples = [e for e in events if isinstance(e, IterationSample)]
+
+    def _dump(fh: "IO[str]") -> None:
+        w = csv.writer(fh)
+        w.writerow(_CSV_COLUMNS)
+        for s in samples:
+            d = s.to_dict()
+            w.writerow([d[c] for c in _CSV_COLUMNS])
+
+    if hasattr(dest, "write"):
+        _dump(dest)  # type: ignore[arg-type]
+    else:
+        with open(dest, "w", newline="") as fh:
+            _dump(fh)

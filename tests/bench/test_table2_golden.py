@@ -1,0 +1,80 @@
+"""Golden regression: Table 2's headline W4A4 perplexity ordering.
+
+The paper's central accuracy claim (Table 2) is an *ordering*: at W4A4,
+Atom stays near FP16 while SmoothQuant degrades badly and naive RTN
+collapses.  On the reproduction substrate that ordering is
+
+    FP16 <= Atom <= SmoothQuant <= RTN        (per corpus)
+
+and it is the invariant every future quantization refactor must preserve.
+This test pins it (with the relative-gap structure, not absolute values, so
+retraining the zoo or re-tuning corpora cannot break it spuriously).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SmoothQuantQuantizer
+from repro.baselines.rtn import RTNQuantizer
+from repro.eval import perplexity
+
+EVAL_CHARS = 2048
+
+
+@pytest.fixture(scope="module")
+def sq7b(model7b):
+    return SmoothQuantQuantizer(a_bits=4, w_bits=4, alpha=0.5).quantize(model7b)
+
+
+@pytest.fixture(scope="module")
+def rtn7b(model7b):
+    return RTNQuantizer(a_bits=4, w_bits=4).quantize(model7b)
+
+
+@pytest.fixture(scope="module")
+def ppl(model7b, atom7b, sq7b, rtn7b):
+    def _ppl3(model):
+        return {
+            c: perplexity(model, c, eval_chars=EVAL_CHARS)
+            for c in ("synthwiki", "synthptb", "synthc4")
+        }
+
+    return {
+        "FP16": _ppl3(model7b),
+        "Atom": _ppl3(atom7b),
+        "SmoothQuant": _ppl3(sq7b),
+        "RTN": _ppl3(rtn7b),
+    }
+
+
+class TestTable2GoldenOrdering:
+    @pytest.mark.parametrize("corpus", ["synthwiki", "synthptb", "synthc4"])
+    def test_w4a4_ordering_fp16_atom_smoothquant_rtn(self, ppl, corpus):
+        fp16 = ppl["FP16"][corpus]
+        atom = ppl["Atom"][corpus]
+        sq = ppl["SmoothQuant"][corpus]
+        rtn = ppl["RTN"][corpus]
+        assert fp16 <= atom <= sq <= rtn, (
+            f"Table-2 W4A4 ordering inverted on {corpus}: "
+            f"FP16={fp16:.3f} Atom={atom:.3f} SmoothQuant={sq:.3f} RTN={rtn:.3f}"
+        )
+
+    @pytest.mark.parametrize("corpus", ["synthwiki", "synthptb", "synthc4"])
+    def test_gap_structure(self, ppl, corpus):
+        """Atom is *close* to FP16; SmoothQuant and RTN are clearly not.
+
+        Paper Table 2 (7B): Atom within ~10% of FP16, SmoothQuant ~4x,
+        and RTN-style naive W4A4 collapsing.  The reproduction shows the
+        same staircase; pin it with loose factors so only a genuine
+        inversion (not zoo noise) can trip the test.
+        """
+        fp16 = ppl["FP16"][corpus]
+        assert ppl["Atom"][corpus] < 1.6 * fp16
+        assert ppl["SmoothQuant"][corpus] > 1.25 * ppl["Atom"][corpus]
+        assert ppl["RTN"][corpus] > 1.25 * ppl["SmoothQuant"][corpus]
+
+    def test_sanity_all_finite(self, ppl):
+        for method, by_corpus in ppl.items():
+            for corpus, v in by_corpus.items():
+                assert v == v and v > 1.0, (method, corpus, v)

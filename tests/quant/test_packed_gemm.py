@@ -1,0 +1,128 @@
+"""Differential test: packed low-bit GEMM vs. unpacked float reference.
+
+A real serving stack stores INT4 codes two-per-byte (``quant.packing``) and
+computes with the integer kernels of ``quant.matmul``.  These tests push
+quantized operands through a full pack → unpack storage round-trip, rebuild
+the :class:`QuantizedTensor`, and check the integer GEMM against the plain
+float reference ``dequantize(X) @ dequantize(W).T`` — over the odd shapes a
+continuous-batching engine actually produces: contraction dims that are not
+a multiple of the group size, K smaller than the group size, and single-row
+(decode GEMV) activations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.quant.dtypes import INT4, INT8, int_format
+from repro.quant.granularity import Granularity, group_view
+from repro.quant.matmul import mixed_precision_gemm, quantized_gemm
+from repro.quant.packing import pack_codes, packed_nbytes, unpack_codes
+from repro.quant.uniform import quantize_tensor
+
+# (M, O, K): odd shapes — K not a multiple of the 128 default group size,
+# K below any group size, and single-row decode GEMVs.
+ODD_SHAPES = [
+    (3, 5, 100),  # K not a multiple of any power-of-two group
+    (4, 7, 48),  # K < default group size 128
+    (1, 9, 33),  # single-row M with prime-ish K
+    (1, 1, 1),  # degenerate 1x1x1
+    (6, 2, 130),  # K just past a byte-packing boundary
+]
+
+
+def _storage_roundtrip(qt, bits):
+    """Send a QuantizedTensor's codes through packed byte storage."""
+    codes = qt.codes_flat()
+    packed = pack_codes(codes, bits)
+    assert packed.dtype == np.uint8
+    assert packed.shape[-1] == packed_nbytes(codes.shape[-1], bits)
+    unpacked = unpack_codes(packed, bits, codes.shape[-1])
+    np.testing.assert_array_equal(unpacked, codes)
+    data = unpacked
+    if qt.granularity is Granularity.PER_GROUP:
+        data = group_view(unpacked, qt.group_size)
+    return dataclasses.replace(qt, data=data.astype(qt.data.dtype))
+
+
+def _reference(xq, wq):
+    return xq.dequantize() @ wq.dequantize().T
+
+
+@pytest.mark.parametrize("m,o,k", ODD_SHAPES)
+@pytest.mark.parametrize("bits", [2, 4, 8])
+def test_packed_gemm_matches_float_reference_odd_shapes(m, o, k, bits):
+    fmt = int_format(bits)
+    rng = np.random.default_rng(100 * m + 10 * o + k + bits)
+    x = rng.normal(size=(m, k))
+    w = rng.normal(size=(o, k)) * np.exp(rng.normal(0, 1, size=(o, 1)))
+    # Per-token activations / per-output-channel weights contract over the
+    # whole (odd) K in one group — the path odd shapes must take.
+    xq = _storage_roundtrip(
+        quantize_tensor(x, fmt, Granularity.PER_TOKEN), bits
+    )
+    wq = _storage_roundtrip(
+        quantize_tensor(w, fmt, Granularity.PER_TOKEN), bits
+    )
+    got = quantized_gemm(xq, wq)
+    want = _reference(xq, wq)
+    # Integer accumulation + scale products vs. float matmul: identical up
+    # to accumulated-scale float associativity.
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9 * k)
+
+
+@pytest.mark.parametrize("k,group", [(32, 32), (64, 32), (96, 16), (16, 16)])
+def test_packed_group_gemm_matches_reference(k, group):
+    """Grouped INT4 operands (including K == one group < 128) survive the
+    packed-storage round-trip and match the float reference."""
+    rng = np.random.default_rng(k * group)
+    x = rng.normal(size=(5, k))
+    w = rng.normal(size=(7, k))
+    xq = _storage_roundtrip(
+        quantize_tensor(x, INT4, Granularity.PER_GROUP, group_size=group), 4
+    )
+    wq = _storage_roundtrip(
+        quantize_tensor(w, INT4, Granularity.PER_GROUP, group_size=group), 4
+    )
+    got = quantized_gemm(xq, wq)
+    want = _reference(xq, wq)
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9 * k)
+
+
+@pytest.mark.parametrize("m", [1, 3])
+def test_packed_mixed_precision_gemm_matches_reference(m):
+    """INT4 packed body + INT8 packed outlier tail, odd body/tail widths."""
+    rng = np.random.default_rng(9 + m)
+    k_body, k_tail = 48, 12  # deliberately not multiples of 128
+    xb = rng.normal(size=(m, k_body))
+    xt = rng.normal(size=(m, k_tail)) * 10.0  # outlier-scale tail
+    wb = rng.normal(size=(6, k_body))
+    wt = rng.normal(size=(6, k_tail))
+    xqb = _storage_roundtrip(quantize_tensor(xb, INT4, Granularity.PER_TOKEN), 4)
+    wqb = _storage_roundtrip(quantize_tensor(wb, INT4, Granularity.PER_TOKEN), 4)
+    xqt = _storage_roundtrip(quantize_tensor(xt, INT8, Granularity.PER_TOKEN), 8)
+    wqt = _storage_roundtrip(quantize_tensor(wt, INT8, Granularity.PER_TOKEN), 8)
+    got = mixed_precision_gemm(xqb, xqt, wqb, wqt)
+    want = _reference(xqb, wqb) + _reference(xqt, wqt)
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9 * (k_body + k_tail))
+
+
+def test_packed_storage_is_actually_smaller():
+    """The packed buffer realises the 4-bit storage claim (≈ K/2 bytes/row)."""
+    rng = np.random.default_rng(0)
+    qt = quantize_tensor(rng.normal(size=(8, 100)), INT4, Granularity.PER_TOKEN)
+    packed = pack_codes(qt.codes_flat(), 4)
+    assert packed.nbytes == 8 * 50
+    assert packed.nbytes * 2 == qt.codes_flat().nbytes
+
+
+def test_unpack_truncates_row_padding():
+    """Odd K rows are padded to whole bytes on pack and truncated on unpack."""
+    rng = np.random.default_rng(1)
+    codes = rng.integers(-8, 8, size=(3, 33), dtype=np.int8)
+    packed = pack_codes(codes, 4)
+    assert packed.shape == (3, 17)  # ceil(33/2)
+    np.testing.assert_array_equal(unpack_codes(packed, 4, 33), codes)

@@ -1,0 +1,150 @@
+"""Seeded property fuzz for uniform quantization round-trips (Eq. 1-3).
+
+Unlike the hypothesis-based cases in ``test_uniform.py``, these sweep the
+full design space the paper exercises — bit-widths 2-8, symmetric and
+asymmetric grids, clip factors down to 0.5 — with a seeded
+``numpy.random.Generator`` (no hypothesis dependency) and assert the two
+invariants every uniform quantizer must satisfy:
+
+1. quantized codes never leave the representable grid, and
+2. reconstruction error is bounded by half a quantization step for every
+   element inside the (possibly clipped) representable range, with clipped
+   elements pinned to the grid edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.dtypes import int_format
+from repro.quant.granularity import Granularity, group_view
+from repro.quant.uniform import (
+    asymmetric_params,
+    dequantize,
+    quantize_asymmetric,
+    quantize_symmetric,
+    quantize_tensor,
+    symmetric_scale,
+)
+
+BITS = tuple(range(2, 9))
+CLIPS = (1.0, 0.9, 0.7, 0.5)
+TRIALS = 8
+
+
+def _random_tensor(rng: np.random.Generator) -> np.ndarray:
+    """Random 2-D tensor with varied shape, scale, tail, and offset."""
+    rows = int(rng.integers(1, 12))
+    cols = int(rng.integers(1, 48))
+    kind = int(rng.integers(3))
+    if kind == 0:
+        x = rng.normal(size=(rows, cols))
+    elif kind == 1:  # heavy-tailed per-column magnitudes (outlier channels)
+        x = rng.normal(size=(rows, cols)) * np.exp(rng.normal(0, 2, size=cols))
+    else:  # one-sided (KV-cache-like, the asymmetric target)
+        x = rng.uniform(0, 1, size=(rows, cols)) + rng.normal() * 3
+    return x * 10.0 ** rng.uniform(-3, 3)
+
+
+@pytest.mark.parametrize("bits", BITS)
+@pytest.mark.parametrize("clip", CLIPS)
+class TestSymmetricFuzz:
+    def test_codes_stay_on_grid_and_error_bounded(self, bits, clip):
+        fmt = int_format(bits)
+        rng = np.random.default_rng(1000 * bits + int(clip * 100))
+        for _ in range(TRIALS):
+            x = _random_tensor(rng)
+            axis = (1,) if rng.integers(2) else None
+            s = symmetric_scale(x, fmt, clip=clip, axis=axis)
+            q = quantize_symmetric(x, s, fmt)
+            # (1) codes inside the signed grid, always.
+            assert q.min() >= fmt.qmin and q.max() <= fmt.qmax
+            # (2) error <= half a step inside the representable range.
+            err = np.abs(dequantize(q, s) - x)
+            s_b = np.broadcast_to(s, x.shape)
+            # One-ulp slack: at clip=1 the max element sits exactly on the
+            # range boundary, which float rounding can land on either side of.
+            lo = (fmt.qmin - 0.5 - 1e-9) * s_b
+            hi = (fmt.qmax + 0.5 + 1e-9) * s_b
+            in_range = (x >= lo) & (x <= hi)
+            assert np.all(err[in_range] <= s_b[in_range] * (0.5 + 1e-9))
+            # Clipped elements saturate at the grid edge.
+            assert np.all(q[x > hi] == fmt.qmax)
+            assert np.all(q[x < lo] == fmt.qmin)
+            if clip == 1.0:
+                # Unclipped grid covers the whole tensor: global bound.
+                assert np.all(in_range)
+
+
+@pytest.mark.parametrize("bits", BITS)
+@pytest.mark.parametrize("clip", CLIPS)
+class TestAsymmetricFuzz:
+    def test_codes_stay_on_grid_and_error_bounded(self, bits, clip):
+        fmt = int_format(bits)
+        rng = np.random.default_rng(2000 * bits + int(clip * 100))
+        for _ in range(TRIALS):
+            x = _random_tensor(rng)
+            axis = (1,) if rng.integers(2) else None
+            s, z = asymmetric_params(x, fmt, clip=clip, axis=axis)
+            q = quantize_asymmetric(x, s, z, fmt)
+            # (1) codes inside the unsigned grid, always.
+            assert q.min() >= fmt.umin and q.max() <= fmt.umax
+            # (2) where no clamping happened the zero point cancels exactly,
+            # so the error is the plain rounding half-step.
+            err = np.abs(dequantize(q, s, z) - x)
+            s_b = np.broadcast_to(s, x.shape)
+            q_raw = np.round(x / s) + z
+            unclamped = (q_raw >= fmt.umin) & (q_raw <= fmt.umax)
+            assert np.all(err[unclamped] <= s_b[unclamped] * (0.5 + 1e-9))
+            if clip == 1.0:
+                # Zero-point rounding can push at most one step past the
+                # grid edge, adding one full step to the half-step bound.
+                assert np.all(err <= s_b * (1.5 + 1e-9))
+
+
+class TestQuantizeTensorFuzz:
+    """End-to-end round-trips through quantize_tensor at every granularity."""
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_coarse_granularities_half_step_bound(self, bits):
+        fmt = int_format(bits)
+        rng = np.random.default_rng(42 + bits)
+        for granularity in (
+            Granularity.PER_TENSOR,
+            Granularity.PER_TOKEN,
+            Granularity.PER_CHANNEL,
+        ):
+            for _ in range(TRIALS):
+                x = _random_tensor(rng)
+                qt = quantize_tensor(x, fmt, granularity)
+                err = np.abs(qt.dequantize() - x)
+                assert np.all(err <= np.broadcast_to(qt.scale, x.shape) * (0.5 + 1e-9))
+                flat = qt.codes_flat()
+                assert flat.min() >= fmt.qmin and flat.max() <= fmt.qmax
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_per_group_half_step_bound(self, bits):
+        fmt = int_format(bits)
+        rng = np.random.default_rng(93 + bits)
+        for _ in range(TRIALS):
+            group = int(rng.choice([4, 8, 16]))
+            cols = group * int(rng.integers(1, 6))
+            x = rng.normal(size=(int(rng.integers(1, 10)), cols))
+            x *= 10.0 ** rng.uniform(-2, 2)
+            qt = quantize_tensor(x, fmt, Granularity.PER_GROUP, group_size=group)
+            grouped = group_view(x, group)
+            recon = qt.data.astype(np.float64) * qt.scale
+            err = np.abs(recon - grouped)
+            assert np.all(err <= np.broadcast_to(qt.scale, grouped.shape) * (0.5 + 1e-9))
+
+    @pytest.mark.parametrize("clip", CLIPS[1:])
+    def test_clipped_asymmetric_codes_on_grid(self, clip):
+        fmt = int_format(4)
+        rng = np.random.default_rng(7)
+        for _ in range(TRIALS):
+            x = _random_tensor(rng)
+            qt = quantize_tensor(
+                x, fmt, Granularity.PER_TOKEN, clip=clip, symmetric=False
+            )
+            assert qt.data.min() >= fmt.umin and qt.data.max() <= fmt.umax

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.serving.paged_kv import PagedKVAllocator
+from repro.serving.telemetry import PagePoolDelta, TraceRecorder
 
 
 def _alloc(budget_pages=64, page_size=16, bytes_per_token=1.0):
@@ -108,6 +109,72 @@ class TestFragmentation:
     def test_empty_fragmentation_zero(self):
         assert _alloc().internal_fragmentation() == 0.0
         assert _alloc().utilization() == 0.0
+
+
+class TestInvariants:
+    """Account-level invariants, fuzzed with a seeded generator and audited
+    both directly and through the telemetry event log."""
+
+    def test_free_returns_exactly_the_pages_held(self):
+        a = _alloc(page_size=4)
+        a.allocate(1, 10)  # 3 pages
+        for _ in range(6):  # grow to 16 tokens -> 4 pages
+            assert a.append_token(1)
+        assert a.free(1) == 4
+        assert a.used_pages == 0
+
+    def test_random_workload_accounting_never_negative(self):
+        rng = np.random.default_rng(11)
+        a = _alloc(budget_pages=64, page_size=8)
+        live: dict[int, int] = {}
+        rid = 0
+        for _ in range(2000):
+            op = rng.integers(3)
+            assert 0 <= a.used_pages <= a.total_pages
+            assert a.free_pages == a.total_pages - a.used_pages
+            if op == 0:
+                n = int(rng.integers(1, 40))
+                if a.allocate(rid, n):
+                    live[rid] = n
+                rid += 1
+            elif op == 1 and live:
+                victim = int(rng.choice(list(live)))
+                expect = a.pages_for(live[victim])
+                assert a.free(victim) == expect
+                del live[victim]
+            elif op == 2 and live:
+                grow = int(rng.choice(list(live)))
+                if a.append_token(grow):
+                    live[grow] += 1
+        for r in list(live):
+            a.free(r)
+        assert a.used_pages == 0
+
+    def test_telemetry_log_replays_pool_state(self):
+        rec = TraceRecorder()
+        a = PagedKVAllocator(32 * 8, 1.0, page_size=8, telemetry=rec)
+        a.allocate(0, 12)
+        for _ in range(8):
+            a.append_token(0)
+        a.allocate(1, 8)
+        a.free(0)
+        a.free(1)
+        used = 0
+        for e in rec.events:
+            assert isinstance(e, PagePoolDelta)
+            used += e.delta
+            assert used >= 0
+            assert e.free_pages == a.total_pages - used
+        assert used == 0
+
+    def test_failed_operations_emit_no_events(self):
+        rec = TraceRecorder()
+        a = PagedKVAllocator(4 * 8, 1.0, page_size=8, telemetry=rec)
+        assert a.allocate(0, 32)
+        n_events = len(rec.events)
+        assert not a.allocate(1, 1)
+        assert not a.append_token(0)
+        assert len(rec.events) == n_events
 
 
 class TestPropertyBased:

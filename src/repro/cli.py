@@ -7,6 +7,7 @@ Usage::
     python -m repro ablation -m llama-7b-sim     # Table 3 on one model
     python -m repro serve --scheme Atom-W4A4     # serving simulation
     python -m repro trace --scheme FP16 -o t.jsonl   # serving event trace
+    python -m repro bench -o BENCH_inference.json    # fast-path microbenchmarks
 """
 
 from __future__ import annotations
@@ -211,6 +212,73 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.perf import (
+        check_regression,
+        format_rows,
+        read_bench_json,
+        run_perf_suite,
+        trace_decode,
+        write_bench_json,
+    )
+
+    payload = run_perf_suite(quick=args.quick)
+    print(
+        format_table(
+            ["benchmark", "before", "after", "speedup"],
+            format_rows(payload),
+            title="quantized-inference fast path"
+            + (" (quick)" if args.quick else ""),
+        )
+    )
+    d = payload["benchmarks"]["decode"]
+    print(
+        f"decode throughput: {d['before_tokens_per_s']:.1f} -> "
+        f"{d['after_tokens_per_s']:.1f} tokens/s"
+    )
+    if args.output:
+        write_bench_json(payload, args.output)
+        print(f"wrote {args.output}")
+
+    if args.trace:
+        from repro.serving import TraceRecorder
+        from repro.serving.telemetry import summarize, write_jsonl
+
+        recorder = TraceRecorder()
+        steps, seconds = trace_decode(recorder, quick=args.quick)
+        write_jsonl(recorder.events, args.trace)
+        s = summarize(recorder.events)
+        t_quant = s.time_breakdown.get("quant", 0.0)
+        t_dense = s.time_breakdown.get("dense", 0.0)
+        total = t_quant + t_dense
+        print(
+            f"wrote {len(recorder.events)} kernel-phase events to {args.trace} "
+            f"({steps} decode steps, {seconds:.3f}s)"
+        )
+        if total > 0:
+            print(
+                f"linear time split: quantize {100 * t_quant / total:.1f}% / "
+                f"GEMM+epilogue {100 * t_dense / total:.1f}%"
+            )
+
+    if args.check_against:
+        try:
+            baseline = read_bench_json(args.check_against)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {args.check_against}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_regression(
+            payload, baseline, max_slowdown=args.max_slowdown
+        )
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check_against}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -268,6 +336,24 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--csv", default=None,
                    help="also write per-iteration metrics to this CSV path")
     t.set_defaults(func=_cmd_trace)
+
+    b = sub.add_parser(
+        "bench",
+        help="fast-path microbenchmarks (linear/prefill/decode/quantize)",
+    )
+    b.add_argument("--quick", action="store_true",
+                   help="reduced reps/steps (CI smoke mode)")
+    b.add_argument("-o", "--output", default=None,
+                   help="write BENCH_inference.json payload here")
+    b.add_argument("--check-against", default=None, metavar="BASELINE",
+                   help="fail (exit 1) if decode throughput regresses vs this "
+                        "committed BENCH_inference.json")
+    b.add_argument("--max-slowdown", type=float, default=2.0,
+                   help="regression threshold for --check-against")
+    b.add_argument("--trace", default=None, metavar="JSONL",
+                   help="also write a kernel-phase telemetry trace "
+                        "(quantize vs GEMM time per linear call)")
+    b.set_defaults(func=_cmd_bench)
     return p
 
 

@@ -18,7 +18,12 @@ of §5.1 on an inference :class:`~repro.models.llama.LlamaModel`:
 With ``config.sequential=True``, calibration proceeds layer by layer: layer
 ``i``'s outliers and Hessians are measured on activations produced by the
 ALREADY-QUANTIZED layers ``0..i-1`` (the GPTQ-paper protocol), which lets
-later layers compensate accumulated quantization drift.
+later layers compensate accumulated quantization drift.  The default
+implementation is O(L) in total layer executions: the calibration hidden
+states are carried forward through each freshly quantized layer
+(:meth:`~repro.models.llama.LlamaModel.forward_layer`) instead of re-running
+the whole model per layer (``quantize(..., sequential_resume=False)`` keeps
+the O(L^2) full-forward reference; both produce bit-identical results).
 
 The returned model is a fresh clone; the input model is untouched.
 """
@@ -159,11 +164,10 @@ class AtomQuantizer:
         qmodel.replace_linears(mapping)
 
     @staticmethod
-    def _site_acts_for(
-        model: LlamaModel, calib_tokens: np.ndarray, linears: list[str]
+    def _sites_from_capture(
+        captured: dict[str, np.ndarray]
     ) -> dict[str, np.ndarray]:
-        """Capture calibration activations for the given linears' sites."""
-        captured = model.capture_linear_inputs(calib_tokens, names=linears)
+        """Collapse per-linear captures to per-site activations (first wins)."""
         sites: dict[str, np.ndarray] = {}
         for linear_name, acts in captured.items():
             site = input_site(linear_name)
@@ -171,14 +175,29 @@ class AtomQuantizer:
                 sites[site] = acts
         return sites
 
+    @classmethod
+    def _site_acts_for(
+        cls, model: LlamaModel, calib_tokens: np.ndarray, linears: list[str]
+    ) -> dict[str, np.ndarray]:
+        """Capture calibration activations for the given linears' sites."""
+        captured = model.capture_linear_inputs(calib_tokens, names=linears)
+        return cls._sites_from_capture(captured)
+
     # ------------------------------------------------------------------ #
     def quantize(
         self,
         model: LlamaModel,
         *,
         calib_tokens: np.ndarray | None = None,
+        sequential_resume: bool = True,
     ) -> LlamaModel:
-        """Return a quantized clone of ``model``."""
+        """Return a quantized clone of ``model``.
+
+        ``sequential_resume`` (sequential mode only) selects the O(L)
+        carried-hidden-state calibration; ``False`` re-runs a full forward
+        per layer (the O(L^2) reference — bit-identical, kept for the
+        equivalence suite and the perf harness's "before" measurement).
+        """
         cfg = self.config
         if calib_tokens is None:
             calib_tokens = sample_calibration_tokens(
@@ -189,9 +208,23 @@ class AtomQuantizer:
         qmodel = model.clone()
         by_layer = self._layer_linears(model)
 
-        if cfg.sequential:
-            # Layer-by-layer: calibrate each layer on the partially
-            # quantized model so compensation sees real quantized inputs.
+        if cfg.sequential and sequential_resume:
+            # Layer-by-layer with activation-checkpoint resume: calibrate
+            # layer i on hidden states already advanced through quantized
+            # layers 0..i-1, then push the states through the freshly
+            # quantized layer i.  Two layer executions per layer => O(L).
+            x = qmodel.embed(calib_tokens)
+            for layer in sorted(by_layer):
+                linears = by_layer[layer]
+                captured = qmodel.capture_layer_inputs(x, layer, names=linears)
+                site_acts = self._sites_from_capture(captured)
+                self._quantize_layer(
+                    model, qmodel, linears, site_acts, n_outlier, group_size
+                )
+                x = qmodel.forward_layer(x, layer)
+        elif cfg.sequential:
+            # Reference O(L^2): calibrate each layer with a full forward of
+            # the partially quantized model.
             for layer in sorted(by_layer):
                 linears = by_layer[layer]
                 site_acts = self._site_acts_for(qmodel, calib_tokens, linears)

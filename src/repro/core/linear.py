@@ -8,15 +8,48 @@
 2. **Dynamically quantize** each channel slice per token: low-bit symmetric
    with clipping for body groups, INT8 for the outlier tail (or FP16
    passthrough in the ablation variant).
-3. **Integer GEMM per slice** with int64 accumulation (the tensor-core MMA),
-   then dequantize with the token-scale x weight-scale outer product and
+3. **Integer GEMM per slice** with exact integer accumulation (the tensor-core
+   MMA), then dequantize with the token-scale x weight-scale outer product and
    accumulate in float (the fused epilogue of Fig. 8).
+
+Execution has two code paths:
+
+- The **fast path** (default, the software analog of Atom's fused kernel)
+  stacks all equal-width body groups into one ``(tokens, groups, width)``
+  tensor, quantizes every group in a single vectorized pass, folds the
+  per-token group scale into the codes and the per-group weight scale into a
+  precomputed ``(groups * width, out)`` weight block, and contracts the whole
+  body in ONE flat float64 GEMM.  (A batched per-group integer MMA with a
+  scale-outer-product epilogue — the literal reading of Fig. 8 — was measured
+  first: its ``(groups, tokens, out)`` partial tensor costs more memory
+  traffic than the GEMM saves, and NumPy's batched matmul cannot fuse the
+  epilogue the way a real kernel does.  Folding both scales into the operands
+  moves the group reduction inside one BLAS call; the reassociation changes
+  results by ~1e-15 normed relative vs the slice loop.)  The INT8 outlier
+  tail, any ragged body group and FP16 passthrough slices execute as at most
+  a couple of extra GEMMs; those integer MMAs run in float32 whenever the
+  largest possible partial sum fits the float32 exact-integer range (< 2^24)
+  — integer accumulation is exact there, so float64 buys nothing — and fall
+  back to float64 otherwise (and always for minifloat grids, whose products
+  are not integers).
+- The **reference path** (``fast=False``) is the original per-slice Python
+  loop, kept as the equivalence oracle and the "before" baseline of the
+  ``repro bench`` microbenchmarks.
+
+When a telemetry sink (:mod:`repro.serving.telemetry`) is attached via the
+``telemetry`` attribute, the fast path emits one ``IterationSample`` per call
+with ``t_quant`` (dynamic quantization) and ``t_dense`` (GEMM + epilogue)
+wall-times, so existing trace tooling attributes quantize-vs-GEMM cost with
+no extra instrumentation.
 
 :class:`QuantLinear` is the same machinery with no reorder and no outlier
 tail — the executor used by RTN / SmoothQuant / W8A8-style baselines.
 """
 
 from __future__ import annotations
+
+import time
+from collections import Counter
 
 import numpy as np
 
@@ -27,16 +60,23 @@ from repro.quant.dtypes import IntFormat
 
 __all__ = ["AtomLinear", "QuantLinear"]
 
+# Largest integer magnitude float32 represents exactly; integer GEMMs whose
+# worst-case partial sum stays below this run on float32 without any rounding.
+_F32_EXACT_LIMIT = float(1 << 24)
+
 
 def _dynamic_act_quant(
-    x: np.ndarray, bits: int, clip: float, fmt: str
+    x: np.ndarray, bits: int, clip: float, fmt: str, axis: int = 1
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Per-token symmetric quantization of one activation slice.
+    """Per-token symmetric quantization of activation slices along ``axis``.
 
-    Returns ``(codes, scale)`` with ``scale`` of shape ``(tokens, 1)``.
-    ``fmt="mx"`` restricts scales to powers of two (MX/microscaling, §6).
+    Returns ``(codes, scale)`` with ``scale`` keeping a size-1 ``axis`` (for
+    the default 2-D per-slice call: shape ``(tokens, 1)``).  The same formula
+    vectorizes over a stacked ``(tokens, groups, width)`` tensor with
+    ``axis=2``.  ``fmt="mx"`` restricts scales to powers of two
+    (MX/microscaling, §6).
     """
-    amax = np.abs(x).max(axis=1, keepdims=True)
+    amax = np.abs(x).max(axis=axis, keepdims=True)
     amax = np.maximum(amax, 1e-12)
     if fmt == "int":
         f = IntFormat(bits)
@@ -65,23 +105,109 @@ class AtomLinear(LinearImpl):
         act_clip: float,
         fmt: str = "int",
         out_features: int | None = None,
+        fast: bool = True,
     ) -> None:
         self.weight = weight
         self.perm = None if perm is None else np.asarray(perm, dtype=np.int64)
         self.a_bits = a_bits
         self.act_clip = act_clip
         self.fmt = fmt
+        self.fast = fast
+        #: Optional telemetry sink; the fast path emits one IterationSample
+        #: per call with t_quant / t_dense when this is an enabled recorder.
+        self.telemetry = None
         self._out = (
             out_features if out_features is not None else weight.codes[0].shape[0]
         )
         self._in = sum(s.width for s in weight.slices)
         if self.perm is not None and len(self.perm) != self._in:
             raise ValueError("permutation length != in_features")
-        # Pre-transpose weight codes once: the GEMM consumes (width, out).
-        self._wT = [c.astype(np.float64).T.copy() for c in weight.codes]
+        # Legacy float64 transposed blocks, built lazily: only the reference
+        # path (equivalence oracle / "before" benchmarks) needs them.
+        self._wT_f64: list[np.ndarray] | None = None
         self._wscaleT = [
             None if s is None else s.T.copy() for s in weight.scales
         ]
+        self._build_fast_path()
+
+    # ------------------------------------------------------------------ #
+    # Construction-time fast-path layout
+    # ------------------------------------------------------------------ #
+    def _act_bits(self, s: GroupSlice) -> int:
+        return self.a_bits if not s.is_outlier else (s.bits or 8)
+
+    def _gemm_dtype(self, s: GroupSlice) -> type:
+        """float32 when integer accumulation is provably exact, else float64."""
+        sfmt = self.weight.slice_fmt(s)
+        if sfmt == "fp":
+            return np.float64  # minifloat products are not integers
+        a_max = 1 << (self._act_bits(s) - 1)  # |qmin| bounds the magnitude
+        w_max = 1 << (s.bits - 1)
+        if s.width * a_max * w_max < _F32_EXACT_LIMIT:
+            return np.float32
+        return np.float64
+
+    def _build_fast_path(self) -> None:
+        w = self.weight
+        body = [
+            i
+            for i, s in enumerate(w.slices)
+            if s.bits is not None and not s.is_outlier
+        ]
+        stack: list[int] = []
+        if body:
+            # Stack the dominant (width, bits, fmt) population of body groups
+            # into one batched GEMM; stragglers (e.g. a ragged final group)
+            # take the per-slice path.
+            sig_of = lambda i: (
+                w.slices[i].width,
+                w.slices[i].bits,
+                w.slice_fmt(w.slices[i]),
+            )
+            sig = Counter(sig_of(i) for i in body).most_common(1)[0][0]
+            stack = [i for i in body if sig_of(i) == sig]
+        self._stack_idx = stack
+        self._rest_idx = [i for i in range(len(w.slices)) if i not in set(stack)]
+        self._stack_w = None
+        if stack:
+            s0 = w.slices[stack[0]]
+            self._stack_width = s0.width
+            self._stack_fmt = w.slice_fmt(s0)
+            # (G * width, out) flat weight block with the per-group weight
+            # scale folded in: row g*width+s holds codes[g][:, s] * scale[g].
+            # One dgemm then contracts every body group at once; the
+            # per-token group scale is folded into the codes at call time.
+            self._stack_w = np.concatenate(
+                [
+                    w.codes[i].T.astype(np.float64)
+                    * np.asarray(w.scales[i], dtype=np.float64)[:, 0]
+                    for i in stack
+                ]
+            )
+            cols = np.concatenate(
+                [np.arange(w.slices[i].start, w.slices[i].stop) for i in stack]
+            )
+            # Contiguous ascending runs (the usual layout: body groups first)
+            # gather with a zero-copy basic slice instead of fancy indexing.
+            contiguous = all(
+                w.slices[stack[j + 1]].start == w.slices[stack[j]].stop
+                for j in range(len(stack) - 1)
+            )
+            if contiguous:
+                self._stack_cols = None
+                self._stack_span = (w.slices[stack[0]].start, w.slices[stack[-1]].stop)
+            else:
+                self._stack_cols = cols
+                self._stack_span = None
+        # Per-slice transposed blocks for the leftover slices.
+        self._rest_wT = {}
+        for i in self._rest_idx:
+            s = w.slices[i]
+            if w.scales[i] is None:
+                # FP16 passthrough: high-precision operand, float64 GEMM.
+                self._rest_wT[i] = w.codes[i].T.astype(np.float64)
+            else:
+                self._rest_wT[i] = w.codes[i].T.astype(self._gemm_dtype(s))
 
     @property
     def out_features(self) -> int:
@@ -91,14 +217,86 @@ class AtomLinear(LinearImpl):
     def in_features(self) -> int:
         return self._in
 
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError(f"expected 2-D activations, got shape {x.shape}")
         if self.perm is not None:
             x = x[:, self.perm]
+        y = self._forward_fast(x) if self.fast else self._forward_reference(x)
+        return y.astype(np.float32)
+
+    def _forward_fast(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized pipeline; float64 output (pre-cast)."""
+        w = self.weight
+        t0 = time.perf_counter()
+        # ---- Phase 1: dynamic activation quantization ------------------ #
+        stacked = None
+        if self._stack_w is not None:
+            if self._stack_cols is None:
+                lo, hi = self._stack_span
+                xg = x[:, lo:hi]
+            else:
+                xg = x[:, self._stack_cols]
+            xg = xg.reshape(x.shape[0], len(self._stack_idx), self._stack_width)
+            codes, scale = _dynamic_act_quant(
+                xg, self.a_bits, self.act_clip, self._stack_fmt, axis=2
+            )
+            stacked = (codes, scale)
+        rest = {}
+        for i in self._rest_idx:
+            s = w.slices[i]
+            if w.scales[i] is None:
+                continue  # FP16 slice: no quantization
+            xs = x[:, s.start : s.stop]
+            rest[i] = _dynamic_act_quant(
+                xs, self._act_bits(s), self.act_clip, w.slice_fmt(s)
+            )
+        t1 = time.perf_counter()
+        # ---- Phase 2: integer GEMMs + fused dequant epilogue ----------- #
         y = np.zeros((x.shape[0], self._out), dtype=np.float64)
-        for s, w_t, ws_t in zip(self.weight.slices, self._wT, self._wscaleT):
+        if stacked is not None:
+            codes, scale = stacked
+            # Fold the per-token group scale into the codes, then contract
+            # all body groups in ONE flat GEMM against the weight block that
+            # already carries the per-group weight scales.
+            qx = (codes * scale).reshape(x.shape[0], -1)
+            y += qx @ self._stack_w
+        for i in self._rest_idx:
+            s = w.slices[i]
+            w_t = self._rest_wT[i]
+            if w.scales[i] is None:
+                # FP16 slice: both operands stay high precision.
+                y += x[:, s.start : s.stop] @ w_t
+                continue
+            codes, scale = rest[i]
+            partial = (
+                codes.astype(w_t.dtype, copy=False) @ w_t
+            ).astype(np.float64, copy=False)
+            y += partial * scale * self._wscaleT[i]
+        t2 = time.perf_counter()
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.iteration_sample(
+                t_quant=t1 - t0, t_dense=t2 - t1, t_iter=t2 - t0
+            )
+        return y
+
+    def _forward_reference(self, x: np.ndarray) -> np.ndarray:
+        """Original per-slice loop (float64 output, pre-cast).
+
+        This is the equivalence oracle for the fast path and the "before"
+        measurement of the perf harness — keep it semantically frozen.
+        """
+        if self._wT_f64 is None:
+            self._wT_f64 = [
+                c.astype(np.float64).T.copy() for c in self.weight.codes
+            ]
+        y = np.zeros((x.shape[0], self._out), dtype=np.float64)
+        for s, w_t, ws_t in zip(self.weight.slices, self._wT_f64, self._wscaleT):
             xs = x[:, s.start : s.stop]
             if ws_t is None:
                 # FP16 slice: both operands stay high precision.
@@ -109,8 +307,11 @@ class AtomLinear(LinearImpl):
             codes, scale = _dynamic_act_quant(xs, bits, self.act_clip, fmt)
             # Integer MMA + fused dequant-accumulate (Fig. 8 steps 1-3).
             y += (codes @ w_t) * scale * ws_t
-        return y.astype(np.float32)
+        return y
 
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
     def dequantized_weight(self) -> np.ndarray:
         """Float weight in the ORIGINAL (un-reordered) column order."""
         w = self.weight.dequantize()
@@ -139,9 +340,10 @@ class QuantLinear(AtomLinear):
         a_bits: int,
         act_clip: float = 1.0,
         fmt: str = "int",
+        fast: bool = True,
     ) -> None:
         if any(s.is_outlier for s in weight.slices):
             raise ValueError("QuantLinear does not support outlier slices")
         super().__init__(
-            weight, perm=None, a_bits=a_bits, act_clip=act_clip, fmt=fmt
+            weight, perm=None, a_bits=a_bits, act_clip=act_clip, fmt=fmt, fast=fast
         )

@@ -12,7 +12,15 @@ This is the substrate every quantization method in the repo plugs into:
 
 The model also exposes :meth:`capture_linear_inputs`, which records the
 activation matrix entering every dense site during a forward pass — this is
-how calibration data is gathered for outlier identification (§5.1).
+how calibration data is gathered for outlier identification (§5.1).  The
+layer-granular variants (:meth:`embed` / :meth:`forward_layer` /
+:meth:`capture_layer_inputs`) let sequential calibration resume from already
+computed hidden states instead of re-running the whole model per layer.
+
+Incremental decoding uses a preallocated, geometrically grown
+:class:`KVCache` per layer (write-in-place + length cursor) and executes GQA
+with broadcastable views rather than ``np.repeat``-materialized K/V; setting
+``fast_path=False`` restores the concatenate-per-step reference behavior.
 
 Quantizable sites and the activations they share (reordering is decided per
 *input site*, shared by all consumers of that activation):
@@ -45,6 +53,7 @@ __all__ = [
     "FloatLinear",
     "KVCodec",
     "IdentityKVCodec",
+    "KVCache",
     "LlamaModel",
     "input_site",
 ]
@@ -135,6 +144,66 @@ class IdentityKVCodec(KVCodec):
         return kv
 
 
+class KVCache:
+    """Preallocated per-layer KV buffer: write-in-place + length cursor.
+
+    Replaces concatenate-per-step caching (O(n^2) copying over a decode) with
+    a geometrically grown buffer: appends write into spare capacity, and the
+    buffer at most doubles when it runs out, so total copying over a decode
+    of ``n`` tokens is O(n).  ``append`` returns zero-copy views of the live
+    prefix.
+    """
+
+    __slots__ = ("k", "v", "length", "max_capacity")
+
+    def __init__(
+        self,
+        batch: int,
+        n_kv_heads: int,
+        head_dim: int,
+        *,
+        capacity: int,
+        max_capacity: int | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.max_capacity = max_capacity
+        if max_capacity is not None:
+            capacity = min(capacity, max_capacity)
+        self.k = np.empty((batch, n_kv_heads, capacity, head_dim), dtype=np.float32)
+        self.v = np.empty_like(self.k)
+        self.length = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.k.shape[2]
+
+    def _grow(self, need: int) -> None:
+        cap = max(need, 2 * self.capacity)
+        if self.max_capacity is not None:
+            cap = min(max(cap, need), self.max_capacity)
+        if cap < need:
+            raise ValueError(
+                f"KV cache needs {need} positions, max_capacity {self.max_capacity}"
+            )
+        k = np.empty((*self.k.shape[:2], cap, self.k.shape[3]), dtype=self.k.dtype)
+        v = np.empty_like(k)
+        k[:, :, : self.length] = self.k[:, :, : self.length]
+        v[:, :, : self.length] = self.v[:, :, : self.length]
+        self.k, self.v = k, v
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Write ``(batch, kv_heads, t, head_dim)`` steps; return live views."""
+        t = k_new.shape[2]
+        need = self.length + t
+        if need > self.capacity:
+            self._grow(need)
+        self.k[:, :, self.length : need] = k_new
+        self.v[:, :, self.length : need] = v_new
+        self.length = need
+        return self.k[:, :, :need], self.v[:, :, :need]
+
+
 class LlamaModel:
     """Inference-time Llama with pluggable quantized linears and KV codec."""
 
@@ -144,10 +213,16 @@ class LlamaModel:
         weights: dict[str, np.ndarray],
         *,
         kv_codec: KVCodec | None = None,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
         self.weights = {k: np.asarray(v, dtype=np.float32) for k, v in weights.items()}
         self.kv_codec = kv_codec or IdentityKVCodec()
+        #: Fast-path execution toggles (preallocated KV-cache + broadcast GQA).
+        #: ``False`` restores concatenate-per-step caching and materialized
+        #: ``np.repeat`` GQA — the reference for equivalence tests and the
+        #: "before" measurement of the perf harness.
+        self.fast_path = fast_path
         self._cos, self._sin = rope_tables(
             config.max_seq_len, config.head_dim, config.rope_theta
         )
@@ -193,7 +268,12 @@ class LlamaModel:
 
     def clone(self) -> "LlamaModel":
         """Fresh FP16 model sharing (copying) the same weights."""
-        return LlamaModel(self.config, self.weights, kv_codec=self.kv_codec)
+        return LlamaModel(
+            self.config,
+            self.weights,
+            kv_codec=self.kv_codec,
+            fast_path=self.fast_path,
+        )
 
     # ------------------------------------------------------------------ #
     # Forward
@@ -239,17 +319,35 @@ class LlamaModel:
         v = self.kv_codec.encode_decode(v, "v").astype(np.float32)
         if cache is not None:
             key = f"{pre}.kv"
-            if key in cache:
-                k_prev, v_prev = cache[key]
-                k = np.concatenate([k_prev, k], axis=2)
-                v = np.concatenate([v_prev, v], axis=2)
-            cache[key] = (k, v)
-        if kv != h:
+            if self.fast_path:
+                kv_cache = cache.get(key)
+                if kv_cache is None:
+                    kv_cache = KVCache(
+                        b, kv, hd, capacity=t, max_capacity=c.max_seq_len
+                    )
+                    cache[key] = kv_cache
+                k, v = kv_cache.append(k, v)
+            else:
+                if key in cache:
+                    k_prev, v_prev = cache[key]
+                    k = np.concatenate([k_prev, k], axis=2)
+                    v = np.concatenate([v_prev, v], axis=2)
+                cache[key] = (k, v)
+        grouped = kv != h and self.fast_path
+        if kv != h and not self.fast_path:
             g = h // kv
             k = np.repeat(k, g, axis=1)
             v = np.repeat(v, g, axis=1)
         t_kv = k.shape[2]
-        scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(hd)
+        if grouped:
+            # GQA without materializing repeated K/V: broadcast each KV head
+            # against its group of query heads inside a batched matmul.
+            g = h // kv
+            qg = q.reshape(b, kv, g, t, hd)
+            scores = (qg @ k[:, :, None].transpose(0, 1, 2, 4, 3)) / np.sqrt(hd)
+            scores = scores.reshape(b, h, t, t_kv)
+        else:
+            scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(hd)
         # Causal mask: query i (at absolute position pos_offset+i) may attend
         # to keys up to that absolute position.
         q_pos = np.arange(pos_offset, pos_offset + t)[:, None]
@@ -258,7 +356,13 @@ class LlamaModel:
         scores -= scores.max(axis=-1, keepdims=True)
         e = np.exp(scores)
         attn = e / e.sum(axis=-1, keepdims=True)
-        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b * t, h * hd)
+        if grouped:
+            ctx = (attn.reshape(b, kv, g, t, t_kv) @ v[:, :, None]).reshape(
+                b, h, t, hd
+            )
+        else:
+            ctx = attn @ v
+        out = ctx.transpose(0, 2, 1, 3).reshape(b * t, h * hd)
         return self._linear(f"{pre}.wo", out.astype(np.float32)).reshape(b, t, c.dim)
 
     def _dense_ffn(self, x2d: np.ndarray, prefix: str) -> np.ndarray:
@@ -267,11 +371,24 @@ class LlamaModel:
         hidden = (gate / (1.0 + np.exp(-gate))) * up  # SiLU(gate) * up
         return self._linear(f"{prefix}.w_down", hidden.astype(np.float32))
 
+    @staticmethod
+    def _topk_threshold(logits: np.ndarray, k: int) -> np.ndarray:
+        """Per-row value of the k-th largest logit, shape ``(rows, 1)``.
+
+        ``np.argpartition`` (O(E) selection) instead of a full sort — same
+        threshold value, hence the same selected experts, asymptotically
+        cheaper in the expert count.
+        """
+        if k >= logits.shape[-1]:
+            return logits.min(axis=-1, keepdims=True)
+        kth_idx = np.argpartition(logits, -k, axis=-1)[:, -k][:, None]
+        return np.take_along_axis(logits, kth_idx, axis=-1)
+
     def _moe_ffn(self, x2d: np.ndarray, layer: int) -> np.ndarray:
         c = self.config
         pre = f"layers.{layer}"
         logits = x2d @ self.weights[f"{pre}.router"].T  # router stays FP16
-        kth = np.sort(logits, axis=-1)[:, -c.top_k][:, None]
+        kth = self._topk_threshold(logits, c.top_k)
         masked = np.where(logits >= kth, logits, -np.inf)
         masked -= masked.max(axis=-1, keepdims=True)
         e = np.exp(masked)
@@ -284,6 +401,50 @@ class LlamaModel:
             y = self._dense_ffn(x2d[active], f"{pre}.experts.{ex}")
             out[active] += gates[active, ex : ex + 1] * y
         return out
+
+    def _layer_step(
+        self,
+        x: np.ndarray,
+        layer: int,
+        *,
+        pos_offset: int = 0,
+        cache: dict | None = None,
+    ) -> np.ndarray:
+        """One decoder layer: attention + FFN with residuals, (B, T, D) -> same."""
+        c = self.config
+        b, t, _ = x.shape
+        pre = f"layers.{layer}"
+        h = self._rms_norm(x, self.weights[f"{pre}.attn_norm"], c.norm_eps)
+        x = x + self._attention(h, layer, pos_offset=pos_offset, cache=cache)
+        h = self._rms_norm(x, self.weights[f"{pre}.mlp_norm"], c.norm_eps)
+        h2d = h.reshape(b * t, c.dim)
+        ffn = (
+            self._moe_ffn(h2d, layer) if c.is_moe else self._dense_ffn(h2d, pre)
+        ).reshape(b, t, c.dim)
+        return x + ffn
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Token embedding lookup: (B, T) int -> (B, T, D) float32."""
+        return self.weights["embed"][np.atleast_2d(np.asarray(tokens))]
+
+    def forward_layer(
+        self,
+        x: np.ndarray,
+        layer: int,
+        *,
+        pos_offset: int = 0,
+        cache: dict | None = None,
+    ) -> np.ndarray:
+        """Advance hidden states through decoder layer ``layer``.
+
+        Together with :meth:`embed` this is the resume-from-activation-
+        checkpoint API: sequential calibration carries layer ``i``'s output
+        forward instead of re-running the whole model per layer (O(L) total
+        layer executions instead of O(L^2)).
+        """
+        if not 0 <= layer < self.config.n_layers:
+            raise ValueError(f"layer {layer} out of range")
+        return self._layer_step(x, layer, pos_offset=pos_offset, cache=cache)
 
     def forward(
         self,
@@ -307,15 +468,7 @@ class LlamaModel:
             )
         x = self.weights["embed"][tokens]
         for i in range(c.n_layers):
-            pre = f"layers.{i}"
-            h = self._rms_norm(x, self.weights[f"{pre}.attn_norm"], c.norm_eps)
-            x = x + self._attention(h, i, pos_offset=pos_offset, cache=cache)
-            h = self._rms_norm(x, self.weights[f"{pre}.mlp_norm"], c.norm_eps)
-            h2d = h.reshape(b * t, c.dim)
-            ffn = (
-                self._moe_ffn(h2d, i) if c.is_moe else self._dense_ffn(h2d, pre)
-            ).reshape(b, t, c.dim)
-            x = x + ffn
+            x = self._layer_step(x, i, pos_offset=pos_offset, cache=cache)
         x = self._rms_norm(x, self.weights["final_norm"], c.norm_eps)
         logits = x.reshape(b * t, c.dim) @ self.weights["lm_head"].T
         return logits.reshape(b, t, c.vocab_size)
@@ -387,6 +540,29 @@ class LlamaModel:
             self.forward(tokens)
         finally:
             captured, self._capture = self._capture, None
+        return self._collect_capture(captured, names)
+
+    def capture_layer_inputs(
+        self, x: np.ndarray, layer: int, names: list[str] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Record linear inputs of ONE decoder layer from hidden states ``x``.
+
+        Runs just layer ``layer`` on ``x`` (as produced by :meth:`embed` /
+        :meth:`forward_layer`), discarding the output.  This is the O(L)
+        sequential-calibration primitive: capturing layer ``i`` costs one
+        layer execution, not a full model forward.
+        """
+        self._capture = {}
+        try:
+            self._layer_step(x, layer)
+        finally:
+            captured, self._capture = self._capture, None
+        return self._collect_capture(captured, names)
+
+    @staticmethod
+    def _collect_capture(
+        captured: dict[str, list[np.ndarray]], names: list[str] | None
+    ) -> dict[str, np.ndarray]:
         keep = set(names) if names is not None else None
         return {
             k: np.concatenate(v, axis=0)

@@ -52,7 +52,9 @@ def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
         )
     grouped = offset.reshape(*codes.shape[:-1], -1, per_byte)
     shifts = np.arange(per_byte, dtype=np.uint8) * bits
-    return (grouped << shifts).sum(axis=-1, dtype=np.uint16).astype(np.uint8)
+    # Fields are disjoint within the byte, so an in-dtype OR-reduce assembles
+    # them without the widening uint16 temp a sum would need.
+    return np.bitwise_or.reduce(grouped << shifts, axis=-1)
 
 
 def unpack_codes(packed: np.ndarray, bits: int, n_elements: int) -> np.ndarray:

@@ -42,6 +42,15 @@ Event schema (one JSON object per line, ``event`` field dispatches):
 
 All events carry ``t`` (simulated clock, seconds) and ``iteration`` (the
 engine iteration during which they occurred).
+
+The same sink doubles as the kernel-phase profiler of the NumPy execution
+engine: an :class:`~repro.core.linear.AtomLinear` with a recorder attached
+(``lin.telemetry = TraceRecorder()``) emits one :class:`IterationSample` per
+call with measured ``t_quant`` (dynamic activation quantization) and
+``t_dense`` (GEMM + dequant epilogue) wall-times — ``repro bench --trace``
+uses this, and :func:`summarize` / :func:`write_jsonl` work on such traces
+unchanged, so quantize-vs-GEMM cost is attributable without separate
+instrumentation.
 """
 
 from __future__ import annotations

@@ -68,7 +68,10 @@ def main() -> None:
     rows = []
     for name, scheme in scheme_of.items():
         tops = gemm_tops(512, 4096, 4096, scheme)
-        r = ServingEngine(LLAMA_7B, scheme, max_batch=256, enforce_memory=True).run(reqs)
+        # shed_policy="drop" load-sheds never-admittable requests instead of
+        # raising ShedError, so one oversized request can't kill the sweep.
+        r = ServingEngine(LLAMA_7B, scheme, max_batch=256, enforce_memory=True,
+                          shed_policy="drop").run(reqs)
         rows.append(
             [name, f"{tops:.0f}", r.max_batch, f"{r.throughput_tokens_per_s:.0f}",
              f"{r.mean_decode_latency_s*1e3:.1f}"]

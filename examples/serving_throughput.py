@@ -21,6 +21,7 @@ from repro.serving import (
     W4A16,
     W8A8,
     ServingEngine,
+    ShedError,
 )
 
 SCHEMES = (FP16, W4A16, W8A8, ATOM_W4A4)
@@ -53,9 +54,19 @@ def main() -> None:
     rows = []
     base = None
     for scheme in SCHEMES:
-        r = ServingEngine(
-            LLAMA_7B, scheme, max_batch=256, enforce_memory=True
-        ).run(reqs)
+        try:
+            r = ServingEngine(
+                LLAMA_7B, scheme, max_batch=256, enforce_memory=True
+            ).run(reqs)
+        except ShedError as exc:
+            # Typed load shedding: the engine names the request and the page
+            # math instead of dying with an anonymous RuntimeError.
+            print(
+                f"{scheme.name}: request {exc.request_id} can never fit "
+                f"({exc.pages_required} pages needed, pool holds "
+                f"{exc.pages_total}) — skipping scheme"
+            )
+            continue
         base = base or r.throughput_tokens_per_s
         rows.append(
             [

@@ -4,7 +4,10 @@ Runs the same ShareGPT-like workload twice on a memory-tight FP16 engine
 and on Atom W4A4, with a :class:`TraceRecorder` attached, then mines the
 traces for the per-iteration signal the aggregate :class:`ServingResult`
 hides: batch-occupancy ramp, page-pool pressure, and preemption storms
-under the ``"dynamic"`` admission policy.
+under the ``"dynamic"`` admission policy.  A final section replays the
+same workload under a seeded :class:`FaultPlan` to show the graceful-
+degradation story: every request still drains to exactly one terminal
+state, and the failure timeline is visible in the trace.
 
 Run:  python examples/trace_serving.py
 """
@@ -17,10 +20,15 @@ from repro.serving import (
     ATOM_W4A4,
     FP16,
     LLAMA_7B,
+    FaultPlan,
     ServingEngine,
     TraceRecorder,
 )
-from repro.serving.telemetry import IterationSample, RequestPreempted
+from repro.serving.telemetry import (
+    FaultInjected,
+    IterationSample,
+    RequestPreempted,
+)
 
 
 def run_traced(scheme):
@@ -89,6 +97,40 @@ def main() -> None:
     print(
         "\nAtom's 4-bit KV quadruples the page budget: same workload, no"
         "\npreemptions, and the batch ramps to the request-count ceiling."
+    )
+
+    # Chaos replay: the same engine under a seeded fault plan.  Shed
+    # instead of raising, and let deadlines/faults produce the full
+    # terminal-state lattice.
+    reqs = ShareGPTWorkload(seed=7, max_len=2048).sample_requests(128)
+    plan = FaultPlan.random(17, request_ids=[r.request_id for r in reqs])
+    recorder = TraceRecorder()
+    engine = ServingEngine(
+        LLAMA_7B, FP16, max_batch=128, admission="dynamic",
+        telemetry=recorder, shed_policy="drop",
+    )
+    result = engine.run(reqs, faults=plan)
+    fired = [e for e in recorder.events if isinstance(e, FaultInjected)]
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["fault plan", plan.describe()],
+                ["faults fired", len(fired)],
+                ["alloc retries (backoff)", result.alloc_retries],
+                ["preemptions", result.preemptions],
+                ["finished", result.completed_requests],
+                ["cancelled / timed_out / shed",
+                 f"{result.cancelled} / {result.timed_out} / {result.shed}"],
+            ],
+            title="Chaos replay (FaultPlan.random(seed=17))",
+        )
+    )
+    assert len(result.terminal_states) == len(reqs)
+    print(
+        "\nEvery request still reaches exactly one terminal state — the"
+        "\ndegradation policy sheds and retries instead of crashing."
     )
 
 

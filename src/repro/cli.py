@@ -7,6 +7,7 @@ Usage::
     python -m repro ablation -m llama-7b-sim     # Table 3 on one model
     python -m repro serve --scheme Atom-W4A4     # serving simulation
     python -m repro trace --scheme FP16 -o t.jsonl   # serving event trace
+    python -m repro trace --chaos 7 -o t.jsonl       # fault-injection trace
     python -m repro bench -o BENCH_inference.json    # fast-path microbenchmarks
 """
 
@@ -140,6 +141,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.data.sharegpt import ShareGPTWorkload
     from repro.serving import SCHEMES, ServingEngine, TraceRecorder
+    from repro.serving.faults import FaultPlan
     from repro.serving.models import LLAMA_13B, LLAMA_70B, LLAMA_7B
     from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
     from repro.serving.telemetry import write_csv, write_jsonl
@@ -153,6 +155,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     reqs = ShareGPTWorkload(seed=args.seed, max_len=2048).sample_requests(
         args.requests
     )
+    faults = None
+    degrade_kwargs: dict = {}
+    if args.chaos is not None:
+        faults = FaultPlan.random(
+            args.chaos, request_ids=[r.request_id for r in reqs]
+        )
+        degrade_kwargs["shed_policy"] = "drop"
+        print(f"injecting {faults.describe()}")
+    if args.deadline is not None:
+        degrade_kwargs["deadline_s"] = args.deadline
+        degrade_kwargs["shed_policy"] = "drop"
     recorder = TraceRecorder()
     engine = ServingEngine(
         specs[args.model],
@@ -161,13 +174,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         admission=args.admission,
         tp=tp,
         telemetry=recorder,
+        **degrade_kwargs,
     )
-    result = engine.run(reqs)
-    write_jsonl(recorder.events, args.output)
-    print(f"wrote {len(recorder.events)} events to {args.output}")
-    if args.csv:
-        write_csv(recorder.events, args.csv)
-        print(f"wrote iteration metrics to {args.csv}")
+    result = engine.run(reqs, faults=faults)
+    try:
+        write_jsonl(recorder.events, args.output)
+        print(f"wrote {len(recorder.events)} events to {args.output}")
+        if args.csv:
+            write_csv(recorder.events, args.csv)
+            print(f"wrote iteration metrics to {args.csv}")
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 2
 
     s = recorder.summary()
     print(
@@ -187,7 +205,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 ["mean / peak KV utilization",
                  f"{s.mean_kv_utilization:.2f} / {s.peak_kv_utilization:.2f}"],
                 ["min free pages", s.min_free_pages],
-            ],
+            ]
+            + (
+                [
+                    ["terminal states",
+                     f"finished {result.completed_requests} / "
+                     f"timed_out {result.timed_out} / "
+                     f"cancelled {result.cancelled} / shed {result.shed}"],
+                    ["faults injected / alloc retries",
+                     f"{result.faults_injected} / {result.alloc_retries}"],
+                ]
+                if (args.chaos is not None or args.deadline is not None)
+                else []
+            ),
             title=f"{spec.name} {args.scheme}, {args.admission} admission, "
             f"{len(reqs)} requests",
         )
@@ -335,6 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL trace output path")
     t.add_argument("--csv", default=None,
                    help="also write per-iteration metrics to this CSV path")
+    t.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="inject a seeded random FaultPlan (page-pool "
+                        "shrinkage, cancellations, stragglers, transient "
+                        "allocator failures) and record the failure timeline")
+    t.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline; late requests reach the "
+                        "timed_out terminal state instead of finishing")
     t.set_defaults(func=_cmd_trace)
 
     b = sub.add_parser(

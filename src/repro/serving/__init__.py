@@ -14,7 +14,12 @@ on an RTX 4090 with custom CUDA kernels.  Without a GPU, we reproduce the
   FlashInfer-style decode attention, quant/reorder fusion overheads;
 - :mod:`repro.serving.paged_kv` — vLLM-style paged KV-cache allocator;
 - :mod:`repro.serving.engine`   — FCFS continuous-batching serving engine
-  (Orca-style iteration-level scheduling) over simulated time;
+  (Orca-style iteration-level scheduling) over simulated time, with a
+  graceful-degradation policy (deadlines, cancellation, load shedding,
+  retry/backoff on allocator faults) and a typed terminal state per request;
+- :mod:`repro.serving.faults`   — seeded, deterministic fault injection
+  (page-pool shrinkage, cancellations, stragglers, transient allocator
+  failures) threaded through ``ServingEngine.run(..., faults=...)``;
 - :mod:`repro.serving.breakdown` — per-operator runtime breakdown (Fig. 3);
 - :mod:`repro.serving.telemetry` — structured event-trace + metrics
   telemetry (typed events, per-iteration samples, JSONL/CSV export) with a
@@ -39,9 +44,21 @@ from repro.serving.kernels import (
     gemm_time,
     gemm_tops,
 )
-from repro.serving.paged_kv import PagedKVAllocator
+from repro.serving.paged_kv import KVAccountingError, PagedKVAllocator
 from repro.serving.parallel import NVLINK, PCIE_4, TPConfig, tp_dense_layer_time
-from repro.serving.engine import ServingEngine, ServingResult
+from repro.serving.engine import (
+    TERMINAL_STATES,
+    ServingEngine,
+    ServingResult,
+    ShedError,
+)
+from repro.serving.faults import (
+    CancelFault,
+    FaultInjector,
+    FaultPlan,
+    PagePoolFault,
+    StragglerFault,
+)
 from repro.serving.breakdown import runtime_breakdown
 from repro.serving.telemetry import (
     NULL_TELEMETRY,
@@ -57,21 +74,29 @@ from repro.serving.telemetry import (
 __all__ = [
     "A100_40G",
     "ATOM_W4A4",
+    "CancelFault",
     "FP16",
+    "FaultInjector",
+    "FaultPlan",
     "GPUSpec",
+    "KVAccountingError",
     "LLAMA_13B",
     "LLAMA_70B",
     "LLAMA_7B",
+    "PagePoolFault",
     "PagedKVAllocator",
     "QuantScheme",
     "RTX_4090",
     "SCHEMES",
     "ServingEngine",
     "ServingModelSpec",
+    "ShedError",
+    "StragglerFault",
     "NVLINK",
     "NULL_TELEMETRY",
     "PCIE_4",
     "ServingResult",
+    "TERMINAL_STATES",
     "TPConfig",
     "Telemetry",
     "TraceRecorder",

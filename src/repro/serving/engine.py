@@ -26,6 +26,37 @@ Two admission policies are provided:
 Each iteration's duration comes from the analytic kernels of
 :mod:`repro.serving.kernels`; the engine advances a simulated clock and
 collects throughput, per-token decode latency, and time-to-first-token.
+
+Failure model & graceful degradation
+------------------------------------
+
+Every request ends in exactly one **terminal state** (recorded in
+``ServingResult.terminal_states``):
+
+``finished``
+    All decode tokens delivered.  Only these count toward throughput.
+``timed_out``
+    Missed its deadline (``deadline_s``), queued or in-flight; its pages
+    are released immediately.
+``cancelled``
+    Abandoned by the client (injected via a
+    :class:`~repro.serving.faults.FaultPlan`), queued or in-flight.
+``shed``
+    Load-shed: its KV reservation can never fit the page pool.  With the
+    default ``shed_policy="raise"`` this raises a typed :class:`ShedError`
+    (pre-existing behaviour, now typed); with ``shed_policy="drop"`` the
+    request is dropped and serving continues.
+
+Fault injection threads through ``run(requests, faults=...)``: a
+:class:`~repro.serving.faults.FaultPlan` (or prebuilt ``FaultInjector``)
+shrinks/restores the page pool, cancels requests, stretches iteration
+times (stragglers), and makes allocator calls fail transiently.  Transient
+allocator failures are retried with exponential backoff
+(``max_alloc_retries`` / ``backoff_base_s``); if the failure persists the
+engine falls back to victim-selection preemption and recomputes the victim
+on resume — the PagedAttention recovery story.  With ``faults=None`` every
+fault hook is skipped and the run is bit-identical to an engine without
+this machinery.
 """
 
 from __future__ import annotations
@@ -36,6 +67,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.sharegpt import Request
+from repro.serving.faults import FaultInjector, FaultPlan
 from repro.serving.hardware import GPUSpec, RTX_4090
 from repro.serving.kernels import (
     attention_decode_time,
@@ -60,10 +92,34 @@ from repro.serving.telemetry import (
     weighted_percentile,
 )
 
-__all__ = ["ServingEngine", "ServingResult"]
+__all__ = ["ServingEngine", "ServingResult", "ShedError", "TERMINAL_STATES"]
 
 # Workspace reserved for activations / scratch beyond weights and KV.
 _WORKSPACE_BYTES = 1.0e9
+
+#: The terminal-state lattice: every request ends in exactly one of these.
+TERMINAL_STATES = ("finished", "timed_out", "cancelled", "shed")
+
+
+class ShedError(RuntimeError):
+    """A request can never be admitted: its KV reservation exceeds the pool.
+
+    Subclasses :class:`RuntimeError` (the pre-typed behaviour) so existing
+    ``except RuntimeError`` callers keep working, and carries the request id
+    plus required/available pages so callers can size budgets or reroute.
+    """
+
+    def __init__(
+        self, request_id: int, pages_required: int, pages_total: int
+    ) -> None:
+        self.request_id = request_id
+        self.pages_required = pages_required
+        self.pages_total = pages_total
+        super().__init__(
+            f"cannot admit request {request_id}: needs {pages_required} KV "
+            f"pages but the pool has {pages_total} in total "
+            f"(KV budget too small for its tokens)"
+        )
 
 
 @dataclass
@@ -86,6 +142,15 @@ class ServingResult:
     weights_gb: float
     kv_budget_gb: float
     time_breakdown: dict[str, float] = field(default_factory=dict)
+    # -- degradation / fault accounting (all zero on a fault-free run) --- #
+    iterations: int = 0
+    timed_out: int = 0
+    cancelled: int = 0
+    shed: int = 0
+    alloc_retries: int = 0  # backoff retries spent on transient alloc faults
+    faults_injected: int = 0  # page-shrink/straggler/alloc-fail events fired
+    #: request_id -> terminal state (one entry per request, always).
+    terminal_states: dict[int, str] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (
@@ -133,6 +198,11 @@ class ServingEngine:
         tp: TPConfig | None = None,
         prefill_chunk: int | None = None,
         telemetry: Telemetry | None = None,
+        deadline_s: "float | dict[int, float] | None" = None,
+        shed_policy: str = "raise",
+        max_alloc_retries: int = 3,
+        backoff_base_s: float = 1e-3,
+        stall_limit: int = 1000,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -140,6 +210,16 @@ class ServingEngine:
             raise ValueError(f"unknown admission policy: {admission!r}")
         if prefill_chunk is not None and prefill_chunk < 1:
             raise ValueError("prefill_chunk must be >= 1 (or None)")
+        if shed_policy not in ("raise", "drop"):
+            raise ValueError(f"unknown shed policy: {shed_policy!r}")
+        if isinstance(deadline_s, (int, float)) and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if max_alloc_retries < 0:
+            raise ValueError("max_alloc_retries must be >= 0")
+        if backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if stall_limit < 1:
+            raise ValueError("stall_limit must be >= 1")
         self.spec = spec
         self.scheme = scheme
         self.gpu = gpu
@@ -149,6 +229,11 @@ class ServingEngine:
         self.tp = tp
         self.prefill_chunk = prefill_chunk
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.deadline_s = deadline_s
+        self.shed_policy = shed_policy
+        self.max_alloc_retries = max_alloc_retries
+        self.backoff_base_s = backoff_base_s
+        self.stall_limit = stall_limit
         degree = tp.degree if tp else 1
         if tp:
             validate_shardable(spec, degree)
@@ -173,8 +258,33 @@ class ServingEngine:
         )
 
     # ------------------------------------------------------------------ #
-    def run(self, requests: list[Request]) -> ServingResult:
-        """Serve ``requests`` to completion; returns aggregate metrics."""
+    def _deadline_for(self, request_id: int) -> float:
+        """Absolute deadline (simulated seconds) for one request."""
+        if self.deadline_s is None:
+            return float("inf")
+        if isinstance(self.deadline_s, dict):
+            return self.deadline_s.get(request_id, float("inf"))
+        return float(self.deadline_s)
+
+    def run(
+        self,
+        requests: list[Request],
+        *,
+        faults: "FaultPlan | FaultInjector | None" = None,
+    ) -> ServingResult:
+        """Serve ``requests`` to completion; returns aggregate metrics.
+
+        ``faults`` optionally injects a deterministic fault timeline (see
+        :mod:`repro.serving.faults`).  A :class:`FaultPlan` is wrapped in a
+        fresh :class:`FaultInjector` so the run is replayable; ``None``
+        (the default) skips every fault hook entirely.
+        """
+        if faults is None:
+            injector = None
+        elif isinstance(faults, FaultPlan):
+            injector = FaultInjector(faults)
+        else:
+            injector = faults
         pending: deque[Request] = deque(requests)
         running: list[_Active] = []
         alloc = self._allocator
@@ -191,9 +301,116 @@ class ServingEngine:
         peak_batch = 0
         memory_limited = False
         breakdown = {"dense": 0.0, "attention": 0.0, "quant": 0.0, "other": 0.0}
+        terminal: dict[int, str] = {}
+        timed_out_n = cancelled_n = shed_n = 0
+        alloc_retries = 0
+        faults_injected = 0
+        stall = 0  # consecutive zero-progress iterations (liveness guard)
+        has_deadlines = self.deadline_s is not None
+
+        def _terminal(request_id: int, state: str) -> None:
+            # Engine-wide invariant: exactly one terminal state per request.
+            if request_id in terminal:  # pragma: no cover - internal bug trap
+                raise AssertionError(
+                    f"request {request_id} reached a second terminal state "
+                    f"{state!r} after {terminal[request_id]!r}"
+                )
+            terminal[request_id] = state
+
+        def _shed(request_id: int, pages_required: int) -> None:
+            nonlocal shed_n
+            _terminal(request_id, "shed")
+            shed_n += 1
+            tel.request_shed(request_id, pages_required, alloc.total_pages)
+
+        def _alloc_blocked() -> bool:
+            """Consult the injector before an allocator call.
+
+            Returns True if an injected transient failure persisted through
+            ``max_alloc_retries`` exponential-backoff retries (each retry
+            adds simulated wait to the clock); False if the call may
+            proceed (no fault, or a retry succeeded).
+            """
+            nonlocal clock, alloc_retries, faults_injected
+            if injector is None or not injector.alloc_attempt_fails():
+                return False
+            faults_injected += 1
+            blocked = True
+            retries = 0
+            while retries < self.max_alloc_retries:
+                clock += self.backoff_base_s * (2.0**retries)
+                retries += 1
+                alloc_retries += 1
+                if not injector.alloc_attempt_fails():
+                    blocked = False
+                    break
+            tel.set_clock(clock)
+            tel.fault_injected("alloc_fail", float(retries))
+            return blocked
 
         while pending or running:
             tel.begin_iteration(iteration, clock)
+
+            # --- Fault hooks: page-pool resize and cancellations.
+            if injector is not None:
+                delta = injector.page_pool_delta(iteration)
+                if delta:
+                    applied = alloc.resize(delta)
+                    if applied:
+                        faults_injected += 1
+                        tel.fault_injected("page_shrink", float(applied))
+                    # A shrink below live usage evicts the newest requests
+                    # until accounting is consistent (recompute-on-resume).
+                    while alloc.free_pages < 0 and running:
+                        victim = running.pop()
+                        vrid = victim.request.request_id
+                        freed = alloc.free(vrid)
+                        tel.request_preempted(vrid, freed)
+                        pending.appendleft(victim.request)
+                        preemptions += 1
+                        memory_limited = True
+                for rid in injector.cancellations(iteration):
+                    hit = next(
+                        (a for a in running if a.request.request_id == rid),
+                        None,
+                    )
+                    if hit is not None:
+                        running.remove(hit)
+                        freed = alloc.free(rid)
+                        _terminal(rid, "cancelled")
+                        cancelled_n += 1
+                        tel.request_cancelled(rid, freed)
+                        continue
+                    queued = next(
+                        (r for r in pending if r.request_id == rid), None
+                    )
+                    if queued is not None:
+                        pending.remove(queued)
+                        _terminal(rid, "cancelled")
+                        cancelled_n += 1
+                        tel.request_cancelled(rid, 0)
+
+            # --- Deadline sweep: queued or in-flight requests past their
+            # deadline reach the timed_out terminal state.
+            if has_deadlines:
+                for a in [x for x in running]:
+                    rid = a.request.request_id
+                    if clock > self._deadline_for(rid):
+                        running.remove(a)
+                        freed = alloc.free(rid)
+                        _terminal(rid, "timed_out")
+                        timed_out_n += 1
+                        tel.request_timed_out(rid, freed)
+                for r in [x for x in pending]:
+                    if clock > self._deadline_for(r.request_id):
+                        pending.remove(r)
+                        _terminal(r.request_id, "timed_out")
+                        timed_out_n += 1
+                        tel.request_timed_out(r.request_id, 0)
+
+            if not pending and not running:
+                break  # cancellations/deadlines drained everything
+
             # --- Admission: refill the batch FCFS.
             while pending and len(running) < self.max_batch:
                 nxt = pending[0]
@@ -210,6 +427,8 @@ class ServingEngine:
                     if slack_after < len(running) + 1:
                         memory_limited = bool(running)
                         break
+                if _alloc_blocked():
+                    break
                 if not alloc.allocate(nxt.request_id, reserve):
                     memory_limited = True
                     break
@@ -223,10 +442,43 @@ class ServingEngine:
                 pending.popleft()
                 running.append(_Active(nxt))
             if not running:
-                raise RuntimeError(
-                    f"cannot admit request {pending[0].request_id}: "
-                    f"KV budget too small for its tokens"
+                # Nothing in flight and the queue head could not be
+                # admitted.  Decide between permanent (shed) and transient
+                # (back off and retry) failure.
+                nxt = pending[0]
+                reserve = (
+                    nxt.total_len
+                    if self.admission == "reserve"
+                    else nxt.prefill_len + 1
                 )
+                need = alloc.pages_for(reserve)
+                # Under dynamic admission one page of decode slack must
+                # remain after the reservation, so the largest admissible
+                # reservation is one page smaller.
+                headroom = alloc.total_pages - (
+                    1 if self.admission == "dynamic" else 0
+                )
+                if need > headroom:
+                    if self.shed_policy == "drop":
+                        pending.popleft()
+                        _shed(nxt.request_id, need)
+                        iteration += 1
+                        continue
+                    raise ShedError(nxt.request_id, need, alloc.total_pages)
+                # Transient blockage (injected allocator failure, or a
+                # shrunken pool that a later fault may restore): back off
+                # and retry, shedding the head request if the stall
+                # persists so the queue is guaranteed to drain.
+                stall += 1
+                if stall > self.stall_limit:
+                    pending.popleft()
+                    _shed(nxt.request_id, need)
+                    stall = 0
+                else:
+                    clock += self.backoff_base_s * min(2.0**stall, 1024.0)
+                    tel.set_clock(clock)
+                iteration += 1
+                continue
 
             # --- Split the batch into prefilling and decoding requests.
             prefilling = [a for a in running if not a.prefill_done]
@@ -242,10 +494,14 @@ class ServingEngine:
                     rid = a.request.request_id
                     if rid in preempted:
                         continue
-                    while not alloc.append_token(rid):
-                        # Out of pages: preempt the most recently admitted
-                        # request whose cache has not grown this iteration
-                        # (vLLM recompute preemption), else preempt `a`.
+                    while True:
+                        blocked = _alloc_blocked()
+                        if not blocked and alloc.append_token(rid):
+                            break
+                        # Out of pages (or a persistent transient fault):
+                        # preempt the most recently admitted request whose
+                        # cache has not grown this iteration (vLLM recompute
+                        # preemption), else preempt `a`.
                         victim = next(
                             (
                                 c
@@ -256,20 +512,29 @@ class ServingEngine:
                             ),
                             a,
                         )
-                        if victim is a and len(order) == 1 and not prefilling:
+                        if (
+                            victim is a
+                            and len(order) == 1
+                            and not prefilling
+                            and not blocked
+                        ):
                             # Recomputing a lone request cannot make progress:
                             # its full lifetime exceeds the KV budget.
-                            raise RuntimeError(
-                                f"request {rid} exceeds KV capacity: "
-                                f"{a.request.total_len} tokens do not fit"
-                            )
+                            need = alloc.pages_for(a.request.total_len)
+                            if self.shed_policy == "drop":
+                                alloc.free(rid)
+                                _shed(rid, need)
+                                preempted.add(rid)  # excluded from survivors
+                                break
+                            raise ShedError(rid, need, alloc.total_pages)
                         vrid = victim.request.request_id
                         freed = alloc.free(vrid)
                         tel.request_preempted(vrid, freed)
                         pending.appendleft(victim.request)
                         preempted.add(vrid)
                         preemptions += 1
-                        memory_limited = True
+                        if not blocked:
+                            memory_limited = True
                         if victim is a:
                             break
                     if rid not in preempted:
@@ -293,8 +558,17 @@ class ServingEngine:
             prefill_tokens = sum(c for _, c in chunks)
             m = prefill_tokens + decode_batch
             if m == 0:
+                # Everything preempted; re-admit next round.  Under fault
+                # injection this can repeat, so the same liveness guard as
+                # admission applies: a persistent stall sheds the queue head.
+                stall += 1
+                if stall > self.stall_limit and pending:
+                    nxt = pending.popleft()
+                    _shed(nxt.request_id, alloc.pages_for(nxt.total_len))
+                    stall = 0
                 iteration += 1
-                continue  # everything preempted; re-admit next round
+                continue
+            stall = 0
             degree = self.tp.degree if self.tp else 1
             if self.tp and degree > 1:
                 t_dense = tp_dense_layer_time(
@@ -325,6 +599,17 @@ class ServingEngine:
                 else 0.0
             )
             t_other = other_ops_time(m, self.spec, self.gpu)
+            if injector is not None:
+                # Straggler: one slow kernel stretches the whole iteration
+                # (scaled per phase so the breakdown still sums to total).
+                factor = injector.straggler_factor(iteration)
+                if factor != 1.0:
+                    t_dense *= factor
+                    t_attn *= factor
+                    t_quant *= factor
+                    t_other *= factor
+                    faults_injected += 1
+                    tel.fault_injected("straggler", factor)
             t_iter = t_dense + t_attn + t_quant + t_other
             breakdown["dense"] += t_dense
             breakdown["attention"] += t_attn
@@ -360,6 +645,7 @@ class ServingEngine:
                 if a.done:
                     freed = alloc.free(a.request.request_id)
                     tel.request_finished(a.request.request_id, freed)
+                    _terminal(a.request.request_id, "finished")
                     completed += 1
                     delivered_tokens += a.request.decode_len
                 else:
@@ -411,4 +697,11 @@ class ServingEngine:
             weights_gb=self.weights_bytes / 1e9,
             kv_budget_gb=self.kv_budget / 1e9,
             time_breakdown=breakdown,
+            iterations=iteration,
+            timed_out=timed_out_n,
+            cancelled=cancelled_n,
+            shed=shed_n,
+            alloc_retries=alloc_retries,
+            faults_injected=faults_injected,
+            terminal_states=terminal,
         )

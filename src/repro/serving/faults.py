@@ -1,0 +1,255 @@
+"""Deterministic fault injection for the serving engine.
+
+Atom's serving claim (§5, Fig. 9-10) is a *systems* claim: the W4A4
+co-design only pays off if the engine around it survives the failure modes
+real servers hit at heavy traffic — page-pool exhaustion, kernel
+stragglers, client cancellations, flaky allocators.  This module provokes
+exactly those modes, deterministically, so every degradation behaviour in
+:class:`~repro.serving.engine.ServingEngine` has a seeded, replayable test.
+
+Two halves:
+
+- :class:`FaultPlan` — a frozen, declarative schedule of faults.  Three
+  iteration-indexed event kinds (:class:`PagePoolFault`,
+  :class:`CancelFault`, :class:`StragglerFault`) plus a per-attempt
+  transient-allocator-failure probability driven by a fixed seed.  Plans
+  are pure data: hashable, comparable, trivially serialisable.
+- :class:`FaultInjector` — the stateful runtime the engine consults.  It is
+  constructed fresh per run (``engine.run(reqs, faults=plan)`` does this
+  automatically) so the same ``(workload, plan)`` pair always replays the
+  same fault timeline bit-for-bit.
+
+Fault kinds and what they model:
+
+``PagePoolFault``
+    Shrinks (negative ``delta_pages``) or restores (positive) the KV page
+    pool at one iteration — a co-tenant stealing GPU memory, cache
+    migration, or an OOM-killer clawback.  The engine reacts with
+    recompute-on-resume eviction (the PagedAttention recovery story).
+``CancelFault``
+    Client abandons a request at one iteration, whether it is queued or
+    in-flight.  The engine must release its pages and mark it terminal.
+``StragglerFault``
+    One iteration's kernels run ``factor`` times slower — a thermally
+    throttled SM, a PCIe hiccup, a noisy neighbour.  Token accounting must
+    be unaffected; only the clock stretches.
+``alloc_failure_prob``
+    Every allocator call (admission reserve or decode-growth append) fails
+    transiently with this probability — fragmentation races, async-free
+    lag.  The engine retries with exponential backoff, then falls back to
+    victim preemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "CancelFault",
+    "FaultInjector",
+    "FaultPlan",
+    "PagePoolFault",
+    "StragglerFault",
+]
+
+
+@dataclass(frozen=True)
+class PagePoolFault:
+    """Shrink (``delta_pages`` < 0) or restore (> 0) the KV page pool."""
+
+    iteration: int
+    delta_pages: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+        if self.delta_pages == 0:
+            raise ValueError("page-pool fault must change the pool")
+
+
+@dataclass(frozen=True)
+class CancelFault:
+    """Cancel ``request_id`` at ``iteration`` (queued or in-flight)."""
+
+    iteration: int
+    request_id: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Stretch one iteration's kernel times by ``factor`` (>= 1)."""
+
+    iteration: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded schedule of faults for one serving run."""
+
+    page_faults: tuple[PagePoolFault, ...] = ()
+    cancellations: tuple[CancelFault, ...] = ()
+    stragglers: tuple[StragglerFault, ...] = ()
+    #: Probability that any single allocator call fails transiently.
+    alloc_failure_prob: float = 0.0
+    #: Seed for the transient-failure coin flips (and nothing else — the
+    #: scheduled events above are already fully deterministic).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alloc_failure_prob <= 1.0:
+            raise ValueError("alloc_failure_prob must be in [0, 1]")
+        object.__setattr__(self, "page_faults", tuple(self.page_faults))
+        object.__setattr__(self, "cancellations", tuple(self.cancellations))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def empty(self) -> bool:
+        """True if this plan injects nothing at all."""
+        return (
+            not self.page_faults
+            and not self.cancellations
+            and not self.stragglers
+            and self.alloc_failure_prob == 0.0
+        )
+
+    def fault_kinds(self) -> set[str]:
+        """Which fault kinds this plan can inject (for coverage checks)."""
+        kinds: set[str] = set()
+        if self.page_faults:
+            kinds.add("page_shrink")
+        if self.cancellations:
+            kinds.add("cancel")
+        if self.stragglers:
+            kinds.add("straggler")
+        if self.alloc_failure_prob > 0.0:
+            kinds.add("alloc_fail")
+        return kinds
+
+    def describe(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, {len(self.page_faults)} page-pool, "
+            f"{len(self.cancellations)} cancel, "
+            f"{len(self.stragglers)} straggler, "
+            f"alloc_failure_prob={self.alloc_failure_prob:.3f})"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        request_ids: Iterable[int] = (),
+        horizon: int = 400,
+        max_page_faults: int = 3,
+        max_shrink_pages: int = 512,
+        max_cancellations: int = 4,
+        max_stragglers: int = 4,
+        max_straggler_factor: float = 10.0,
+        max_alloc_failure_prob: float = 0.25,
+    ) -> "FaultPlan":
+        """Generate a random-but-deterministic plan for chaos testing.
+
+        The same ``seed`` (and keyword envelope) always yields the same
+        plan.  Each fault kind is included with high probability so a
+        modest seed sweep exercises every kind; cancellations are only
+        drawn from ``request_ids``.
+        """
+        rng = np.random.default_rng(seed)
+        page: list[PagePoolFault] = []
+        if rng.random() < 0.8:
+            for _ in range(int(rng.integers(1, max_page_faults + 1))):
+                it = int(rng.integers(0, horizon))
+                pages = int(rng.integers(1, max_shrink_pages + 1))
+                page.append(PagePoolFault(it, -pages))
+                if rng.random() < 0.6:  # often restore the stolen pages
+                    back = it + int(rng.integers(1, max(2, horizon // 2)))
+                    page.append(PagePoolFault(back, pages))
+        cancels: list[CancelFault] = []
+        ids = sorted(set(request_ids))
+        if ids and rng.random() < 0.8:
+            n = int(rng.integers(1, min(len(ids), max_cancellations) + 1))
+            for rid in rng.choice(ids, size=n, replace=False):
+                cancels.append(CancelFault(int(rng.integers(0, horizon)), int(rid)))
+        stragglers: list[StragglerFault] = []
+        if rng.random() < 0.8:
+            for _ in range(int(rng.integers(1, max_stragglers + 1))):
+                factor = 1.0 + (max_straggler_factor - 1.0) * float(rng.random())
+                stragglers.append(StragglerFault(int(rng.integers(0, horizon)), factor))
+        prob = (
+            float(rng.random()) * max_alloc_failure_prob
+            if rng.random() < 0.7
+            else 0.0
+        )
+        return cls(
+            page_faults=tuple(page),
+            cancellations=tuple(cancels),
+            stragglers=tuple(stragglers),
+            alloc_failure_prob=prob,
+            seed=int(rng.integers(0, 2**31)),
+        )
+
+
+class FaultInjector:
+    """Stateful runtime view of a :class:`FaultPlan` for one engine run.
+
+    The engine queries it at fixed points in its iteration loop; the only
+    internal state is the RNG for transient-failure coin flips, whose
+    consumption order is fully determined by the engine's (deterministic)
+    allocator-call sequence — so a run is replayable from ``(workload,
+    plan)`` alone.  Build a **fresh** injector per run; reuse advances the
+    RNG and breaks replay.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._page: dict[int, int] = {}
+        for f in plan.page_faults:
+            self._page[f.iteration] = self._page.get(f.iteration, 0) + f.delta_pages
+        self._cancel: dict[int, list[int]] = {}
+        for c in plan.cancellations:
+            self._cancel.setdefault(c.iteration, []).append(c.request_id)
+        self._straggle: dict[int, float] = {}
+        for s in plan.stragglers:
+            self._straggle[s.iteration] = self._straggle.get(s.iteration, 1.0) * s.factor
+        #: Count of transient allocator failures injected so far.
+        self.alloc_failures = 0
+
+    # -- iteration-indexed events --------------------------------------- #
+    def page_pool_delta(self, iteration: int) -> int:
+        """Net page-pool change scheduled for this iteration (0 if none)."""
+        return self._page.get(iteration, 0)
+
+    def cancellations(self, iteration: int) -> tuple[int, ...]:
+        """Request ids scheduled for cancellation at this iteration."""
+        return tuple(self._cancel.get(iteration, ()))
+
+    def straggler_factor(self, iteration: int) -> float:
+        """Kernel-time multiplier for this iteration (1.0 = no straggler)."""
+        return self._straggle.get(iteration, 1.0)
+
+    # -- probabilistic events -------------------------------------------- #
+    def alloc_attempt_fails(self) -> bool:
+        """Coin flip: does this allocator call fail transiently?"""
+        if self.plan.alloc_failure_prob <= 0.0:
+            return False
+        failed = bool(self._rng.random() < self.plan.alloc_failure_prob)
+        if failed:
+            self.alloc_failures += 1
+        return failed

@@ -13,7 +13,29 @@ import math
 
 from repro.serving.telemetry import NULL_TELEMETRY, Telemetry
 
-__all__ = ["PagedKVAllocator"]
+__all__ = ["KVAccountingError", "PagedKVAllocator"]
+
+
+class KVAccountingError(KeyError):
+    """Page-accounting violation: double allocate, double free, or an
+    operation on a request the allocator has never seen.
+
+    Subclasses :class:`KeyError` so pre-existing callers that guarded on
+    ``KeyError`` keep working, but carries the request id and operation for
+    precise diagnostics — a silent no-op here would let a leak or a
+    double-free corrupt the pool invisibly.
+    """
+
+    def __init__(self, operation: str, request_id: int) -> None:
+        self.operation = operation
+        self.request_id = request_id
+        super().__init__(
+            f"KV page accounting violation: {operation} for request "
+            f"{request_id} which holds no allocation"
+            if operation in ("free", "append_token")
+            else f"KV page accounting violation: {operation} for request "
+            f"{request_id} which is already allocated"
+        )
 
 
 class PagedKVAllocator:
@@ -64,7 +86,7 @@ class PagedKVAllocator:
     def allocate(self, request_id: int, n_tokens: int) -> bool:
         """Reserve pages for a new request's first ``n_tokens``."""
         if request_id in self._pages:
-            raise KeyError(f"request {request_id} already allocated")
+            raise KVAccountingError("allocate", request_id)
         need = self.pages_for(max(n_tokens, 1))
         if need > self.free_pages:
             return False
@@ -77,7 +99,7 @@ class PagedKVAllocator:
     def append_token(self, request_id: int) -> bool:
         """Grow a request's cache by one decoded token (new page if full)."""
         if request_id not in self._pages:
-            raise KeyError(f"request {request_id} not allocated")
+            raise KVAccountingError("append_token", request_id)
         tokens = self._tokens[request_id] + 1
         need = self.pages_for(tokens)
         extra = need - self._pages[request_id]
@@ -90,12 +112,33 @@ class PagedKVAllocator:
         return True
 
     def free(self, request_id: int) -> int:
-        """Release a request's pages; returns how many were freed."""
+        """Release a request's pages; returns how many were freed.
+
+        Freeing an unknown or already-freed request raises
+        :class:`KVAccountingError` — a double free is a pool-corruption bug,
+        never a condition to paper over.
+        """
+        if request_id not in self._pages:
+            raise KVAccountingError("free", request_id)
         freed = self._pages.pop(request_id)
         self._tokens.pop(request_id)
         if self.telemetry.enabled:
             self.telemetry.page_delta(request_id, -freed, self.free_pages)
         return freed
+
+    def resize(self, delta_pages: int) -> int:
+        """Grow (``delta`` > 0) or shrink (``delta`` < 0) the page pool.
+
+        Models a changing byte budget — e.g. a fault plan stealing memory or
+        a co-tenant releasing it.  Returns the delta actually applied (the
+        pool never shrinks below zero pages).  Shrinking below the live page
+        count is allowed and leaves :attr:`free_pages` negative; the engine
+        must react by evicting requests until accounting is consistent.
+        """
+        new_total = max(0, self.total_pages + delta_pages)
+        applied = new_total - self.total_pages
+        self.total_pages = new_total
+        return applied
 
     def utilization(self) -> float:
         """Fraction of the budget currently holding live pages."""

@@ -34,6 +34,16 @@ Event schema (one JSON object per line, ``event`` field dispatches):
 ``finished``    request completed: ``request_id``, ``pages_freed``.
 ``pages``       page-pool delta from the allocator: ``request_id``,
                 ``delta`` (+allocated / -freed pages), ``free_pages`` after.
+``cancelled``   request cancelled by the client / fault plan:
+                ``request_id``, ``pages_freed`` (0 if it was still queued).
+``timed_out``   request exceeded its deadline: ``request_id``,
+                ``pages_freed`` (0 if it was still queued).
+``shed``        request dropped by load shedding — its KV footprint can
+                never fit the pool: ``request_id``, ``pages_required``,
+                ``pages_total``.
+``fault``       one injected fault fired: ``kind`` (``page_shrink`` /
+                ``straggler`` / ``alloc_fail``) and a ``value`` payload
+                (pool delta in pages / slowdown factor / retries consumed).
 ``iteration``   one engine iteration: ``prefill_tokens``, ``decode_batch``,
                 ``running``, ``pending``, per-phase seconds ``t_dense``
                 (includes ``t_comm`` when tensor-parallel), ``t_attention``,
@@ -71,6 +81,10 @@ __all__ = [
     "RequestAdmitted",
     "RequestPreempted",
     "RequestFinished",
+    "RequestCancelled",
+    "RequestTimedOut",
+    "RequestShed",
+    "FaultInjected",
     "PagePoolDelta",
     "IterationSample",
     "TraceSummary",
@@ -129,6 +143,47 @@ class RequestFinished(TraceEvent):
 
 
 @dataclass(frozen=True)
+class RequestCancelled(TraceEvent):
+    """Request cancelled mid-flight (``pages_freed`` 0 if still queued)."""
+
+    request_id: int = 0
+    pages_freed: int = 0
+
+    event: str = field(init=False, default="cancelled", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestTimedOut(TraceEvent):
+    """Request missed its deadline (``pages_freed`` 0 if still queued)."""
+
+    request_id: int = 0
+    pages_freed: int = 0
+
+    event: str = field(init=False, default="timed_out", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestShed(TraceEvent):
+    """Request dropped by load shedding: it can never fit the page pool."""
+
+    request_id: int = 0
+    pages_required: int = 0
+    pages_total: int = 0
+
+    event: str = field(init=False, default="shed", repr=False)
+
+
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """One injected fault fired (``kind`` names the fault type)."""
+
+    kind: str = ""
+    value: float = 0.0
+
+    event: str = field(init=False, default="fault", repr=False)
+
+
+@dataclass(frozen=True)
 class PagePoolDelta(TraceEvent):
     """Allocator-level page accounting: ``delta`` > 0 allocates, < 0 frees."""
 
@@ -165,6 +220,10 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestAdmitted,
         RequestPreempted,
         RequestFinished,
+        RequestCancelled,
+        RequestTimedOut,
+        RequestShed,
+        FaultInjected,
         PagePoolDelta,
         IterationSample,
     )
@@ -209,6 +268,20 @@ class Telemetry:
         pass
 
     def request_finished(self, request_id: int, pages_freed: int) -> None:
+        pass
+
+    def request_cancelled(self, request_id: int, pages_freed: int) -> None:
+        pass
+
+    def request_timed_out(self, request_id: int, pages_freed: int) -> None:
+        pass
+
+    def request_shed(
+        self, request_id: int, pages_required: int, pages_total: int
+    ) -> None:
+        pass
+
+    def fault_injected(self, kind: str, value: float) -> None:
         pass
 
     def page_delta(self, request_id: int, delta: int, free_pages: int) -> None:
@@ -272,6 +345,49 @@ class TraceRecorder(Telemetry):
                 iteration=self._iteration,
                 request_id=request_id,
                 pages_freed=pages_freed,
+            )
+        )
+
+    def request_cancelled(self, request_id: int, pages_freed: int) -> None:
+        self.events.append(
+            RequestCancelled(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                pages_freed=pages_freed,
+            )
+        )
+
+    def request_timed_out(self, request_id: int, pages_freed: int) -> None:
+        self.events.append(
+            RequestTimedOut(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                pages_freed=pages_freed,
+            )
+        )
+
+    def request_shed(
+        self, request_id: int, pages_required: int, pages_total: int
+    ) -> None:
+        self.events.append(
+            RequestShed(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                pages_required=pages_required,
+                pages_total=pages_total,
+            )
+        )
+
+    def fault_injected(self, kind: str, value: float) -> None:
+        self.events.append(
+            FaultInjected(
+                t=self._clock,
+                iteration=self._iteration,
+                kind=kind,
+                value=value,
             )
         )
 
@@ -348,6 +464,10 @@ class TraceSummary:
     mean_kv_utilization: float
     peak_kv_utilization: float
     min_free_pages: int
+    cancelled: int = 0
+    timed_out: int = 0
+    shed: int = 0
+    faults_injected: int = 0
 
     def percentiles(self) -> dict[str, float]:
         return {
@@ -398,6 +518,10 @@ def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
         ),
         peak_kv_utilization=max((s.kv_utilization for s in samples), default=0.0),
         min_free_pages=min((s.free_pages for s in samples), default=0),
+        cancelled=sum(1 for e in events if isinstance(e, RequestCancelled)),
+        timed_out=sum(1 for e in events if isinstance(e, RequestTimedOut)),
+        shed=sum(1 for e in events if isinstance(e, RequestShed)),
+        faults_injected=sum(1 for e in events if isinstance(e, FaultInjected)),
     )
 
 

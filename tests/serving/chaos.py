@@ -1,0 +1,187 @@
+"""Deterministic chaos harness for the serving engine.
+
+Generates random workloads x random :class:`FaultPlan`s from fixed seeds,
+runs them through a fully-instrumented :class:`ServingEngine`, and checks
+the engine-wide invariants that must hold under ANY fault timeline:
+
+1. **Drain**: the run terminates with every request in exactly one terminal
+   state (``finished`` / ``timed_out`` / ``cancelled`` / ``shed``) and a
+   bounded iteration count.
+2. **Page conservation**: the allocator ends empty, and the telemetry page
+   deltas sum to zero (allocated - freed = 0).
+3. **No delivered-token loss**: throughput x time equals the decode tokens
+   of *finished* requests exactly — faults never double-count or drop
+   delivered work.
+4. **Monotone clock**: event timestamps never go backwards; iteration
+   indices never decrease.
+5. **Telemetry reconciliation**: re-aggregating the trace reproduces
+   ``ServingResult.time_breakdown`` and the terminal-state counts.
+
+Everything is seeded: ``run_scenario(seed)`` is bit-reproducible, so a
+failing seed is a permanent regression test, not a flake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.serving import (
+    ATOM_W4A4,
+    FP16,
+    LLAMA_7B,
+    TERMINAL_STATES,
+    FaultPlan,
+    ServingEngine,
+    ServingResult,
+    TraceRecorder,
+    summarize,
+)
+from repro.serving.telemetry import (
+    FaultInjected,
+    IterationSample,
+    PagePoolDelta,
+    RequestAdmitted,
+)
+
+#: Hard ceiling on iterations for any chaos scenario — generous (a clean
+#: run of the largest scenario takes a few hundred), so hitting it means a
+#: livelock, not a slow run.
+MAX_ITERATIONS = 20_000
+
+
+@dataclass
+class ChaosRun:
+    """One executed scenario plus everything needed to audit it."""
+
+    seed: int
+    requests: list[Request]
+    plan: FaultPlan
+    engine: ServingEngine
+    recorder: TraceRecorder
+    result: ServingResult
+
+
+def chaos_scenario(seed: int):
+    """Derive a (workload, plan, engine-kwargs) triple from one seed."""
+    rng = np.random.default_rng(seed)
+    n_requests = int(rng.integers(24, 56))
+    requests = ShareGPTWorkload(
+        seed=int(rng.integers(0, 2**31)), max_len=1024
+    ).sample_requests(n_requests)
+    plan = FaultPlan.random(
+        int(rng.integers(0, 2**31)),
+        request_ids=[r.request_id for r in requests],
+        horizon=300,
+    )
+    kwargs = {
+        # FP16 is memory-tight on the 24 GB default GPU, so page-pool
+        # faults bite; Atom exercises the headroom-rich regime.
+        "scheme": FP16 if rng.random() < 0.75 else ATOM_W4A4,
+        "max_batch": int(rng.integers(16, 97)),
+        "admission": "dynamic" if rng.random() < 0.5 else "reserve",
+        "shed_policy": "drop",
+        "stall_limit": 50,
+    }
+    if rng.random() < 0.4:  # sometimes add per-request deadlines
+        deadlines = {
+            r.request_id: float(5.0 + 120.0 * rng.random())
+            for r in requests
+            if rng.random() < 0.5
+        }
+        if deadlines:
+            kwargs["deadline_s"] = deadlines
+    return requests, plan, kwargs
+
+
+def run_scenario(seed: int) -> ChaosRun:
+    """Execute one seeded scenario with full telemetry."""
+    requests, plan, kwargs = chaos_scenario(seed)
+    scheme = kwargs.pop("scheme")
+    recorder = TraceRecorder()
+    engine = ServingEngine(LLAMA_7B, scheme, telemetry=recorder, **kwargs)
+    result = engine.run(requests, faults=plan)
+    return ChaosRun(seed, requests, plan, engine, recorder, result)
+
+
+def injected_fault_kinds(run: ChaosRun) -> set[str]:
+    """Fault kinds that actually FIRED in this run (not just planned)."""
+    kinds = {
+        e.kind for e in run.recorder.events if isinstance(e, FaultInjected)
+    }
+    if run.result.cancelled:
+        kinds.add("cancel")
+    return kinds
+
+
+def assert_invariants(run: ChaosRun) -> None:
+    """Every engine-wide invariant the chaos suite enforces."""
+    result, events = run.result, run.recorder.events
+    ctx = f"chaos seed {run.seed} ({run.plan.describe()})"
+
+    # -- 1. drain: bounded, and one terminal state per request ----------- #
+    assert result.iterations <= MAX_ITERATIONS, f"{ctx}: livelock"
+    expected_ids = {r.request_id for r in run.requests}
+    assert set(result.terminal_states) == expected_ids, (
+        f"{ctx}: requests missing a terminal state: "
+        f"{expected_ids ^ set(result.terminal_states)}"
+    )
+    for rid, state in result.terminal_states.items():
+        assert state in TERMINAL_STATES, f"{ctx}: bogus state {state!r}"
+    counts = {
+        "finished": result.completed_requests,
+        "timed_out": result.timed_out,
+        "cancelled": result.cancelled,
+        "shed": result.shed,
+    }
+    for state, n in counts.items():
+        observed = sum(1 for s in result.terminal_states.values() if s == state)
+        assert observed == n, f"{ctx}: {state} count {observed} != {n}"
+    assert sum(counts.values()) == len(run.requests), f"{ctx}: state leak"
+
+    # -- 2. page conservation -------------------------------------------- #
+    assert run.engine._allocator.used_pages == 0, f"{ctx}: leaked pages"
+    net = sum(e.delta for e in events if isinstance(e, PagePoolDelta))
+    assert net == 0, f"{ctx}: trace page deltas sum to {net}, not 0"
+
+    # -- 3. no delivered-token loss for finished requests ----------------- #
+    finished_ids = {
+        rid for rid, s in result.terminal_states.items() if s == "finished"
+    }
+    by_id = {r.request_id: r for r in run.requests}
+    expected_delivered = sum(by_id[rid].decode_len for rid in finished_ids)
+    delivered = result.throughput_tokens_per_s * result.total_time_s
+    assert delivered == pytest.approx(expected_delivered, rel=1e-9), (
+        f"{ctx}: delivered {delivered} != {expected_delivered}"
+    )
+
+    # -- 4. monotone clock ------------------------------------------------ #
+    ts = [e.t for e in events]
+    assert all(a <= b for a, b in zip(ts, ts[1:])), f"{ctx}: clock reversed"
+    iters = [e.iteration for e in events]
+    assert all(a <= b for a, b in zip(iters, iters[1:])), (
+        f"{ctx}: iteration index reversed"
+    )
+    samples = [e for e in events if isinstance(e, IterationSample)]
+    assert all(s.t_iter > 0 for s in samples), f"{ctx}: non-positive iteration"
+
+    # -- 5. telemetry reconciles with ServingResult ------------------------ #
+    summary = summarize(events)
+    for phase, t in result.time_breakdown.items():
+        assert abs(summary.time_breakdown[phase] - t) <= 1e-9, (
+            f"{ctx}: phase {phase} drift"
+        )
+    assert summary.finished == result.completed_requests, f"{ctx}: finished"
+    assert summary.cancelled == result.cancelled, f"{ctx}: cancelled"
+    assert summary.timed_out == result.timed_out, f"{ctx}: timed_out"
+    assert summary.shed == result.shed, f"{ctx}: shed"
+    assert summary.preemptions == result.preemptions, f"{ctx}: preemptions"
+    assert summary.faults_injected == result.faults_injected, f"{ctx}: faults"
+    # Admissions >= finishes; recompute preemption re-admits, so admitted
+    # can exceed the number of requests but never the finish count plus
+    # live churn.
+    admitted = sum(1 for e in events if isinstance(e, RequestAdmitted))
+    assert admitted >= result.completed_requests, f"{ctx}: admissions"

@@ -1,0 +1,233 @@
+"""Seeded chaos suite: engine invariants under injected faults.
+
+Every scenario is derived deterministically from its seed (workload, fault
+plan, engine configuration), so a red seed is a permanent regression test.
+``SEEDS`` is the pinned CI list — 30 distinct (workload, FaultPlan)
+scenarios, collectively covering every fault kind.
+"""
+
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.serving import (
+    FP16,
+    LLAMA_7B,
+    CancelFault,
+    FaultPlan,
+    PagePoolFault,
+    ServingEngine,
+    StragglerFault,
+)
+
+from chaos import (  # tests/serving/chaos.py (pytest adds this dir to sys.path)
+    MAX_ITERATIONS,
+    assert_invariants,
+    injected_fault_kinds,
+    run_scenario,
+)
+
+#: Pinned seed list run in CI (>= 25 distinct scenarios required).
+SEEDS = list(range(30))
+
+#: Scenario cache: runs are deterministic, so the coverage sweep reuses the
+#: runs produced by the per-seed invariant tests instead of recomputing.
+_RUNS: dict[int, object] = {}
+
+
+def scenario(seed):
+    if seed not in _RUNS:
+        _RUNS[seed] = run_scenario(seed)
+    return _RUNS[seed]
+
+
+class TestChaosInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariants_hold(self, seed):
+        assert_invariants(scenario(seed))
+
+    def test_every_fault_kind_exercised(self):
+        """Across the pinned seeds, each fault type actually fires."""
+        fired = set()
+        for seed in SEEDS:
+            fired |= injected_fault_kinds(scenario(seed))
+            if fired >= {"page_shrink", "cancel", "straggler", "alloc_fail"}:
+                return
+        missing = {"page_shrink", "cancel", "straggler", "alloc_fail"} - fired
+        pytest.fail(f"fault kinds never fired across seeds: {missing}")
+
+    def test_scenarios_are_deterministic(self):
+        a = run_scenario(SEEDS[0])
+        b = run_scenario(SEEDS[0])
+        assert a.result == b.result
+        assert a.recorder.events == b.recorder.events
+
+    def test_scenarios_are_distinct(self):
+        plans = {scenario(s).plan for s in SEEDS[:8]}
+        assert len(plans) == 8
+
+
+class TestTargetedFaults:
+    """One hand-built plan per fault kind, with sharp expectations."""
+
+    def _requests(self, n=24, seed=5):
+        return ShareGPTWorkload(seed=seed, max_len=1024).sample_requests(n)
+
+    def _engine(self, **kw):
+        kw.setdefault("max_batch", 32)
+        kw.setdefault("shed_policy", "drop")
+        return ServingEngine(LLAMA_7B, FP16, **kw)
+
+    def test_page_shrink_forces_preemption_then_recovers(self):
+        reqs = self._requests()
+        clean = self._engine(admission="dynamic").run(reqs)
+        assert clean.preemptions == 0
+        # Steal 90% of the pool mid-run — live usage exceeds the shrunken
+        # pool, so the engine MUST evict (recompute-on-resume) — then give
+        # the pages back so the tail still finishes.
+        steal = (9 * self._engine()._allocator.total_pages) // 10
+        plan = FaultPlan(
+            page_faults=(
+                PagePoolFault(30, -steal),
+                PagePoolFault(60, steal),
+            )
+        )
+        r = self._engine(admission="dynamic").run(reqs, faults=plan)
+        assert r.faults_injected >= 2
+        assert r.preemptions > 0
+        # The pool recovers, so everything still finishes.
+        assert r.completed_requests == len(reqs)
+
+    def test_cancellation_reaches_terminal_state(self):
+        reqs = self._requests()
+        victim = reqs[3].request_id
+        plan = FaultPlan(cancellations=(CancelFault(2, victim),))
+        engine = self._engine()
+        r = engine.run(reqs, faults=plan)
+        assert r.terminal_states[victim] == "cancelled"
+        assert r.cancelled == 1
+        assert r.completed_requests == len(reqs) - 1
+        assert engine._allocator.used_pages == 0
+
+    def test_cancelling_queued_request_frees_nothing(self):
+        reqs = self._requests()
+        # With max_batch=1 every later request is still queued at iteration 0.
+        victim = reqs[-1].request_id
+        plan = FaultPlan(cancellations=(CancelFault(0, victim),))
+        r = self._engine(max_batch=1).run(reqs, faults=plan)
+        assert r.terminal_states[victim] == "cancelled"
+        assert r.completed_requests == len(reqs) - 1
+
+    def test_straggler_stretches_clock_not_tokens(self):
+        reqs = self._requests()
+        clean = self._engine().run(reqs)
+        plan = FaultPlan(stragglers=(StragglerFault(1, 50.0),))
+        slow = self._engine().run(reqs, faults=plan)
+        assert slow.decode_tokens == clean.decode_tokens
+        assert slow.completed_requests == clean.completed_requests
+        assert slow.total_time_s > clean.total_time_s
+        assert sum(slow.time_breakdown.values()) == pytest.approx(
+            slow.total_time_s
+        )
+
+    def test_transient_alloc_faults_retry_and_complete(self):
+        reqs = self._requests(n=12)
+        plan = FaultPlan(alloc_failure_prob=0.05, seed=11)
+        r = self._engine(admission="dynamic").run(reqs, faults=plan)
+        assert r.alloc_retries > 0
+        assert r.completed_requests + r.shed == len(reqs)
+        # Fault-free delivered accounting still holds.
+        finished = {
+            q.request_id: q for q in reqs
+        }
+        expect = sum(
+            finished[rid].decode_len
+            for rid, s in r.terminal_states.items()
+            if s == "finished"
+        )
+        assert r.throughput_tokens_per_s * r.total_time_s == pytest.approx(
+            expect
+        )
+
+    def test_total_alloc_failure_sheds_instead_of_livelocking(self):
+        """alloc_failure_prob=1.0 can never admit anything; the stall guard
+        must shed the queue instead of spinning forever."""
+        reqs = self._requests(n=6)
+        plan = FaultPlan(alloc_failure_prob=1.0, seed=1)
+        r = self._engine(stall_limit=3, max_alloc_retries=1).run(
+            reqs, faults=plan
+        )
+        assert r.shed == len(reqs)
+        assert r.completed_requests == 0
+        assert r.iterations < 200
+
+
+class TestDegradationPolicy:
+    """Deadlines and load shedding, without any injected faults."""
+
+    def test_uniform_deadline_times_out_tail(self):
+        reqs = ShareGPTWorkload(seed=5, max_len=1024).sample_requests(32)
+        clean = ServingEngine(LLAMA_7B, FP16, max_batch=32).run(reqs)
+        deadline = clean.total_time_s / 3
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=32, deadline_s=deadline,
+            shed_policy="drop",
+        )
+        r = engine.run(reqs)
+        assert r.timed_out > 0
+        assert r.completed_requests + r.timed_out == len(reqs)
+        assert r.total_time_s < clean.total_time_s
+        assert engine._allocator.used_pages == 0
+
+    def test_per_request_deadline_dict(self):
+        reqs = [Request(0, 64, 32), Request(1, 64, 512)]
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=4,
+            deadline_s={1: 1e-6}, shed_policy="drop",
+        )
+        r = engine.run(reqs)
+        assert r.terminal_states[0] == "finished"
+        assert r.terminal_states[1] == "timed_out"
+
+    def test_oversized_request_is_shed_under_drop_policy(self):
+        giant = [Request(0, prefill_len=2047, decode_len=2048),
+                 Request(1, prefill_len=64, decode_len=32)]
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=4, shed_policy="drop"
+        )
+        engine._allocator.total_pages = 10
+        r = engine.run(giant)
+        assert r.terminal_states[0] == "shed"
+        assert r.terminal_states[1] == "finished"
+        assert r.shed == 1
+
+
+class TestDynamicAdmissionLivelock:
+    """Regression: the dynamic watermark must keep decode progressing.
+
+    Before the watermark, a memory-starved dynamic engine could admit so
+    aggressively that every iteration preempted what the previous one
+    admitted — decode starvation as a preempt/recompute livelock.  The
+    seeded workload below is memory-tight enough to trigger it; it must
+    terminate within a bounded iteration count, with and without injected
+    allocator faults.
+    """
+
+    def _workload(self):
+        return ShareGPTWorkload(seed=3, max_len=1024).sample_requests(48)
+
+    def test_terminates_without_faults(self):
+        r = ServingEngine(
+            LLAMA_7B, FP16, max_batch=256, admission="dynamic"
+        ).run(self._workload())
+        assert r.completed_requests == 48
+        assert r.iterations < 3000
+        assert r.iterations <= MAX_ITERATIONS
+
+    def test_terminates_with_alloc_faults(self):
+        plan = FaultPlan(alloc_failure_prob=0.1, seed=9)
+        r = ServingEngine(
+            LLAMA_7B, FP16, max_batch=256, admission="dynamic",
+            shed_policy="drop", stall_limit=50,
+        ).run(self._workload(), faults=plan)
+        assert len(r.terminal_states) == 48
+        assert r.iterations < 5000

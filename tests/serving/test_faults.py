@@ -1,0 +1,260 @@
+"""Fault-plan unit tests + the no-fault bit-identity equivalence suite.
+
+The equivalence tests pin the engine's fault-free outputs to golden values
+captured BEFORE the fault-injection layer landed: with ``faults=None`` the
+degradation machinery must be a guaranteed no-op, down to float operation
+order.  Any drift here means the "no faults => bit-identical" contract of
+``ServingEngine.run`` broke.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.serving import (
+    ATOM_W4A4,
+    FP16,
+    LLAMA_7B,
+    CancelFault,
+    FaultInjector,
+    FaultPlan,
+    PagePoolFault,
+    ServingEngine,
+    ShedError,
+    StragglerFault,
+)
+
+
+def _workload():
+    return ShareGPTWorkload(seed=3, max_len=2048).sample_requests(96)
+
+
+# Golden fault-free outputs captured at the commit immediately preceding
+# the fault-injection layer (same workload builder as ``_workload``).
+# Floats are compared exactly: the no-fault path must not reorder a single
+# operation.
+GOLDEN = {
+    ("fp16", "reserve", 64): dict(
+        total_time_s=64.50100106452963,
+        throughput_tokens_per_s=503.7286160488359,
+        mean_decode_latency_s=0.02413933438556222,
+        p99_decode_latency_s=0.05700272042431995,
+        mean_ttft_s=11.899822107545875,
+        achieved_batch=11.0,
+        decode_tokens=32491,
+        completed_requests=96,
+        preemptions=0,
+        max_batch=29,
+        memory_limited=True,
+        time_breakdown={
+            "dense": 46.450868391176,
+            "attention": 13.924743911597561,
+            "quant": 0.0,
+            "other": 4.125388761755555,
+        },
+    ),
+    ("fp16", "dynamic", 128): dict(
+        total_time_s=53.98458771517678,
+        throughput_tokens_per_s=601.8569627950636,
+        mean_decode_latency_s=0.02762137863405865,
+        p99_decode_latency_s=0.0751944801871394,
+        mean_ttft_s=7.513495627592597,
+        achieved_batch=16.386745347253743,
+        decode_tokens=36205,
+        completed_requests=96,
+        preemptions=9,
+        max_batch=44,
+        memory_limited=True,
+        time_breakdown={
+            "dense": 35.65710847997895,
+            "attention": 15.112903364870984,
+            "quant": 0.0,
+            "other": 3.2145758703268608,
+        },
+    ),
+    ("atom-w4a4", "dynamic", 64): dict(
+        total_time_s=13.988700249246458,
+        throughput_tokens_per_s=2322.6603916793642,
+        mean_decode_latency_s=0.010073054938164924,
+        p99_decode_latency_s=0.02559947959847483,
+        mean_ttft_s=1.147046152643287,
+        achieved_batch=18.607122343480757,
+        decode_tokens=32491,
+        completed_requests=96,
+        preemptions=0,
+        max_batch=64,
+        memory_limited=False,
+        time_breakdown={
+            "dense": 7.382483071751414,
+            "attention": 4.013085696695595,
+            "quant": 0.008862719043884078,
+            "other": 2.5842687617554048,
+        },
+    ),
+}
+
+_SCHEMES = {"fp16": FP16, "atom-w4a4": ATOM_W4A4}
+
+
+class TestNoFaultEquivalence:
+    """With faults=None, run() is bit-identical to the pre-fault engine."""
+
+    @pytest.mark.parametrize(
+        "key", sorted(GOLDEN), ids=lambda k: f"{k[0]}-{k[1]}-{k[2]}"
+    )
+    def test_matches_pre_fault_golden(self, key):
+        scheme, admission, batch = key
+        engine = ServingEngine(
+            LLAMA_7B, _SCHEMES[scheme], max_batch=batch, admission=admission
+        )
+        r = engine.run(_workload())
+        for name, want in GOLDEN[key].items():
+            got = getattr(r, name)
+            assert got == want, f"{name}: {got!r} != golden {want!r}"
+
+    @pytest.mark.parametrize(
+        "key", sorted(GOLDEN), ids=lambda k: f"{k[0]}-{k[1]}-{k[2]}"
+    )
+    def test_degradation_counters_zero_without_faults(self, key):
+        scheme, admission, batch = key
+        r = ServingEngine(
+            LLAMA_7B, _SCHEMES[scheme], max_batch=batch, admission=admission
+        ).run(_workload())
+        assert r.timed_out == r.cancelled == r.shed == 0
+        assert r.alloc_retries == r.faults_injected == 0
+        assert r.iterations > 0
+        assert all(s == "finished" for s in r.terminal_states.values())
+        assert len(r.terminal_states) == r.completed_requests
+
+    def test_empty_plan_identical_to_none(self):
+        """faults=FaultPlan() (empty) must equal faults=None exactly."""
+        reqs = _workload()
+        base = ServingEngine(
+            LLAMA_7B, FP16, max_batch=64, admission="dynamic"
+        ).run(reqs)
+        with_empty = ServingEngine(
+            LLAMA_7B, FP16, max_batch=64, admission="dynamic"
+        ).run(reqs, faults=FaultPlan())
+        assert dataclasses.asdict(base) == dataclasses.asdict(with_empty)
+
+    def test_prebuilt_injector_accepted(self):
+        reqs = _workload()[:8]
+        plan = FaultPlan(stragglers=(StragglerFault(0, 2.0),))
+        via_plan = ServingEngine(LLAMA_7B, FP16, max_batch=8).run(
+            reqs, faults=plan
+        )
+        via_injector = ServingEngine(LLAMA_7B, FP16, max_batch=8).run(
+            reqs, faults=FaultInjector(plan)
+        )
+        assert dataclasses.asdict(via_plan) == dataclasses.asdict(
+            via_injector
+        )
+
+
+class TestShedError:
+    """Typed load shedding replaces the old bare RuntimeError."""
+
+    def test_reserve_admission_raises_typed(self):
+        giant = [Request(0, prefill_len=2047, decode_len=2048)]
+        engine = ServingEngine(LLAMA_7B, FP16, max_batch=4)
+        engine._allocator.total_pages = 10
+        with pytest.raises(ShedError, match="cannot admit") as exc:
+            engine.run(giant)
+        assert exc.value.request_id == 0
+        assert exc.value.pages_total == 10
+        assert exc.value.pages_required > 10
+
+    def test_dynamic_admission_raises_typed(self):
+        giant = [Request(7, prefill_len=64, decode_len=4096)]
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=4, admission="dynamic"
+        )
+        engine._allocator.total_pages = 8
+        with pytest.raises(ShedError) as exc:
+            engine.run(giant)
+        assert exc.value.request_id == 7
+        assert exc.value.pages_required > exc.value.pages_total
+
+    def test_is_a_runtime_error(self):
+        err = ShedError(3, pages_required=100, pages_total=10)
+        assert isinstance(err, RuntimeError)
+        assert "cannot admit request 3" in str(err)
+
+
+class TestFaultPlanValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan(alloc_failure_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(alloc_failure_prob=-0.1)
+
+    def test_rejects_zero_delta_page_fault(self):
+        with pytest.raises(ValueError):
+            PagePoolFault(iteration=3, delta_pages=0)
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ValueError):
+            CancelFault(iteration=-1, request_id=0)
+        with pytest.raises(ValueError):
+            StragglerFault(iteration=-2, factor=2.0)
+
+    def test_rejects_sub_unity_straggler(self):
+        with pytest.raises(ValueError):
+            StragglerFault(iteration=0, factor=0.5)
+
+    def test_lists_are_coerced_to_tuples(self):
+        plan = FaultPlan(page_faults=[PagePoolFault(1, -4)])
+        assert isinstance(plan.page_faults, tuple)
+        assert hash(plan) == hash(FaultPlan(page_faults=(PagePoolFault(1, -4),)))
+
+    def test_empty_property_and_kinds(self):
+        assert FaultPlan().empty
+        plan = FaultPlan(
+            page_faults=(PagePoolFault(1, -4),),
+            alloc_failure_prob=0.1,
+        )
+        assert not plan.empty
+        assert plan.fault_kinds() == {"page_shrink", "alloc_fail"}
+
+    def test_random_plans_are_reproducible_and_distinct(self):
+        ids = list(range(8))
+        a = FaultPlan.random(42, request_ids=ids)
+        b = FaultPlan.random(42, request_ids=ids)
+        assert a == b
+        assert FaultPlan.random(43, request_ids=ids) != a
+
+
+class TestFaultInjector:
+    def test_schedule_lookup(self):
+        plan = FaultPlan(
+            page_faults=(PagePoolFault(5, -8), PagePoolFault(5, -2)),
+            cancellations=(CancelFault(3, 1), CancelFault(3, 2)),
+            stragglers=(StragglerFault(4, 2.0), StragglerFault(4, 3.0)),
+        )
+        inj = FaultInjector(plan)
+        assert inj.page_pool_delta(5) == -10  # same-iteration deltas merge
+        assert inj.page_pool_delta(0) == 0
+        assert tuple(inj.cancellations(3)) == (1, 2)
+        assert tuple(inj.cancellations(9)) == ()
+        assert inj.straggler_factor(4) == 6.0  # factors compound
+        assert inj.straggler_factor(1) == 1.0
+
+    def test_alloc_coin_flips_are_seeded(self):
+        plan = FaultPlan(alloc_failure_prob=0.5, seed=123)
+        flips_a = [FaultInjector(plan).alloc_attempt_fails() for _ in range(1)]
+        seq_a = [f for f in _flip_sequence(plan)]
+        seq_b = [f for f in _flip_sequence(plan)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+        assert flips_a[0] == seq_a[0]
+
+    def test_zero_probability_never_fails(self):
+        inj = FaultInjector(FaultPlan())
+        assert not any(inj.alloc_attempt_fails() for _ in range(64))
+        assert inj.alloc_failures == 0
+
+
+def _flip_sequence(plan, n=64):
+    inj = FaultInjector(plan)
+    return [inj.alloc_attempt_fails() for _ in range(n)]

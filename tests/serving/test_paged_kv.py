@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serving.paged_kv import PagedKVAllocator
+from repro.serving.paged_kv import KVAccountingError, PagedKVAllocator
 from repro.serving.telemetry import PagePoolDelta, TraceRecorder
 
 
@@ -83,6 +83,73 @@ class TestAllocation:
             PagedKVAllocator(100, 0)
         with pytest.raises(ValueError):
             PagedKVAllocator(100, 1.0, page_size=0)
+
+
+class TestAccountingErrors:
+    """Double free / unknown ids raise typed KVAccountingError — a silent
+    no-op here would corrupt the pool's page accounting invisibly."""
+
+    def test_double_free_raises_typed(self):
+        a = _alloc()
+        a.allocate(1, 10)
+        a.free(1)
+        with pytest.raises(KVAccountingError) as exc:
+            a.free(1)
+        assert exc.value.operation == "free"
+        assert exc.value.request_id == 1
+        assert a.used_pages == 0  # the failed free changed nothing
+
+    def test_free_unknown_request_raises_typed(self):
+        with pytest.raises(KVAccountingError, match="holds no allocation"):
+            _alloc().free(99)
+
+    def test_accounting_error_is_a_key_error(self):
+        """Pre-typed callers guarded on KeyError; the subclass keeps them."""
+        a = _alloc()
+        with pytest.raises(KeyError):
+            a.free(42)
+        a.allocate(7, 4)
+        with pytest.raises(KeyError):
+            a.allocate(7, 4)
+
+    def test_double_allocate_error_carries_context(self):
+        a = _alloc()
+        a.allocate(3, 8)
+        with pytest.raises(KVAccountingError) as exc:
+            a.allocate(3, 8)
+        assert exc.value.operation == "allocate"
+        assert "already allocated" in str(exc.value)
+
+    def test_free_after_failed_allocate_still_raises(self):
+        a = _alloc(budget_pages=1, page_size=4)
+        assert not a.allocate(1, 100)  # rejected: never held pages
+        with pytest.raises(KVAccountingError):
+            a.free(1)
+
+
+class TestResize:
+    """Pool resizing (fault injection: a co-tenant stealing memory)."""
+
+    def test_shrink_and_restore(self):
+        a = _alloc(budget_pages=64)
+        assert a.resize(-16) == -16
+        assert a.total_pages == 48
+        assert a.resize(16) == 16
+        assert a.total_pages == 64
+
+    def test_shrink_clamps_at_zero(self):
+        a = _alloc(budget_pages=8)
+        assert a.resize(-100) == -8
+        assert a.total_pages == 0
+
+    def test_shrink_below_live_usage_goes_negative_free(self):
+        a = _alloc(budget_pages=8, page_size=16)
+        a.allocate(1, 16 * 6)  # 6 pages live
+        a.resize(-4)
+        assert a.free_pages == -2  # engine must evict to reconcile
+        assert a.used_pages == 6
+        a.free(1)
+        assert a.free_pages == 4
 
 
 class TestFragmentation:

@@ -1,5 +1,8 @@
 """CLI smoke tests (invoked in-process for speed)."""
 
+import copy
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +22,36 @@ class TestParser:
     def test_serve_scheme_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--scheme", "W2A2"])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scheme == "Atom-W4A4"
+        assert args.admission == "dynamic"
+        assert args.output == "trace.jsonl"
+        assert args.chaos is None and args.deadline is None
+
+    def test_trace_chaos_and_deadline_parse(self):
+        args = build_parser().parse_args(
+            ["trace", "--chaos", "7", "--deadline", "2.5"]
+        )
+        assert args.chaos == 7
+        assert args.deadline == 2.5
+
+    def test_trace_rejects_all_scheme(self):
+        # "all" is a serve-only pseudo-scheme; trace needs exactly one.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--scheme", "all"])
+
+    def test_trace_chaos_requires_int_seed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--chaos", "lucky"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.quick is False
+        assert args.output is None
+        assert args.check_against is None
+        assert args.max_slowdown == 2.0
 
 
 class TestCommands:
@@ -43,3 +76,128 @@ class TestCommands:
         assert main(["ablation", "-m", "llama-7b-sim"]) == 0
         out = capsys.readouterr().out
         assert "W4A4 RTN" in out and "GPTQ" in out
+
+
+_TRACE_ARGS = ["trace", "--requests", "8", "--batch", "8"]
+
+
+class TestTraceCommand:
+    def test_writes_jsonl_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "t.jsonl"
+        assert main(_TRACE_ARGS + ["-o", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert "event" in record and "t" in record and "iteration" in record
+        # The trace round-trips through the typed-event reader.
+        from repro.serving import read_jsonl
+
+        events = read_jsonl(out_path)
+        assert len(events) == len(lines)
+        out = capsys.readouterr().out
+        assert f"wrote {len(lines)} events" in out
+        assert "reconciliation" in out
+
+    def test_writes_csv_metrics(self, capsys, tmp_path):
+        out_path, csv_path = tmp_path / "t.jsonl", tmp_path / "t.csv"
+        assert main(
+            _TRACE_ARGS + ["-o", str(out_path), "--csv", str(csv_path)]
+        ) == 0
+        header, *rows = csv_path.read_text().splitlines()
+        assert "iteration" in header and rows
+
+    def test_bad_output_path_exits_2(self, capsys, tmp_path):
+        missing_dir = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        assert main(_TRACE_ARGS + ["-o", str(missing_dir)]) == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_chaos_seed_runs_and_reports(self, capsys, tmp_path):
+        out_path = tmp_path / "chaos.jsonl"
+        assert main(
+            _TRACE_ARGS + ["--chaos", "7", "-o", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injecting" in out
+        assert "terminal states" in out
+        assert "faults injected / alloc retries" in out
+        assert out_path.exists()
+
+    def test_deadline_reports_timeouts(self, capsys, tmp_path):
+        out_path = tmp_path / "deadline.jsonl"
+        assert main(
+            _TRACE_ARGS + ["--deadline", "1e-6", "-o", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timed_out 8" in out  # every request misses a 1 us deadline
+
+
+@pytest.fixture(scope="module")
+def bench_payload(tmp_path_factory):
+    """One real quick perf-suite run, shared by every bench CLI test."""
+    from repro.bench.perf import run_perf_suite, write_bench_json
+
+    payload = run_perf_suite(quick=True)
+    path = tmp_path_factory.mktemp("bench") / "BENCH_inference.json"
+    write_bench_json(payload, path)
+    return payload, path
+
+
+class TestBenchCommand:
+    """Exercise `repro bench` without re-running the 10s+ suite per test:
+    the module fixture runs it once and the suite is patched to reuse it."""
+
+    @pytest.fixture(autouse=True)
+    def _reuse_payload(self, bench_payload, monkeypatch):
+        payload, path = bench_payload
+        monkeypatch.setattr(
+            "repro.bench.perf.run_perf_suite",
+            lambda *, quick=False, seed=0: copy.deepcopy(payload),
+        )
+        self.payload, self.baseline_path = payload, path
+
+    def test_writes_json_payload(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "-o", str(out_path)]) == 0
+        written = json.loads(out_path.read_text())
+        assert set(written) >= {"schema", "benchmarks"}
+        assert set(written["benchmarks"]) >= {
+            "linear_forward", "prefill", "decode", "quantize_sequential",
+        }
+        decode = written["benchmarks"]["decode"]
+        assert decode["after_tokens_per_s"] > 0
+        out = capsys.readouterr().out
+        assert "decode throughput" in out and str(out_path) in out
+
+    def test_check_against_clean_baseline_passes(self, capsys):
+        assert main(
+            ["bench", "--quick", "--check-against", str(self.baseline_path)]
+        ) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_check_against_missing_baseline_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(
+            ["bench", "--quick", "--check-against", str(missing)]
+        ) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_check_against_regression_exits_1(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        slow = copy.deepcopy(self.payload)
+        slow["benchmarks"]["decode"]["after_tokens_per_s"] /= 100.0
+        monkeypatch.setattr(
+            "repro.bench.perf.run_perf_suite",
+            lambda *, quick=False, seed=0: slow,
+        )
+        assert main(
+            ["bench", "--quick", "--check-against", str(self.baseline_path)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_trace_option_writes_kernel_phases(self, capsys, tmp_path):
+        trace_path = tmp_path / "kernel.jsonl"
+        assert main(["bench", "--quick", "--trace", str(trace_path)]) == 0
+        assert trace_path.exists()
+        assert "kernel-phase events" in capsys.readouterr().out

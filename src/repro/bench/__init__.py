@@ -2,6 +2,23 @@
 
 from repro.bench.tables import format_table
 from repro.bench.figures import ascii_bars, ascii_series
-from repro.bench.artifacts import save_artifact, results_dir
+from repro.bench.artifacts import (
+    ArtifactError,
+    atomic_write_text,
+    read_manifest,
+    results_dir,
+    save_artifact,
+    verify_artifacts,
+)
 
-__all__ = ["ascii_bars", "ascii_series", "format_table", "results_dir", "save_artifact"]
+__all__ = [
+    "ArtifactError",
+    "ascii_bars",
+    "ascii_series",
+    "atomic_write_text",
+    "format_table",
+    "read_manifest",
+    "results_dir",
+    "save_artifact",
+    "verify_artifacts",
+]

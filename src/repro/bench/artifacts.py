@@ -1,11 +1,69 @@
-"""Benchmark artifact output: regenerated tables/figures land on disk."""
+"""Benchmark artifact output: regenerated tables/figures land on disk.
+
+Robustness contract (the artifact-integrity half of the offline failure
+model, see DESIGN.md):
+
+- Every write is **atomic** — tmp file in the destination directory,
+  flush+fsync, ``os.replace`` — so an interrupted benchmark never leaves a
+  torn or empty artifact behind.
+- Failures to create or write the results directory raise a typed
+  :class:`ArtifactError` instead of surfacing as raw ``mkdir``/IO
+  tracebacks.
+- ``save_artifact(..., manifest=True)`` additionally records the artifact in
+  ``MANIFEST.json`` (name, SHA-256 checksum, size, schema version, config
+  fingerprint), which :func:`verify_artifacts` — and the ``repro doctor``
+  CLI — replays to detect on-disk corruption or truncation.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import tempfile
 from pathlib import Path
 
-__all__ = ["results_dir", "save_artifact"]
+__all__ = [
+    "ArtifactError",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "results_dir",
+    "save_artifact",
+    "atomic_write_text",
+    "read_manifest",
+    "verify_artifacts",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_SCHEMA = "atom-repro/artifact-manifest/v1"
+
+
+class ArtifactError(RuntimeError):
+    """A benchmark artifact could not be written or validated."""
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; raise :class:`ArtifactError`."""
+    path = Path(path)
+    try:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    except OSError as exc:
+        raise ArtifactError(f"cannot write {path}: {exc}") from exc
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        if isinstance(exc, OSError):
+            raise ArtifactError(f"cannot write {path}: {exc}") from exc
+        raise
+    return path
 
 
 def results_dir() -> Path:
@@ -13,6 +71,7 @@ def results_dir() -> Path:
 
     ``$ATOM_REPRO_RESULTS`` overrides; default ``benchmarks/results`` under
     the repository root (falls back to CWD when run from elsewhere).
+    Raises :class:`ArtifactError` when the directory cannot be created.
     """
     env = os.environ.get("ATOM_REPRO_RESULTS")
     if env:
@@ -24,13 +83,109 @@ def results_dir() -> Path:
             Path.cwd(),
         )
         base = repo / "benchmarks" / "results"
-    base.mkdir(parents=True, exist_ok=True)
+    try:
+        base.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ArtifactError(f"cannot create results dir {base}: {exc}") from exc
     return base
 
 
-def save_artifact(name: str, text: str) -> Path:
-    """Write one report file and return its path (also echoes to stdout)."""
-    path = results_dir() / name
-    path.write_text(text + "\n")
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def read_manifest(directory: "str | Path") -> dict:
+    """Load a results-dir manifest ({} when absent); typed error on damage."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return {"schema": MANIFEST_SCHEMA, "artifacts": {}}
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"unreadable manifest {path}: {exc}") from exc
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ArtifactError(
+            f"{path}: manifest schema {manifest.get('schema')!r} "
+            f"!= {MANIFEST_SCHEMA!r}"
+        )
+    return manifest
+
+
+def _update_manifest(
+    directory: Path, name: str, entry: dict
+) -> None:
+    manifest = read_manifest(directory)
+    manifest["schema"] = MANIFEST_SCHEMA
+    manifest.setdefault("artifacts", {})[name] = entry
+    atomic_write_text(
+        directory / MANIFEST_NAME,
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def save_artifact(
+    name: str,
+    text: str,
+    *,
+    manifest: bool = False,
+    schema: str | None = None,
+    fingerprint: str | None = None,
+) -> Path:
+    """Write one report file atomically and return its path (echoes to stdout).
+
+    ``manifest=True`` also records the artifact (checksum, size, optional
+    ``schema`` version and config ``fingerprint``) in the results-dir
+    ``MANIFEST.json`` so ``repro doctor`` can verify it later.
+    """
+    base = results_dir()
+    body = text + "\n"
+    path = atomic_write_text(base / name, body)
+    if manifest:
+        entry: dict = {
+            "checksum": _sha256_text(body),
+            "bytes": len(body.encode()),
+        }
+        if schema is not None:
+            entry["schema"] = schema
+        if fingerprint is not None:
+            entry["fingerprint"] = fingerprint
+        _update_manifest(base, name, entry)
     print(f"\n{text}\n[saved to {path}]")
     return path
+
+
+def verify_artifacts(directory: "str | Path") -> list[str]:
+    """Check every manifest entry against the files on disk.
+
+    Returns a list of problems (empty == healthy).  Files without a manifest
+    entry are ignored; entries whose file is missing, truncated, or whose
+    checksum mismatches are reported.
+    """
+    directory = Path(directory)
+    problems: list[str] = []
+    try:
+        manifest = read_manifest(directory)
+    except ArtifactError as exc:
+        return [str(exc)]
+    artifacts = manifest.get("artifacts", {})
+    if not artifacts:
+        return [f"{directory}: no artifacts recorded in manifest"]
+    for name, entry in sorted(artifacts.items()):
+        path = directory / name
+        if not path.exists():
+            problems.append(f"{path}: recorded in manifest but missing")
+            continue
+        try:
+            body = path.read_text()
+        except OSError as exc:
+            problems.append(f"{path}: unreadable ({exc})")
+            continue
+        if "bytes" in entry and len(body.encode()) != entry["bytes"]:
+            problems.append(
+                f"{path}: size {len(body.encode())} != manifest {entry['bytes']} "
+                "(truncated or overwritten)"
+            )
+            continue
+        if _sha256_text(body) != entry.get("checksum"):
+            problems.append(f"{path}: checksum mismatch (corrupt artifact)")
+    return problems

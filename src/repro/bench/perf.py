@@ -340,7 +340,9 @@ def check_regression(
 
 
 def write_bench_json(payload: dict, dest: "str | Path") -> None:
-    Path(dest).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.bench.artifacts import atomic_write_text
+
+    atomic_write_text(dest, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def read_bench_json(src: "str | Path") -> dict:

@@ -9,6 +9,8 @@ Usage::
     python -m repro trace --scheme FP16 -o t.jsonl   # serving event trace
     python -m repro trace --chaos 7 -o t.jsonl       # fault-injection trace
     python -m repro bench -o BENCH_inference.json    # fast-path microbenchmarks
+    python -m repro quantize --checkpoint-dir ckpt/  # crash-safe, resumable
+    python -m repro doctor --checkpoint-dir ckpt/    # validate on-disk artifacts
 """
 
 from __future__ import annotations
@@ -39,9 +41,10 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
 
 
 def _cmd_quantize(args: argparse.Namespace) -> int:
-    from repro.core import AtomConfig, AtomQuantizer
+    from repro.core import AtomConfig, AtomQuantizer, CheckpointError
     from repro.eval import perplexity, zero_shot_suite
     from repro.models.zoo import load_model
+    from repro.quant.guards import NumericalError
 
     model = load_model(args.model)
     cfg = AtomConfig.paper_default().with_(
@@ -52,10 +55,28 @@ def _cmd_quantize(args: argparse.Namespace) -> int:
         sequential=args.sequential,
         act_order=args.act_order,
     )
-    q = AtomQuantizer(cfg)
-    quant = q.quantize(model)
+    q = AtomQuantizer(cfg, strict=True if args.strict_guards else None)
+    try:
+        quant = q.quantize(
+            model,
+            checkpoint_dir=args.checkpoint_dir,
+            force_restart=args.force_restart,
+        )
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        print(
+            "hint: rerun with --force-restart to discard the incompatible "
+            "checkpoint directory, or run `python -m repro doctor "
+            f"--checkpoint-dir {args.checkpoint_dir}` to inspect it",
+            file=sys.stderr,
+        )
+        return 2
+    except NumericalError as exc:
+        print(f"numerical guard tripped (strict mode): {exc}", file=sys.stderr)
+        return 3
     print(f"quantized {args.model} with {cfg.label()}")
     print(f"  mean weight reconstruction error: {q.report.mean_weight_error:.4f}")
+    print(f"  {q.health.summary()}")
     rows = []
     for corpus in ("synthwiki", "synthptb", "synthc4"):
         rows.append(
@@ -309,6 +330,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Validate on-disk pipeline artifacts; exit 1 when anything is corrupt."""
+    import math
+
+    checks: list[tuple[str, list[str]]] = []
+
+    if args.checkpoint_dir:
+        from repro.core.checkpoint import validate_checkpoint_dir
+
+        checks.append(
+            (f"checkpoint {args.checkpoint_dir}",
+             validate_checkpoint_dir(args.checkpoint_dir))
+        )
+
+    if args.results_dir:
+        from repro.bench.artifacts import verify_artifacts
+
+        checks.append(
+            (f"results {args.results_dir}", verify_artifacts(args.results_dir))
+        )
+
+    for bench in args.bench or ():
+        from repro.bench.perf import read_bench_json
+
+        problems: list[str] = []
+        try:
+            payload = read_bench_json(bench)
+        except (OSError, ValueError, KeyError) as exc:
+            problems.append(f"unreadable: {exc}")
+        else:
+            for name, b in payload.get("benchmarks", {}).items():
+                for key, val in b.items():
+                    if isinstance(val, float) and not math.isfinite(val):
+                        problems.append(f"benchmarks.{name}.{key} is {val}")
+        checks.append((f"bench {bench}", problems))
+
+    if not checks:
+        print("nothing to check: pass --checkpoint-dir, --results-dir, "
+              "and/or --bench", file=sys.stderr)
+        return 2
+
+    rows = []
+    total = 0
+    for target, problems in checks:
+        rows.append([target, "FAIL" if problems else "ok", len(problems)])
+        total += len(problems)
+    print(format_table(["target", "status", "problems"], rows,
+                       title="repro doctor"))
+    for target, problems in checks:
+        for msg in problems:
+            print(f"  {target}: {msg}", file=sys.stderr)
+    if total:
+        print(f"\ndoctor: {total} problem(s) found", file=sys.stderr)
+        return 1
+    print("\ndoctor: all artifacts healthy")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -327,6 +406,15 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--act-order", action="store_true")
     q.add_argument("--zeroshot", action="store_true")
     q.add_argument("--items", type=int, default=40, help="items per zero-shot task")
+    q.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write per-layer checkpoints here and resume from the "
+                        "last valid layer on restart")
+    q.add_argument("--force-restart", action="store_true",
+                   help="discard an incompatible/corrupt checkpoint directory "
+                        "instead of failing")
+    q.add_argument("--strict-guards", action="store_true",
+                   help="raise NumericalError on non-finite values instead of "
+                        "sanitize-and-record (CI mode)")
     q.set_defaults(func=_cmd_quantize)
 
     a = sub.add_parser("ablation", help="run the Table 3 ablation")
@@ -391,6 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a kernel-phase telemetry trace "
                         "(quantize vs GEMM time per linear call)")
     b.set_defaults(func=_cmd_bench)
+
+    d = sub.add_parser(
+        "doctor",
+        help="validate checkpoint dirs, results dirs, and bench payloads",
+    )
+    d.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="quantization checkpoint directory to validate")
+    d.add_argument("--results-dir", default=None, metavar="DIR",
+                   help="benchmark results directory (manifest-verified)")
+    d.add_argument("--bench", action="append", default=None, metavar="JSON",
+                   help="BENCH_*.json payload to validate (repeatable)")
+    d.set_defaults(func=_cmd_doctor)
     return p
 
 

@@ -14,9 +14,13 @@ Modules map one-to-one onto the paper's §4 design components:
 - :mod:`repro.core.linear`    — the quantized linear executors: dynamic
   activation quantization + exact integer GEMM (§4.2, Fig. 8);
 - :mod:`repro.core.atom`      — :class:`AtomQuantizer`, the model-level
-  pipeline (§4.5, Fig. 6).
+  pipeline (§4.5, Fig. 6);
+- :mod:`repro.core.checkpoint` — crash-safe per-layer checkpoint store for
+  the offline pipeline (atomic writes, checksums, typed
+  :class:`CheckpointError`).
 """
 
+from repro.core.checkpoint import CheckpointError, CheckpointStore
 from repro.core.config import AtomConfig
 from repro.core.groups import GroupSlice, make_group_slices
 from repro.core.outliers import (
@@ -35,6 +39,8 @@ __all__ = [
     "AtomKVCodec",
     "AtomLinear",
     "AtomQuantizer",
+    "CheckpointError",
+    "CheckpointStore",
     "GroupSlice",
     "QuantLinear",
     "calibration_activations",

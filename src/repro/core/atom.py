@@ -26,17 +26,39 @@ the whole model per layer (``quantize(..., sequential_resume=False)`` keeps
 the O(L^2) full-forward reference; both produce bit-identical results).
 
 The returned model is a fresh clone; the input model is untouched.
+
+Robustness (this is the long offline stage, so it is crash-safe and
+numerically guarded):
+
+- ``quantize(..., checkpoint_dir=...)`` persists one atomic, checksummed
+  checkpoint per quantized layer (:mod:`repro.core.checkpoint`) — emitted
+  codes/scales/permutations plus, in sequential-resume mode, the carried
+  float32 hidden state — and resumes from the last valid layer.  A resumed
+  run is bit-identical to an uninterrupted one.  Corrupt / mismatched
+  checkpoints raise :class:`~repro.core.checkpoint.CheckpointError`;
+  ``force_restart=True`` discards the directory instead.
+- Every run accumulates a :class:`~repro.quant.guards.QuantHealthReport`
+  (``quantizer.health``): non-finite calibration activations, degenerate
+  scales, Hessian damping escalations and RTN fallbacks are recorded rather
+  than silently propagated.  ``strict=True`` (or
+  ``ATOM_REPRO_STRICT_GUARDS=1``) raises typed
+  :class:`~repro.quant.guards.NumericalError` on non-finite data instead.
+- A telemetry sink with a ``pipeline_stage`` hook (e.g.
+  :class:`~repro.serving.telemetry.TraceRecorder`) receives typed
+  pipeline-stage events (``layer_start`` / ``layer_quantized`` /
+  ``checkpoint_saved`` / ``checkpoint_resume`` / ``pipeline_done``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.core.checkpoint import CheckpointError, CheckpointStore, pipeline_fingerprint
 from repro.core.config import AtomConfig
-from repro.core.gptq import gptq_quantize, hessian, rtn_weight_quantize
-from repro.core.groups import make_group_slices
+from repro.core.gptq import SlicedWeight, gptq_quantize, hessian, rtn_weight_quantize
+from repro.core.groups import GroupSlice, make_group_slices
 from repro.core.kv_quant import AtomKVCodec
 from repro.core.linear import AtomLinear
 from repro.core.outliers import (
@@ -46,8 +68,15 @@ from repro.core.outliers import (
 )
 from repro.models.llama import LlamaModel, input_site
 from repro.quant.error import relative_error
+from repro.quant.guards import QuantHealthReport, check_finite, strict_mode_default
 
 __all__ = ["AtomQuantizer", "QuantizationReport"]
+
+
+def _stage(telemetry, stage: str, layer: int, *, value: float = 0.0, detail: str = "") -> None:
+    """Emit one pipeline-stage event to a duck-typed telemetry sink."""
+    if telemetry is not None:
+        telemetry.pipeline_stage(stage, layer=layer, detail=detail, value=value)
 
 
 @dataclass
@@ -66,11 +95,21 @@ class QuantizationReport:
 
 
 class AtomQuantizer:
-    """Applies the Atom recipe to a model."""
+    """Applies the Atom recipe to a model.
 
-    def __init__(self, config: AtomConfig | None = None) -> None:
+    ``strict=None`` defaults to the ``ATOM_REPRO_STRICT_GUARDS`` environment
+    switch; ``True`` makes non-finite data raise
+    :class:`~repro.quant.guards.NumericalError` mid-pipeline (CI mode)
+    instead of being recorded-and-sanitized in ``self.health``.
+    """
+
+    def __init__(
+        self, config: AtomConfig | None = None, *, strict: bool | None = None
+    ) -> None:
         self.config = config or AtomConfig()
         self.report = QuantizationReport()
+        self.strict = strict_mode_default() if strict is None else strict
+        self.health = QuantHealthReport(strict=self.strict)
 
     # ------------------------------------------------------------------ #
     def _resolve_n_outlier(self, model: LlamaModel) -> int:
@@ -111,6 +150,11 @@ class AtomQuantizer:
         perms: dict[str, np.ndarray | None] = {}
         hessians: dict[str, np.ndarray] = {}
         for site, acts in site_acts.items():
+            if not check_finite(acts, where=site, health=self.health):
+                # Non-strict: sanitize so downstream Hessians/scales stay
+                # finite (the event is on record either way).
+                acts = np.nan_to_num(acts, nan=0.0, posinf=0.0, neginf=0.0)
+                site_acts[site] = acts
             if n_outlier > 0:
                 idx = identify_outliers(acts, min(n_outlier, acts.shape[1] - 1))
                 perm = reorder_permutation(acts.shape[1], idx)
@@ -144,10 +188,17 @@ class AtomQuantizer:
                     clip=cfg.weight_clip,
                     fmt=cfg.fmt,
                     act_order=cfg.act_order,
+                    health=self.health,
+                    where=name,
                 )
             else:
                 sliced = rtn_weight_quantize(
-                    w_r, slices, clip=cfg.weight_clip, fmt=cfg.fmt
+                    w_r,
+                    slices,
+                    clip=cfg.weight_clip,
+                    fmt=cfg.fmt,
+                    health=self.health,
+                    where=name,
                 )
             impl = AtomLinear(
                 sliced,
@@ -184,12 +235,125 @@ class AtomQuantizer:
         return cls._sites_from_capture(captured)
 
     # ------------------------------------------------------------------ #
+    # Checkpoint payloads
+    # ------------------------------------------------------------------ #
+    def _layer_payload(
+        self,
+        qmodel: LlamaModel,
+        linears: list[str],
+        sites: list[str],
+        hidden: np.ndarray | None,
+    ) -> tuple[dict[str, np.ndarray], dict]:
+        """Arrays + metadata capturing one quantized layer exactly."""
+        arrays: dict[str, np.ndarray] = {}
+        meta_linears: dict[str, dict] = {}
+        for name in linears:
+            lin = qmodel.linears[name]
+            sw = lin.weight
+            if lin.perm is not None:
+                arrays[f"{name}|perm"] = lin.perm
+            scale_none: list[bool] = []
+            for i, (codes, scale) in enumerate(zip(sw.codes, sw.scales)):
+                arrays[f"{name}|code{i}"] = codes
+                scale_none.append(scale is None)
+                if scale is not None:
+                    arrays[f"{name}|scale{i}"] = scale
+            meta_linears[name] = {
+                "fmt": sw.fmt,
+                "has_perm": lin.perm is not None,
+                "scale_none": scale_none,
+                "slices": [
+                    [s.start, s.stop, s.bits, s.is_outlier, s.fmt]
+                    for s in sw.slices
+                ],
+                "weight_error": self.report.weight_errors[name],
+                "effective_bits": self.report.effective_weight_bits[name],
+            }
+        site_list: list[str] = []
+        for site in sites:
+            if site in self.report.outlier_channels:
+                arrays[f"site|{site}"] = self.report.outlier_channels[site]
+                site_list.append(site)
+        if hidden is not None:
+            arrays["hidden"] = hidden
+        meta = {
+            "linear_order": list(linears),
+            "linears": meta_linears,
+            "sites": site_list,
+            "has_hidden": hidden is not None,
+        }
+        return arrays, meta
+
+    def _install_layer(
+        self, qmodel: LlamaModel, arrays: dict[str, np.ndarray], meta: dict
+    ) -> None:
+        """Reinstall a checkpointed layer bit-identically."""
+        cfg = self.config
+        mapping: dict[str, AtomLinear] = {}
+        try:
+            for name in meta["linear_order"]:
+                lm = meta["linears"][name]
+                slices = [
+                    GroupSlice(
+                        int(start),
+                        int(stop),
+                        None if bits is None else int(bits),
+                        bool(outlier),
+                        fmt,
+                    )
+                    for start, stop, bits, outlier, fmt in lm["slices"]
+                ]
+                codes: list[np.ndarray] = []
+                scales: list[np.ndarray | None] = []
+                for i, none in enumerate(lm["scale_none"]):
+                    codes.append(arrays[f"{name}|code{i}"])
+                    scales.append(None if none else arrays[f"{name}|scale{i}"])
+                sliced = SlicedWeight(slices, codes, scales, lm["fmt"])
+                perm = arrays[f"{name}|perm"] if lm["has_perm"] else None
+                mapping[name] = AtomLinear(
+                    sliced,
+                    perm=perm,
+                    a_bits=cfg.a_bits,
+                    act_clip=cfg.act_clip,
+                    fmt=cfg.fmt,
+                )
+                self.report.weight_errors[name] = float(lm["weight_error"])
+                self.report.effective_weight_bits[name] = float(
+                    lm["effective_bits"]
+                )
+            for site in meta["sites"]:
+                self.report.outlier_channels[site] = arrays[f"site|{site}"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
+        qmodel.replace_linears(mapping)
+
+    def _fingerprint(
+        self,
+        model: LlamaModel,
+        calib_tokens: np.ndarray,
+        n_outlier: int,
+        group_size: int | None,
+        mode: str,
+    ) -> str:
+        return pipeline_fingerprint(
+            asdict(self.config),
+            asdict(model.config),
+            n_outlier,
+            group_size,
+            mode,
+            np.asarray(calib_tokens),
+        )
+
+    # ------------------------------------------------------------------ #
     def quantize(
         self,
         model: LlamaModel,
         *,
         calib_tokens: np.ndarray | None = None,
         sequential_resume: bool = True,
+        checkpoint_dir: "str | None" = None,
+        force_restart: bool = False,
+        telemetry=None,
     ) -> LlamaModel:
         """Return a quantized clone of ``model``.
 
@@ -197,8 +361,17 @@ class AtomQuantizer:
         carried-hidden-state calibration; ``False`` re-runs a full forward
         per layer (the O(L^2) reference — bit-identical, kept for the
         equivalence suite and the perf harness's "before" measurement).
+
+        ``checkpoint_dir`` enables crash-safe per-layer checkpointing: each
+        quantized layer is persisted atomically, and a rerun with the same
+        (config, model, calibration) triple resumes from the last valid
+        layer with bit-identical results.  Mismatched or corrupt checkpoint
+        directories raise :class:`CheckpointError` unless
+        ``force_restart=True`` discards them first.  ``telemetry`` (any sink
+        with a ``pipeline_stage`` hook) receives per-layer stage events.
         """
         cfg = self.config
+        self.health = QuantHealthReport(strict=self.strict)
         if calib_tokens is None:
             calib_tokens = sample_calibration_tokens(
                 cfg.calib_sequences, cfg.calib_seq_len
@@ -207,37 +380,87 @@ class AtomQuantizer:
         group_size = self._resolve_group(model)
         qmodel = model.clone()
         by_layer = self._layer_linears(model)
+        layers = sorted(by_layer)
 
         if cfg.sequential and sequential_resume:
-            # Layer-by-layer with activation-checkpoint resume: calibrate
-            # layer i on hidden states already advanced through quantized
-            # layers 0..i-1, then push the states through the freshly
-            # quantized layer i.  Two layer executions per layer => O(L).
-            x = qmodel.embed(calib_tokens)
-            for layer in sorted(by_layer):
-                linears = by_layer[layer]
+            mode = "sequential-resume"
+        elif cfg.sequential:
+            mode = "sequential-full"
+        else:
+            mode = "one-shot"
+
+        store = None
+        done = -1
+        if checkpoint_dir is not None:
+            fp = self._fingerprint(model, calib_tokens, n_outlier, group_size, mode)
+            store = CheckpointStore(checkpoint_dir, fingerprint=fp)
+            if force_restart:
+                store.reset()
+            else:
+                store.verify_compatible()
+                done = min(store.last_contiguous_layer(), len(layers) - 1)
+
+        # One-shot mode calibrates every site from the SOURCE model in a
+        # single forward pass; skip the capture entirely when every layer is
+        # already checkpointed.
+        oneshot_acts: dict[str, np.ndarray] | None = None
+        if mode == "one-shot" and done < len(layers) - 1:
+            oneshot_acts = self._site_acts_for(
+                model, calib_tokens, model.linear_names()
+            )
+
+        # Sequential-resume mode carries calibration hidden states forward;
+        # resumed layers restore them from the checkpoint instead.
+        x = qmodel.embed(calib_tokens) if mode == "sequential-resume" else None
+
+        for layer in layers:
+            linears = by_layer[layer]
+            if store is not None and layer <= done:
+                arrays, meta = store.load_layer(layer)
+                self._install_layer(qmodel, arrays, meta)
+                if mode == "sequential-resume":
+                    if "hidden" not in arrays:
+                        raise CheckpointError(
+                            f"{store.layer_path(layer)}: no carried hidden "
+                            "state (checkpoint from a different mode?)"
+                        )
+                    x = arrays["hidden"]
+                _stage(telemetry, "checkpoint_resume", layer, value=len(linears))
+                continue
+            _stage(telemetry, "layer_start", layer, value=len(linears))
+            if mode == "sequential-resume":
+                # Layer-by-layer with activation-checkpoint resume: calibrate
+                # layer i on hidden states already advanced through quantized
+                # layers 0..i-1, then push the states through the freshly
+                # quantized layer i.  Two layer executions per layer => O(L).
                 captured = qmodel.capture_layer_inputs(x, layer, names=linears)
                 site_acts = self._sites_from_capture(captured)
-                self._quantize_layer(
-                    model, qmodel, linears, site_acts, n_outlier, group_size
-                )
-                x = qmodel.forward_layer(x, layer)
-        elif cfg.sequential:
-            # Reference O(L^2): calibrate each layer with a full forward of
-            # the partially quantized model.
-            for layer in sorted(by_layer):
-                linears = by_layer[layer]
+            elif mode == "sequential-full":
+                # Reference O(L^2): calibrate each layer with a full forward
+                # of the partially quantized model.
                 site_acts = self._site_acts_for(qmodel, calib_tokens, linears)
-                self._quantize_layer(
-                    model, qmodel, linears, site_acts, n_outlier, group_size
-                )
-        else:
-            all_linears = model.linear_names()
-            site_acts = self._site_acts_for(model, calib_tokens, all_linears)
+            else:
+                prefix = f"layers.{layer}."
+                site_acts = {
+                    s: a for s, a in oneshot_acts.items() if s.startswith(prefix)
+                }
             self._quantize_layer(
-                model, qmodel, all_linears, site_acts, n_outlier, group_size
+                model, qmodel, linears, site_acts, n_outlier, group_size
             )
+            if mode == "sequential-resume":
+                x = qmodel.forward_layer(x, layer)
+            _stage(telemetry, "layer_quantized", layer, value=len(linears))
+            if store is not None:
+                arrays, meta = self._layer_payload(
+                    qmodel,
+                    linears,
+                    list(site_acts),
+                    x if mode == "sequential-resume" else None,
+                )
+                store.save_layer(layer, arrays, meta)
+                _stage(telemetry, "checkpoint_saved", layer)
 
         if cfg.kv_bits is not None:
             qmodel.kv_codec = AtomKVCodec(cfg.kv_bits)
+        _stage(telemetry, "pipeline_done", layers[-1] if layers else -1)
         return qmodel

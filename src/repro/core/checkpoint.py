@@ -1,0 +1,322 @@
+"""Crash-safe checkpoint store for the offline quantization pipeline.
+
+The Atom pipeline quantizes a model layer by layer (§4.5); on large models
+that is by far the longest offline stage, and before this module a crash at
+layer ``k`` lost layers ``0..k-1``.  :class:`CheckpointStore` persists one
+versioned, checksummed file per quantized layer so
+:meth:`~repro.core.atom.AtomQuantizer.quantize` can resume from the last
+valid layer — and a resumed run is **bit-identical** to an uninterrupted
+one, because the checkpoint stores the exact emitted codes/scales/permutation
+(plus, in sequential-resume mode, the carried float32 calibration hidden
+state, so no recomputation with different accumulation order ever happens).
+
+Format (one ``layer_{k:05d}.npz`` per layer, plus ``MANIFEST.json``):
+
+- Every array of the layer (per-linear codes/scales/permutation, per-site
+  outlier indices, the optional carried hidden state) is stored uncompressed
+  via :func:`numpy.savez`.
+- A JSON metadata record rides along inside the archive under ``__meta__``:
+  schema version, pipeline fingerprint, layer index, the slice layout of
+  each linear, scalar report entries, and a SHA-256 **content checksum**
+  computed over every array's name, dtype, shape and raw bytes.
+- ``MANIFEST.json`` pins the schema version and the **pipeline fingerprint**
+  — a hash of the quantization config, model structure and calibration
+  tokens.  Resuming with a different config/model/calibration set is an
+  error (:class:`CheckpointError`), not a silent wrong answer.
+
+All writes are atomic: tmp file in the destination directory, flush+fsync,
+``os.replace``.  A crash mid-write leaves at worst a stale ``*.tmp`` file,
+never a torn checkpoint.
+
+Failure surface: every load/validation problem — unreadable archive, flipped
+byte (checksum mismatch), schema version skew, fingerprint mismatch,
+non-contiguous layer sequence — raises typed :class:`CheckpointError`; the
+CLI maps it to a ``--force-restart`` hint and ``repro doctor`` enumerates the
+same checks as a pass/fail report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointStore",
+    "atomic_write_bytes",
+    "pipeline_fingerprint",
+    "validate_checkpoint_dir",
+]
+
+CHECKPOINT_SCHEMA = "atom-repro/quant-checkpoint/v1"
+
+_META_KEY = "__meta__"
+_MANIFEST = "MANIFEST.json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be created, validated, or loaded."""
+
+
+# --------------------------------------------------------------------------- #
+# Atomic writes + hashing
+# --------------------------------------------------------------------------- #
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + ``os.replace``)."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _arrays_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape and raw bytes."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def pipeline_fingerprint(*parts: Any) -> str:
+    """Stable hash of heterogeneous pipeline inputs (configs, arrays, strs).
+
+    Arrays hash by dtype/shape/bytes; everything else by canonical JSON.
+    Used to pin a checkpoint directory to one exact (config, model,
+    calibration) triple.
+    """
+    h = hashlib.sha256()
+    for p in parts:
+        if isinstance(p, np.ndarray):
+            a = np.ascontiguousarray(p)
+            h.update(str(a.dtype).encode())
+            h.update(str(a.shape).encode())
+            h.update(a.tobytes())
+        else:
+            h.update(json.dumps(p, sort_keys=True, default=str).encode())
+        h.update(b"|")
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Store
+# --------------------------------------------------------------------------- #
+class CheckpointStore:
+    """Per-layer checkpoint directory with atomic writes and checksums."""
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        *,
+        fingerprint: str = "",
+        create: bool = True,
+    ) -> None:
+        self.dir = Path(directory)
+        self.fingerprint = fingerprint
+        if create:
+            try:
+                self.dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot create checkpoint directory {self.dir}: {exc}"
+                ) from exc
+
+    # -- paths ----------------------------------------------------------- #
+    def layer_path(self, layer: int) -> Path:
+        return self.dir / f"layer_{layer:05d}.npz"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.dir / _MANIFEST
+
+    def layers_on_disk(self) -> list[int]:
+        out = []
+        for p in sorted(self.dir.glob("layer_*.npz")):
+            try:
+                out.append(int(p.stem.split("_")[1]))
+            except (IndexError, ValueError):
+                continue
+        return out
+
+    # -- manifest / compatibility ---------------------------------------- #
+    def _write_manifest(self) -> None:
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": self.fingerprint,
+        }
+        atomic_write_bytes(
+            self.manifest_path,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(),
+        )
+
+    def read_manifest(self) -> dict:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"checkpoint manifest missing: {self.manifest_path}"
+            ) from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {self.manifest_path}: {exc}"
+            ) from exc
+
+    def verify_compatible(self) -> None:
+        """Raise :class:`CheckpointError` unless the directory matches.
+
+        A fresh/empty directory is compatible (the manifest is written on
+        first use).  An existing manifest must match both the schema version
+        and this run's pipeline fingerprint.
+        """
+        if not self.manifest_path.exists():
+            if self.layers_on_disk():
+                raise CheckpointError(
+                    f"checkpoint dir {self.dir} has layer files but no manifest "
+                    "(partial or foreign directory); use force_restart"
+                )
+            return
+        m = self.read_manifest()
+        if m.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint schema mismatch in {self.dir}: "
+                f"found {m.get('schema')!r}, expected {CHECKPOINT_SCHEMA!r}"
+            )
+        if self.fingerprint and m.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint fingerprint mismatch in {self.dir}: the directory "
+                "was produced by a different config/model/calibration set; "
+                "use force_restart to discard it"
+            )
+
+    def reset(self) -> None:
+        """Discard every checkpoint in the directory (``--force-restart``)."""
+        for p in self.dir.glob("layer_*.npz"):
+            p.unlink(missing_ok=True)
+        for p in self.dir.glob("*.tmp"):
+            p.unlink(missing_ok=True)
+        self.manifest_path.unlink(missing_ok=True)
+
+    # -- save / load ------------------------------------------------------ #
+    def save_layer(
+        self, layer: int, arrays: dict[str, np.ndarray], meta: dict
+    ) -> Path:
+        """Atomically persist one layer's arrays + metadata."""
+        if not self.manifest_path.exists():
+            self._write_manifest()
+        record = dict(meta)
+        record["schema"] = CHECKPOINT_SCHEMA
+        record["fingerprint"] = self.fingerprint
+        record["layer"] = int(layer)
+        record["checksum"] = _arrays_checksum(arrays)
+        buf = io.BytesIO()
+        np.savez(buf, **{_META_KEY: np.array(json.dumps(record))}, **arrays)
+        return atomic_write_bytes(self.layer_path(layer), buf.getvalue())
+
+    def load_layer(self, layer: int) -> tuple[dict[str, np.ndarray], dict]:
+        """Load and fully validate one layer checkpoint.
+
+        Returns ``(arrays, meta)``.  Any defect — unreadable archive,
+        missing metadata, schema/fingerprint skew, checksum mismatch —
+        raises :class:`CheckpointError` before any data is handed out.
+        """
+        path = self.layer_path(layer)
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                if _META_KEY not in z.files:
+                    raise CheckpointError(f"{path}: no metadata record")
+                meta = json.loads(str(z[_META_KEY]))
+                arrays = {k: z[k] for k in z.files if k != _META_KEY}
+        except CheckpointError:
+            raise
+        except FileNotFoundError as exc:
+            raise CheckpointError(f"checkpoint missing: {path}") from exc
+        except Exception as exc:  # zipfile/json/numpy decode errors
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+        if meta.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"{path}: schema {meta.get('schema')!r} != {CHECKPOINT_SCHEMA!r}"
+            )
+        if self.fingerprint and meta.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"{path}: pipeline fingerprint mismatch (different "
+                "config/model/calibration); use force_restart"
+            )
+        if meta.get("layer") != layer:
+            raise CheckpointError(
+                f"{path}: metadata says layer {meta.get('layer')}, "
+                f"filename says {layer}"
+            )
+        checksum = _arrays_checksum(arrays)
+        if checksum != meta.get("checksum"):
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: content checksum mismatch "
+                f"({checksum[:12]} != {str(meta.get('checksum'))[:12]}...)"
+            )
+        return arrays, meta
+
+    def last_contiguous_layer(self) -> int:
+        """Highest layer ``k`` such that layers ``0..k`` all exist on disk.
+
+        Returns ``-1`` for an empty store.  Existence only — validation
+        happens at :meth:`load_layer` time so corruption surfaces as a typed
+        error, never as a silently shortened resume.
+        """
+        have = set(self.layers_on_disk())
+        k = -1
+        while k + 1 in have:
+            k += 1
+        return k
+
+    # -- validation (repro doctor) ---------------------------------------- #
+    def validate(self) -> list[str]:
+        """Return a list of problems (empty == healthy)."""
+        problems: list[str] = []
+        try:
+            self.read_manifest()
+        except CheckpointError as exc:
+            problems.append(str(exc))
+        layers = self.layers_on_disk()
+        if not layers:
+            problems.append(f"{self.dir}: no layer checkpoints found")
+            return problems
+        if layers != list(range(layers[0], layers[0] + len(layers))) or layers[0] != 0:
+            problems.append(
+                f"{self.dir}: non-contiguous layer sequence {layers}"
+            )
+        for layer in layers:
+            try:
+                self.load_layer(layer)
+            except CheckpointError as exc:
+                problems.append(str(exc))
+        return problems
+
+
+def validate_checkpoint_dir(directory: "str | Path") -> list[str]:
+    """Validate a checkpoint directory without knowing its fingerprint."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return [f"{directory}: not a directory"]
+    store = CheckpointStore(directory, fingerprint="", create=False)
+    return store.validate()

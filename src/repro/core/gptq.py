@@ -23,17 +23,40 @@ while scales stay defined on the original slice layout.
 
 Slices with ``bits=None`` (FP16 outliers ablation) pass through unquantized
 and contribute zero error.
+
+Numerical robustness (see :mod:`repro.quant.guards`): the damped Cholesky
+factorization is retried with an escalating damping ladder (the configured
+``percdamp``, then 0.1, then 1.0 of the mean Hessian diagonal) when the
+Hessian is too ill-conditioned; if no damping level yields a finite factor —
+or the compensated quantization itself emits non-finite codes/scales — the
+weight falls back to per-column round-to-nearest.  Each escalation and
+fallback is recorded in the caller-supplied :class:`QuantHealthReport`, so
+the default path (well-conditioned Hessian, first damping level) stays
+bit-identical to the pre-guard implementation.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 import scipy.linalg
 
 from repro.core.groups import GroupSlice
 from repro.quant.dtypes import FP4_E2M1, FP8_E4M3, FloatFormat, IntFormat
+from repro.quant.guards import QuantHealthReport, check_finite, count_degenerate_scales
 
-__all__ = ["gptq_quantize", "rtn_weight_quantize", "SlicedWeight", "hessian"]
+__all__ = [
+    "gptq_quantize",
+    "rtn_weight_quantize",
+    "SlicedWeight",
+    "hessian",
+    "DAMP_ESCALATION",
+]
+
+#: Damping ladder tried after the configured ``percdamp`` (fractions of the
+#: mean Hessian diagonal), mirroring GPTQ-practice escalation.
+DAMP_ESCALATION = (0.1, 1.0)
 
 
 class SlicedWeight:
@@ -131,6 +154,67 @@ def _cholesky_inverse_upper(h: np.ndarray, percdamp: float) -> np.ndarray:
     return scipy.linalg.cholesky((h_inv + h_inv.T) / 2.0, lower=False)
 
 
+def _robust_cholesky(
+    h: np.ndarray,
+    percdamp: float,
+    *,
+    health: QuantHealthReport | None,
+    where: str,
+) -> np.ndarray | None:
+    """Cholesky factor of the damped ``H^{-1}`` with escalating damping.
+
+    Tries the configured ``percdamp`` first (the pre-guard behavior), then
+    the :data:`DAMP_ESCALATION` ladder.  A level fails when the
+    factorization raises or yields a non-finite factor.  Returns ``None``
+    when every level fails (the caller falls back to RTN).
+    """
+    ladder = [percdamp] + [d for d in DAMP_ESCALATION if d > percdamp]
+    for attempt, damp in enumerate(ladder):
+        try:
+            # An ill-conditioned inverse either yields a non-finite factor
+            # (caught below, next damping level) or a usable one; the scipy
+            # warning adds nothing the health report doesn't already record.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
+                u = _cholesky_inverse_upper(h, damp)
+        except (scipy.linalg.LinAlgError, np.linalg.LinAlgError, ValueError):
+            continue
+        if not np.isfinite(u).all() or np.any(np.diag(u) == 0.0):
+            continue
+        if attempt > 0 and health is not None:
+            health.record(
+                "hessian_damping",
+                where,
+                f"ill-conditioned Hessian: damping escalated "
+                f"{percdamp:g} -> {damp:g} of mean diag",
+                value=damp,
+            )
+        return u
+    return None
+
+
+def _sliced_finite(sliced: SlicedWeight) -> bool:
+    """True when every code and scale array of ``sliced`` is fully finite."""
+    for codes, scale in zip(sliced.codes, sliced.scales):
+        if codes.dtype.kind == "f" and not np.isfinite(codes).all():
+            return False
+        if scale is not None and not np.isfinite(scale).all():
+            return False
+    return True
+
+
+def _record_scale_health(
+    sliced: SlicedWeight, health: QuantHealthReport | None, where: str
+) -> None:
+    if health is None:
+        return
+    for s, scale in zip(sliced.slices, sliced.scales):
+        if scale is not None:
+            count_degenerate_scales(
+                scale, where=f"{where}[{s.start}:{s.stop}]", health=health
+            )
+
+
 def gptq_quantize(
     weight: np.ndarray,
     hess: np.ndarray,
@@ -140,8 +224,16 @@ def gptq_quantize(
     fmt: str = "int",
     percdamp: float = 0.01,
     act_order: bool = False,
+    health: QuantHealthReport | None = None,
+    where: str = "weight",
 ) -> SlicedWeight:
-    """GPTQ-quantize ``weight`` (out, in) against calibration Hessian ``hess``."""
+    """GPTQ-quantize ``weight`` (out, in) against calibration Hessian ``hess``.
+
+    With a :class:`QuantHealthReport` attached, non-finite inputs are
+    detected (fatal in strict mode; sanitized to zero otherwise), Cholesky
+    failures escalate through the damping ladder, and a per-column RTN
+    fallback guarantees finite output codes/scales — every recovery recorded.
+    """
     w = np.asarray(weight, dtype=np.float64).copy()
     n_out, n_in = w.shape
     if hess.shape != (n_in, n_in):
@@ -149,11 +241,30 @@ def gptq_quantize(
     if sum(s.width for s in slices) != n_in:
         raise ValueError("slices do not cover the weight's input dimension")
 
+    if not check_finite(w, where=f"{where}.weight", health=health):
+        w = np.nan_to_num(w, nan=0.0, posinf=0.0, neginf=0.0)
     h = np.asarray(hess, dtype=np.float64).copy()
+    check_finite(h, where=f"{where}.hessian", health=health)
     # Dead channels (zero diagonal) get unit curvature and zero weight.
     dead = np.diag(h) == 0.0
+    if dead.any() and health is not None:
+        health.record(
+            "dead_channels",
+            f"{where}.hessian",
+            f"{int(dead.sum())} channels never activated during calibration",
+            count=int(dead.sum()),
+        )
     h[dead, dead] = 1.0
     w[:, dead] = 0.0
+    # Pristine (sanitized, dead-zeroed) weights for the RTN last resort.
+    w_fallback = w.copy()
+
+    def _rtn_fallback(reason: str) -> SlicedWeight:
+        if health is not None:
+            health.record("rtn_fallback", where, reason)
+        return rtn_weight_quantize(
+            w_fallback, slices, clip=clip, fmt=fmt, health=health, where=where
+        )
 
     slice_of = np.empty(n_in, dtype=np.int64)
     for i, s in enumerate(slices):
@@ -164,7 +275,11 @@ def gptq_quantize(
         # upfront from the pristine weights (group entry is undefined under
         # a permuted visiting order), and the Hessian is permuted to match.
         perm = np.argsort(-np.diag(h))
-        u = _cholesky_inverse_upper(h[np.ix_(perm, perm)], percdamp)
+        u = _robust_cholesky(
+            h[np.ix_(perm, perm)], percdamp, health=health, where=where
+        )
+        if u is None:
+            return _rtn_fallback("no finite Cholesky factor at any damping level")
         codes: list[np.ndarray] = []
         scales: list[np.ndarray | None] = []
         for s in slices:
@@ -195,9 +310,19 @@ def gptq_quantize(
             err = (col - deq) / u[rank, rank]
             if rank + 1 < n_in:
                 w_p[:, rank + 1 :] -= np.outer(err, u[rank, rank + 1 :])
-        return SlicedWeight(slices, codes, scales, fmt)
+        sliced = SlicedWeight(slices, codes, scales, fmt)
+        if not _sliced_finite(sliced):
+            if health is not None:
+                health.record(
+                    "nonfinite_output", where, "GPTQ emitted non-finite values"
+                )
+            return _rtn_fallback("non-finite GPTQ output")
+        _record_scale_health(sliced, health, where)
+        return sliced
 
-    u = _cholesky_inverse_upper(h, percdamp)
+    u = _robust_cholesky(h, percdamp, health=health, where=where)
+    if u is None:
+        return _rtn_fallback("no finite Cholesky factor at any damping level")
     codes = []
     scales = []
     for s in slices:
@@ -218,7 +343,15 @@ def gptq_quantize(
                 w[:, j + 1 :] -= np.outer(err, u[j, j + 1 :])
         codes.append(slice_codes)
         scales.append(scale)
-    return SlicedWeight(slices, codes, scales, fmt)
+    sliced = SlicedWeight(slices, codes, scales, fmt)
+    if not _sliced_finite(sliced):
+        if health is not None:
+            health.record(
+                "nonfinite_output", where, "GPTQ emitted non-finite values"
+            )
+        return _rtn_fallback("non-finite GPTQ output")
+    _record_scale_health(sliced, health, where)
+    return sliced
 
 
 def rtn_weight_quantize(
@@ -227,11 +360,15 @@ def rtn_weight_quantize(
     *,
     clip: float = 1.0,
     fmt: str = "int",
+    health: QuantHealthReport | None = None,
+    where: str = "weight",
 ) -> SlicedWeight:
     """Round-to-nearest weight quantization in the same sliced layout."""
     w = np.asarray(weight, dtype=np.float64)
     if sum(s.width for s in slices) != w.shape[1]:
         raise ValueError("slices do not cover the weight's input dimension")
+    if not check_finite(w, where=f"{where}.weight", health=health):
+        w = np.nan_to_num(w, nan=0.0, posinf=0.0, neginf=0.0)
     codes: list[np.ndarray] = []
     scales: list[np.ndarray | None] = []
     for s in slices:
@@ -249,4 +386,6 @@ def rtn_weight_quantize(
             q = _fp_grid(s.bits).round(block / scale)
         codes.append(q)
         scales.append(scale)
-    return SlicedWeight(slices, codes, scales, fmt)
+    sliced = SlicedWeight(slices, codes, scales, fmt)
+    _record_scale_health(sliced, health, where)
+    return sliced

@@ -34,6 +34,14 @@ from repro.quant.granularity import (
     group_view,
     ungroup_view,
 )
+from repro.quant.guards import (
+    GuardEvent,
+    NumericalError,
+    QuantHealthReport,
+    check_finite,
+    count_degenerate_scales,
+    strict_mode_default,
+)
 from repro.quant.qtensor import QuantizedTensor
 from repro.quant.uniform import (
     asymmetric_params,
@@ -62,6 +70,12 @@ __all__ = [
     "FP8_E4M3",
     "FloatFormat",
     "Granularity",
+    "GuardEvent",
+    "NumericalError",
+    "QuantHealthReport",
+    "check_finite",
+    "count_degenerate_scales",
+    "strict_mode_default",
     "IntFormat",
     "INT2",
     "INT3",

@@ -13,6 +13,14 @@ Asymmetric quantization (used by Atom for the KV-cache)::
 
 All functions are vectorized over arbitrary scale shapes: ``scale`` (and
 ``zero``) must broadcast against ``x``.
+
+Degenerate inputs (all-zero or constant channels) would produce zero scales
+whose reciprocals explode; the scale computations clamp to a tiny epsilon so
+such groups round-trip exactly (``0 / eps`` rounds to code 0, dequantizes to
+0).  Pass a :class:`~repro.quant.guards.QuantHealthReport` via ``health`` to
+additionally *record* every clamped scale (and any non-finite input) as a
+typed diagnostic — the default ``health=None`` path is bit-identical to the
+pre-guard implementation.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import numpy as np
 
 from repro.quant.dtypes import IntFormat
 from repro.quant.granularity import Granularity, group_view, reduction_axes
+from repro.quant.guards import QuantHealthReport, check_finite, count_degenerate_scales
 from repro.quant.qtensor import QuantizedTensor
 
 __all__ = [
@@ -42,6 +51,8 @@ def symmetric_scale(
     *,
     clip: float = 1.0,
     axis: tuple[int, ...] | None = None,
+    health: QuantHealthReport | None = None,
+    where: str = "activations",
 ) -> np.ndarray:
     """Compute the symmetric scale over ``axis`` (keepdims), Eq. (3).
 
@@ -51,12 +62,16 @@ def symmetric_scale(
     if not 0.0 < clip <= 1.0:
         raise ValueError(f"clip factor must be in (0, 1], got {clip}")
     x = np.asarray(x)
+    if health is not None:
+        check_finite(x, where=where, health=health)
     axes = tuple(range(x.ndim)) if axis is None else axis
     amax = np.abs(x).max(axis=axes, keepdims=True)
     # Paper Eq.: s = 2*max|X| / (2^n - 1) * c.  The factor 2 spreads the range
     # over all 2^n levels; with the signed clamp the effective max level is
     # qmax = 2^(n-1)-1, i.e. s = max|X| / qmax up to the off-by-one in levels.
     scale = (2.0 * amax) / (fmt.n_levels - 1) * clip
+    if health is not None:
+        count_degenerate_scales(scale, where=where, health=health, eps=_EPS)
     return np.maximum(scale, _EPS)
 
 
@@ -66,15 +81,21 @@ def asymmetric_params(
     *,
     clip: float = 1.0,
     axis: tuple[int, ...] | None = None,
+    health: QuantHealthReport | None = None,
+    where: str = "activations",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Compute (scale, zero_point) for asymmetric quantization, Eq. (1)."""
     if not 0.0 < clip <= 1.0:
         raise ValueError(f"clip factor must be in (0, 1], got {clip}")
     x = np.asarray(x)
+    if health is not None:
+        check_finite(x, where=where, health=health)
     axes = tuple(range(x.ndim)) if axis is None else axis
     xmax = x.max(axis=axes, keepdims=True)
     xmin = x.min(axis=axes, keepdims=True)
     scale = (xmax - xmin) / (fmt.n_levels - 1) * clip
+    if health is not None:
+        count_degenerate_scales(scale, where=where, health=health, eps=_EPS)
     scale = np.maximum(scale, _EPS)
     zero = np.round(-xmin / scale)
     return scale, zero
@@ -118,6 +139,8 @@ def quantize_tensor(
     group_size: int = 128,
     clip: float = 1.0,
     symmetric: bool = True,
+    health: QuantHealthReport | None = None,
+    where: str = "tensor",
 ) -> QuantizedTensor:
     """One-call quantization of a float tensor at the given granularity.
 
@@ -130,11 +153,15 @@ def quantize_tensor(
     work = group_view(x, group_size) if grouped else x
     axes = reduction_axes(work, granularity)
     if symmetric:
-        scale = symmetric_scale(work, fmt, clip=clip, axis=axes)
+        scale = symmetric_scale(
+            work, fmt, clip=clip, axis=axes, health=health, where=where
+        )
         zero = None
         data = quantize_symmetric(work, scale, fmt)
     else:
-        scale, zero = asymmetric_params(work, fmt, clip=clip, axis=axes)
+        scale, zero = asymmetric_params(
+            work, fmt, clip=clip, axis=axes, health=health, where=where
+        )
         data = quantize_asymmetric(work, scale, zero, fmt)
     return QuantizedTensor(
         data=data,

@@ -44,6 +44,11 @@ Event schema (one JSON object per line, ``event`` field dispatches):
 ``fault``       one injected fault fired: ``kind`` (``page_shrink`` /
                 ``straggler`` / ``alloc_fail``) and a ``value`` payload
                 (pool delta in pages / slowdown factor / retries consumed).
+``stage``       one offline-pipeline stage event from the quantizer:
+                ``stage`` (``layer_start`` / ``layer_quantized`` /
+                ``checkpoint_saved`` / ``checkpoint_resume`` /
+                ``pipeline_done``), the decoder ``layer`` it refers to, and
+                an optional ``detail`` / ``value`` payload.
 ``iteration``   one engine iteration: ``prefill_tokens``, ``decode_batch``,
                 ``running``, ``pending``, per-phase seconds ``t_dense``
                 (includes ``t_comm`` when tensor-parallel), ``t_attention``,
@@ -86,6 +91,7 @@ __all__ = [
     "RequestShed",
     "FaultInjected",
     "PagePoolDelta",
+    "PipelineStage",
     "IterationSample",
     "TraceSummary",
     "summarize",
@@ -184,6 +190,18 @@ class FaultInjected(TraceEvent):
 
 
 @dataclass(frozen=True)
+class PipelineStage(TraceEvent):
+    """One offline quantization pipeline stage (layer progress, checkpoints)."""
+
+    stage: str = ""
+    layer: int = -1
+    detail: str = ""
+    value: float = 0.0
+
+    event: str = field(init=False, default="stage", repr=False)
+
+
+@dataclass(frozen=True)
 class PagePoolDelta(TraceEvent):
     """Allocator-level page accounting: ``delta`` > 0 allocates, < 0 frees."""
 
@@ -225,6 +243,7 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestShed,
         FaultInjected,
         PagePoolDelta,
+        PipelineStage,
         IterationSample,
     )
 }
@@ -285,6 +304,11 @@ class Telemetry:
         pass
 
     def page_delta(self, request_id: int, delta: int, free_pages: int) -> None:
+        pass
+
+    def pipeline_stage(
+        self, stage: str, *, layer: int = -1, detail: str = "", value: float = 0.0
+    ) -> None:
         pass
 
     def iteration_sample(self, **metrics) -> None:
@@ -399,6 +423,20 @@ class TraceRecorder(Telemetry):
                 request_id=request_id,
                 delta=delta,
                 free_pages=free_pages,
+            )
+        )
+
+    def pipeline_stage(
+        self, stage: str, *, layer: int = -1, detail: str = "", value: float = 0.0
+    ) -> None:
+        self.events.append(
+            PipelineStage(
+                t=self._clock,
+                iteration=self._iteration,
+                stage=stage,
+                layer=layer,
+                detail=detail,
+                value=value,
             )
         )
 

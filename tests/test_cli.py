@@ -201,3 +201,97 @@ class TestBenchCommand:
         assert main(["bench", "--quick", "--trace", str(trace_path)]) == 0
         assert trace_path.exists()
         assert "kernel-phase events" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def healthy_ckpt(tmp_path_factory):
+    """A small, fully written quantization checkpoint directory."""
+    import dataclasses
+
+    import numpy as np
+
+    from repro.bench.perf import BENCH_MODEL_CONFIG, build_bench_model
+    from repro.core import AtomConfig, AtomQuantizer
+
+    tiny = dataclasses.replace(
+        BENCH_MODEL_CONFIG, name="cli-doctor", dim=96, ffn_dim=160,
+        n_layers=2, vocab_size=60, n_heads=4, n_kv_heads=2, n_outlier=8,
+        max_seq_len=64,
+    )
+    model = build_bench_model(tiny)
+    calib = np.random.default_rng(3).integers(0, tiny.vocab_size, size=(2, 12))
+    ckpt = tmp_path_factory.mktemp("doctor") / "ckpt"
+    AtomQuantizer(AtomConfig.paper_default()).quantize(
+        model, calib_tokens=calib, checkpoint_dir=ckpt
+    )
+    return ckpt
+
+
+class TestDoctorCommand:
+    def test_no_targets_exits_2(self, capsys):
+        assert main(["doctor"]) == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_healthy_checkpoint_dir_passes(self, capsys, healthy_ckpt):
+        assert main(["doctor", "--checkpoint-dir", str(healthy_ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "all artifacts healthy" in out and "ok" in out
+
+    def test_corrupt_checkpoint_exits_1(self, capsys, healthy_ckpt, tmp_path):
+        import shutil
+
+        bad = tmp_path / "ckpt"
+        shutil.copytree(healthy_ckpt, bad)
+        victim = bad / "layer_00000.npz"
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert main(["doctor", "--checkpoint-dir", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "problem(s) found" in err
+
+    def test_missing_checkpoint_dir_exits_1(self, capsys, tmp_path):
+        assert main(["doctor", "--checkpoint-dir", str(tmp_path / "no")]) == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_bench_payload_validated(self, capsys, bench_payload, tmp_path):
+        _, path = bench_payload
+        assert main(["doctor", "--bench", str(path)]) == 0
+        assert main(["doctor", "--bench", str(tmp_path / "missing.json")]) == 1
+
+    def test_nonfinite_bench_metric_exits_1(self, capsys, bench_payload, tmp_path):
+        payload, _ = bench_payload
+        bad = copy.deepcopy(payload)
+        bad["benchmarks"]["decode"]["after_tokens_per_s"] = float("inf")
+        bad_path = tmp_path / "BENCH_bad.json"
+        from repro.bench.perf import write_bench_json
+
+        write_bench_json(bad, bad_path)
+        assert main(["doctor", "--bench", str(bad_path)]) == 1
+        assert "after_tokens_per_s" in capsys.readouterr().err
+
+    def test_results_dir_manifest_roundtrip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("ATOM_REPRO_RESULTS", str(tmp_path / "results"))
+        from repro.bench.artifacts import save_artifact
+
+        save_artifact("table.txt", "hello", manifest=True, schema="test/v1")
+        assert main(["doctor", "--results-dir", str(tmp_path / "results")]) == 0
+        (tmp_path / "results" / "table.txt").write_text("tampered\n")
+        assert main(["doctor", "--results-dir", str(tmp_path / "results")]) == 1
+
+
+class TestQuantizeCheckpointFlags:
+    def test_checkpoint_flags_parse(self):
+        args = build_parser().parse_args(
+            ["quantize", "--checkpoint-dir", "ck", "--force-restart",
+             "--strict-guards"]
+        )
+        assert args.checkpoint_dir == "ck"
+        assert args.force_restart is True
+        assert args.strict_guards is True
+
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["quantize"])
+        assert args.checkpoint_dir is None
+        assert args.force_restart is False
+        assert args.strict_guards is False

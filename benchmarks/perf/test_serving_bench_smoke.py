@@ -1,0 +1,100 @@
+"""Serving-bench smoke: harness mechanics + the committed numeric baseline.
+
+Companion to ``test_perf_smoke.py`` for ``repro bench --serving`` (the
+batched-decode microbenchmark through the numeric serving backend).  No
+absolute wall-time assertions — those are machine-dependent; the committed
+``BENCH_serving_numeric.json`` carries the recorded curve.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.serving_perf import (
+    SERVING_BENCH_SCHEMA,
+    check_serving_regression,
+    format_serving_rows,
+    read_serving_bench_json,
+    run_serving_bench,
+    write_serving_bench_json,
+)
+
+BASELINE = Path(__file__).parent / "BENCH_serving_numeric.json"
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return run_serving_bench(quick=True)
+
+
+class TestPayloadSchema:
+    def test_schema_and_points(self, payload):
+        assert payload["schema"] == SERVING_BENCH_SCHEMA
+        assert payload["quick"] is True
+        assert payload["verified_bit_identical"] is True
+        batches = [p["batch"] for p in payload["batches"]]
+        assert batches == sorted(batches)
+        for p in payload["batches"]:
+            assert p["decode_tokens"] == p["batch"] * p["decode_len"]
+            assert p["tokens_per_s"] > 0
+
+    def test_json_round_trip(self, payload, tmp_path):
+        dest = tmp_path / "bench.json"
+        write_serving_bench_json(payload, dest)
+        assert read_serving_bench_json(dest) == payload
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        dest = tmp_path / "bad.json"
+        dest.write_text(json.dumps({"schema": "other/v0", "batches": []}))
+        with pytest.raises(ValueError, match="schema"):
+            read_serving_bench_json(dest)
+
+    def test_format_rows(self, payload):
+        rows = format_serving_rows(payload)
+        assert [r[0] for r in rows] == [p["batch"] for p in payload["batches"]]
+        assert all(len(r) == 4 for r in rows)
+
+
+class TestRegressionGate:
+    def test_self_comparison_passes(self, payload):
+        assert check_serving_regression(payload, payload) == []
+
+    def test_trips_on_real_regression(self, payload):
+        inflated = json.loads(json.dumps(payload))
+        for p in inflated["batches"]:
+            p["tokens_per_s"] *= 10.0
+        problems = check_serving_regression(payload, inflated)
+        assert len(problems) == 1 and "regressed" in problems[0]
+
+    def test_trips_on_unverified_run(self, payload):
+        unverified = json.loads(json.dumps(payload))
+        unverified["verified_bit_identical"] = False
+        problems = check_serving_regression(unverified, payload)
+        assert problems and "verification" in problems[0]
+
+    def test_ignores_improvements(self, payload):
+        slower_baseline = json.loads(json.dumps(payload))
+        for p in slower_baseline["batches"]:
+            p["tokens_per_s"] *= 0.1
+        assert check_serving_regression(payload, slower_baseline) == []
+
+    def test_malformed_baseline_reported(self, payload):
+        problems = check_serving_regression(payload, {"batches": []})
+        assert problems and "malformed" in problems[0]
+
+
+class TestCommittedBaseline:
+    def test_baseline_valid_full_mode_and_verified(self):
+        base = read_serving_bench_json(BASELINE)
+        assert base["quick"] is False
+        assert base["verified_bit_identical"] is True
+        assert max(p["batch"] for p in base["batches"]) >= 16
+
+    def test_baseline_shows_batching_speedup(self):
+        """The serving thesis: batched decode beats batch-1 throughput."""
+        base = read_serving_bench_json(BASELINE)
+        by_batch = {p["batch"]: p["tokens_per_s"] for p in base["batches"]}
+        assert max(by_batch.values()) > by_batch[1]

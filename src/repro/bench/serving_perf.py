@@ -1,0 +1,219 @@
+"""Batched-decode microbenchmark for the numeric serving backend.
+
+``repro bench --serving`` drives the whole numeric serving stack — the
+continuous-batching engine, paged KV store, quantized KV codec, and
+:class:`~repro.core.linear.AtomLinear` layers — and measures delivered
+decode throughput (tokens/s) as the batch size grows from 1 to 16.  The
+point of the curve is the serving thesis itself: per-request decode work is
+fixed, so tokens/s should scale with the number of concurrently decoding
+requests until the scheduler (not the model) is the bottleneck.
+
+The benchmark model is a random-weight GQA config quantized with the full
+Atom recipe (no zoo cache / training involved), so the run exercises
+quantized GEMMs and 4-bit KV pages exactly as a real numeric serving run
+does.  One batch point is additionally verified bit-identical against the
+per-request :meth:`~repro.models.llama.LlamaModel.generate` oracle, and the
+payload records that fact — a perf baseline that silently stopped computing
+the right tokens would be worthless.
+
+``BENCH_serving_numeric.json`` (committed under ``benchmarks/perf/``) is the
+regression baseline; ``check_serving_regression`` gates against the
+largest-batch throughput with a generous slack factor because wall-clock on
+shared CI is noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AtomConfig, AtomQuantizer
+from repro.models.config import ModelConfig
+
+__all__ = [
+    "SERVING_BENCH_SCHEMA",
+    "SERVING_BENCH_CONFIG",
+    "build_serving_bench_model",
+    "run_serving_bench",
+    "check_serving_regression",
+    "write_serving_bench_json",
+    "read_serving_bench_json",
+    "format_serving_rows",
+]
+
+SERVING_BENCH_SCHEMA = "atom-repro/bench-serving-numeric/v1"
+
+#: Small dense GQA model (4 query heads per KV head) — large enough that the
+#: grouped attention path and multi-page KV sequences are exercised, small
+#: enough that the full batch sweep stays CI-friendly.
+SERVING_BENCH_CONFIG = ModelConfig(
+    "serving-bench",
+    dim=128,
+    n_layers=2,
+    n_heads=8,
+    n_kv_heads=2,
+    ffn_dim=256,
+    max_seq_len=512,
+    group_size=8,
+    seed=4321,
+)
+
+
+def build_serving_bench_model(seed: int = 0):
+    """Random-weight :data:`SERVING_BENCH_CONFIG` model, Atom-quantized."""
+    from repro.bench.perf import build_bench_model
+
+    model = build_bench_model(SERVING_BENCH_CONFIG, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    calib = rng.integers(0, SERVING_BENCH_CONFIG.vocab_size, size=(4, 32))
+    return AtomQuantizer(AtomConfig.paper_default()).quantize(
+        model, calib_tokens=calib
+    )
+
+
+def _requests(batch: int, prefill_len: int, decode_len: int):
+    from repro.data.sharegpt import Request
+
+    return [Request(i, prefill_len, decode_len) for i in range(batch)]
+
+
+def run_serving_bench(*, quick: bool = False, seed: int = 0) -> dict:
+    """Measure numeric-backend decode throughput across batch sizes.
+
+    Returns the ``BENCH_serving_numeric.json`` payload.  Each batch point
+    runs a fresh engine + backend over ``batch`` identical-length requests
+    under reserve admission, and reports delivered decode tokens per
+    wall-clock second.  The smallest batch point is verified bit-identical
+    against the per-request ``generate`` oracle.
+    """
+    from repro.serving import SCHEMES, NumericBackend
+
+    batch_sizes = (1, 4) if quick else (1, 2, 4, 8, 16)
+    prefill_len, decode_len = (16, 8) if quick else (24, 32)
+    model = build_serving_bench_model(seed=seed)
+    scheme = SCHEMES["Atom-W4A4"]
+
+    points = []
+    verified = False
+    for batch in batch_sizes:
+        engine = NumericBackend.engine_for(
+            model, scheme, max_batch=batch, admission="reserve", seed=seed
+        )
+        backend = engine.backend
+        reqs = _requests(batch, prefill_len, decode_len)
+        t0 = time.perf_counter()
+        result = engine.run(reqs)
+        wall_s = time.perf_counter() - t0
+        if result.completed_requests != batch:
+            raise RuntimeError(
+                f"serving bench batch={batch}: only "
+                f"{result.completed_requests}/{batch} requests finished"
+            )
+        if batch == batch_sizes[0]:
+            for r in reqs:
+                got = backend.generated_tokens(r.request_id)
+                want = backend.runner.oracle_generate(
+                    r.request_id, r.prefill_len, r.decode_len
+                )
+                if not np.array_equal(got, want):
+                    raise RuntimeError(
+                        f"serving bench: batch={batch} request "
+                        f"{r.request_id} tokens diverge from the generate "
+                        "oracle — numeric backend is broken"
+                    )
+            verified = True
+        delivered = batch * decode_len
+        points.append(
+            {
+                "batch": batch,
+                "requests": batch,
+                "prefill_len": prefill_len,
+                "decode_len": decode_len,
+                "decode_tokens": delivered,
+                "wall_s": wall_s,
+                "tokens_per_s": delivered / wall_s if wall_s > 0 else 0.0,
+            }
+        )
+
+    cfg = SERVING_BENCH_CONFIG
+    return {
+        "schema": SERVING_BENCH_SCHEMA,
+        "quick": quick,
+        "scheme": scheme.name,
+        "verified_bit_identical": verified,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "model": {
+            "name": cfg.name,
+            "dim": cfg.dim,
+            "n_layers": cfg.n_layers,
+            "n_heads": cfg.n_heads,
+            "n_kv_heads": cfg.n_kv_heads,
+            "ffn_dim": cfg.ffn_dim,
+        },
+        "batches": points,
+    }
+
+
+def check_serving_regression(
+    current: dict, baseline: dict, *, max_slowdown: float = 3.0
+) -> list[str]:
+    """Gate the largest-batch throughput against the committed baseline.
+
+    Returns human-readable failures (empty = pass).  The slack factor is
+    generous: the quantity under protection is "batched decode still works
+    and is in the right performance ballpark", not micro-level wall-clock.
+    """
+    problems: list[str] = []
+    try:
+        base_pt = max(baseline["batches"], key=lambda p: p["batch"])
+        cur_pt = max(current["batches"], key=lambda p: p["batch"])
+        base = float(base_pt["tokens_per_s"])
+        cur = float(cur_pt["tokens_per_s"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"malformed serving bench payload: {exc!r}"]
+    if not current.get("verified_bit_identical"):
+        problems.append("current run skipped oracle verification")
+    if cur * max_slowdown < base:
+        problems.append(
+            f"batched decode throughput regressed >{max_slowdown:g}x at "
+            f"batch {cur_pt['batch']}: {cur:.1f} tokens/s vs baseline "
+            f"{base:.1f} tokens/s"
+        )
+    return problems
+
+
+def write_serving_bench_json(payload: dict, dest: "str | Path") -> None:
+    from repro.bench.artifacts import atomic_write_text
+
+    atomic_write_text(dest, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_serving_bench_json(src: "str | Path") -> dict:
+    payload = json.loads(Path(src).read_text())
+    if payload.get("schema") != SERVING_BENCH_SCHEMA:
+        raise ValueError(
+            f"unexpected serving bench schema {payload.get('schema')!r} "
+            f"in {src}"
+        )
+    return payload
+
+
+def format_serving_rows(payload: dict) -> list[list]:
+    """Table rows (batch, decode tokens, wall s, tokens/s) for the CLI."""
+    return [
+        [
+            p["batch"],
+            p["decode_tokens"],
+            f"{p['wall_s']:.3f}",
+            f"{p['tokens_per_s']:.1f}",
+        ]
+        for p in payload["batches"]
+    ]

@@ -6,9 +6,12 @@ Usage::
     python -m repro quantize -m llama-7b-sim     # quantize + evaluate
     python -m repro ablation -m llama-7b-sim     # Table 3 on one model
     python -m repro serve --scheme Atom-W4A4     # serving simulation
+    python -m repro serve --backend numeric --requests 8 --verify
+                                                 # real-model serving + oracle
     python -m repro trace --scheme FP16 -o t.jsonl   # serving event trace
     python -m repro trace --chaos 7 -o t.jsonl       # fault-injection trace
     python -m repro bench -o BENCH_inference.json    # fast-path microbenchmarks
+    python -m repro bench --serving --quick          # batched numeric decode
     python -m repro quantize --checkpoint-dir ckpt/  # crash-safe, resumable
     python -m repro doctor --checkpoint-dir ckpt/    # validate on-disk artifacts
 """
@@ -108,12 +111,103 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro serve --backend numeric`` maps the full-size serving spec names
+#: onto the trained zoo analogs the NumPy model can actually execute.
+_NUMERIC_ZOO = {
+    "llama-7b": "llama-7b-sim",
+    "llama-13b": "llama-13b-sim",
+    "llama-70b": "llama2-70b-sim",
+}
+
+
+def _cmd_serve_numeric(args: argparse.Namespace) -> int:
+    """Serve a real zoo model through the numeric execution backend."""
+    import numpy as np
+
+    from repro.data.sharegpt import ShareGPTWorkload
+    from repro.models.zoo import load_model
+    from repro.serving import SCHEMES, NumericBackend
+
+    if args.tp > 1:
+        print("numeric backend does not support tensor parallelism",
+              file=sys.stderr)
+        return 2
+    zoo_name = _NUMERIC_ZOO[args.model]
+    model = load_model(zoo_name)
+    scheme_names = (
+        [args.scheme] if args.scheme != "all" else ["FP16", "Atom-W4A4"]
+    )
+    unsupported = [s for s in scheme_names if s not in ("FP16", "Atom-W4A4")]
+    if unsupported:
+        print(f"numeric backend supports FP16 and Atom-W4A4, not "
+              f"{', '.join(unsupported)}", file=sys.stderr)
+        return 2
+    # Requests must fit the small model's context window.
+    max_len = model.config.max_seq_len
+    reqs = ShareGPTWorkload(seed=args.seed, max_len=max_len).sample_requests(
+        args.requests
+    )
+    rows = []
+    for name in scheme_names:
+        served = model
+        if name == "Atom-W4A4":
+            from repro.core import AtomConfig, AtomQuantizer
+
+            served = AtomQuantizer(AtomConfig.paper_default()).quantize(model)
+        engine = NumericBackend.engine_for(
+            served, SCHEMES[name], max_batch=args.batch,
+            admission=args.admission, seed=args.seed,
+        )
+        backend = engine.backend
+        r = engine.run(reqs)
+        verified = "-"
+        if args.verify:
+            ok = all(
+                np.array_equal(
+                    backend.generated_tokens(q.request_id),
+                    backend.runner.oracle_generate(
+                        q.request_id, q.prefill_len, q.decode_len
+                    ),
+                )
+                for q in reqs
+                if r.terminal_states.get(q.request_id) == "finished"
+            )
+            verified = "ok" if ok else "FAIL"
+        rows.append(
+            [
+                name,
+                f"{r.throughput_tokens_per_s:.0f}",
+                r.completed_requests,
+                r.max_batch,
+                r.preemptions,
+                verified,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "tokens/s", "finished", "peak batch", "preempt",
+             "tokens==generate"],
+            rows,
+            title=f"{zoo_name} (numeric backend), batch<= {args.batch}, "
+            f"{len(reqs)} requests, {args.admission} admission",
+        )
+    )
+    if args.verify and any(row[-1] == "FAIL" for row in rows):
+        print("numeric serving diverged from the generate oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.data.sharegpt import ShareGPTWorkload
     from repro.serving import SCHEMES, ServingEngine
     from repro.serving.models import LLAMA_13B, LLAMA_70B, LLAMA_7B
 
     from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
+
+    if args.backend == "numeric":
+        return _cmd_serve_numeric(args)
 
     specs = {"llama-7b": LLAMA_7B, "llama-13b": LLAMA_13B, "llama-70b": LLAMA_70B}
     spec = specs[args.model]
@@ -152,8 +246,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         format_table(
             ["scheme", "tokens/s", "latency ms", "TTFT s", "peak batch", "preempt"],
             rows,
-            title=f"{spec.name}, batch<= {args.batch}, {len(reqs)} requests, "
-            f"{args.admission} admission",
+            title=f"{spec.name} (analytic backend), batch<= {args.batch}, "
+            f"{len(reqs)} requests, {args.admission} admission",
         )
     )
     return 0
@@ -213,6 +307,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         format_table(
             ["metric", "value"],
             [
+                ["backend", result.backend],
                 ["iterations", s.iterations],
                 ["admitted / finished", f"{s.admitted} / {s.finished}"],
                 ["preemptions", s.preemptions],
@@ -263,6 +358,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    """Batched-decode microbenchmark through the numeric serving backend."""
+    from repro.bench.serving_perf import (
+        check_serving_regression,
+        format_serving_rows,
+        read_serving_bench_json,
+        run_serving_bench,
+        write_serving_bench_json,
+    )
+
+    payload = run_serving_bench(quick=args.quick)
+    print(
+        format_table(
+            ["batch", "decode tokens", "wall s", "tokens/s"],
+            format_serving_rows(payload),
+            title="numeric serving backend, batched decode"
+            + (" (quick)" if args.quick else ""),
+        )
+    )
+    print("tokens verified bit-identical to generate oracle: "
+          f"{payload['verified_bit_identical']}")
+    if args.output:
+        write_serving_bench_json(payload, args.output)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        try:
+            baseline = read_serving_bench_json(args.check_against)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {args.check_against}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_serving_regression(
+            payload, baseline, max_slowdown=args.max_slowdown
+        )
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check_against}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.perf import (
         check_regression,
@@ -272,6 +409,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         trace_decode,
         write_bench_json,
     )
+
+    if args.serving:
+        return _cmd_bench_serving(args)
 
     payload = run_perf_suite(quick=args.quick)
     print(
@@ -434,6 +574,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--tp", type=int, default=1, help="tensor-parallel degree")
     s.add_argument("--interconnect", choices=("nvlink", "pcie"), default="nvlink")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--backend", choices=("analytic", "numeric"),
+                   default="analytic",
+                   help="analytic: roofline cost simulation of the full-size "
+                        "model; numeric: actually execute the trained zoo "
+                        "analog through the engine (real tokens, small "
+                        "--requests recommended)")
+    s.add_argument("--verify", action="store_true",
+                   help="numeric backend only: re-check every finished "
+                        "request's tokens against per-request "
+                        "LlamaModel.generate (the bit-identity oracle)")
     s.set_defaults(func=_cmd_serve)
 
     t = sub.add_parser(
@@ -478,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--trace", default=None, metavar="JSONL",
                    help="also write a kernel-phase telemetry trace "
                         "(quantize vs GEMM time per linear call)")
+    b.add_argument("--serving", action="store_true",
+                   help="run the batched-decode microbenchmark through the "
+                        "numeric serving backend instead (tokens/s vs batch "
+                        "size; -o/--check-against then use the "
+                        "BENCH_serving_numeric.json schema)")
     b.set_defaults(func=_cmd_bench)
 
     d = sub.add_parser(

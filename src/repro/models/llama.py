@@ -9,6 +9,12 @@ This is the substrate every quantization method in the repo plugs into:
 - The KV-cache passes through a :class:`KVCodec`.  The default is identity;
   Atom's asymmetric per-head low-bit codec lives in
   :mod:`repro.core.kv_quant`.
+- KV *storage* is pluggable via ``kv_cache_factory``: any object honouring
+  the :class:`KVCache` protocol (``append(k, v) -> (k_view, v_view)``) can
+  back the per-layer incremental cache.  The default is the dense
+  preallocated :class:`KVCache`; the serving engine's numeric backend
+  substitutes :class:`repro.serving.paged_kv.PagedKVCache` so one model
+  definition runs over both dense and paged KV with identical numerics.
 
 The model also exposes :meth:`capture_linear_inputs`, which records the
 activation matrix entering every dense site during a forward pass — this is
@@ -56,6 +62,7 @@ __all__ = [
     "KVCache",
     "LlamaModel",
     "input_site",
+    "sample_token",
 ]
 
 _ATTN_LINEARS = ("wq", "wk", "wv")
@@ -204,6 +211,24 @@ class KVCache:
         return self.k[:, :, :need], self.v[:, :, :need]
 
 
+def sample_token(
+    logits: np.ndarray, temperature: float, rng: np.random.Generator
+) -> int:
+    """Greedy (``temperature <= 0``) or softmax-sampled next token.
+
+    Shared by :meth:`LlamaModel.generate` and the serving engine's
+    :class:`~repro.serving.model_runner.ModelRunner` so both decode paths
+    run the identical float operations — the foundation of the
+    engine-vs-``generate`` bit-identity oracle.
+    """
+    if temperature <= 0.0:
+        return int(np.argmax(logits))
+    z = (logits / temperature).astype(np.float64)
+    z -= z.max()
+    p = np.exp(z) / np.exp(z).sum()
+    return int(rng.choice(len(p), p=p))
+
+
 class LlamaModel:
     """Inference-time Llama with pluggable quantized linears and KV codec."""
 
@@ -214,6 +239,7 @@ class LlamaModel:
         *,
         kv_codec: KVCodec | None = None,
         fast_path: bool = True,
+        kv_cache_factory=None,
     ) -> None:
         self.config = config
         self.weights = {k: np.asarray(v, dtype=np.float32) for k, v in weights.items()}
@@ -223,6 +249,11 @@ class LlamaModel:
         #: ``np.repeat`` GQA — the reference for equivalence tests and the
         #: "before" measurement of the perf harness.
         self.fast_path = fast_path
+        #: Optional hook ``(batch, n_kv_heads, head_dim, capacity) -> cache``
+        #: deciding what backs a layer's incremental KV (fast path only).
+        #: ``None`` builds the dense preallocated :class:`KVCache`; the
+        #: serving engine's numeric backend installs a paged factory.
+        self.kv_cache_factory = kv_cache_factory
         self._cos, self._sin = rope_tables(
             config.max_seq_len, config.head_dim, config.rope_theta
         )
@@ -322,9 +353,12 @@ class LlamaModel:
             if self.fast_path:
                 kv_cache = cache.get(key)
                 if kv_cache is None:
-                    kv_cache = KVCache(
-                        b, kv, hd, capacity=t, max_capacity=c.max_seq_len
-                    )
+                    if self.kv_cache_factory is not None:
+                        kv_cache = self.kv_cache_factory(b, kv, hd, t)
+                    else:
+                        kv_cache = KVCache(
+                            b, kv, hd, capacity=t, max_capacity=c.max_seq_len
+                        )
                     cache[key] = kv_cache
                 k, v = kv_cache.append(k, v)
             else:
@@ -503,21 +537,20 @@ class LlamaModel:
         max_new_tokens: int,
         *,
         temperature: float = 0.0,
-        seed: int = 0,
+        seed: "int | list[int]" = 0,
     ) -> np.ndarray:
-        """Greedy (or sampled) decoding with an incremental KV-cache."""
+        """Greedy (or sampled) decoding with an incremental KV-cache.
+
+        ``seed`` accepts anything ``np.random.default_rng`` does (ints or
+        sequence keys); the serving engine's numeric backend uses per-request
+        sequence keys so its sampling stream matches this oracle exactly.
+        """
         rng = np.random.default_rng(seed)
         tokens = list(np.asarray(prompt).ravel())
         cache: dict = {}
         logits = self.forward(np.asarray(tokens)[None, :], cache=cache)[0, -1]
         for _ in range(max_new_tokens):
-            if temperature <= 0.0:
-                nxt = int(np.argmax(logits))
-            else:
-                z = (logits / temperature).astype(np.float64)
-                z -= z.max()
-                p = np.exp(z) / np.exp(z).sum()
-                nxt = int(rng.choice(len(p), p=p))
+            nxt = sample_token(logits, temperature, rng)
             tokens.append(nxt)
             if len(tokens) >= self.config.max_seq_len:
                 break

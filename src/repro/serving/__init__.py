@@ -35,7 +35,22 @@ from repro.serving.schemes import (
     W8A8,
     QuantScheme,
 )
-from repro.serving.models import LLAMA_7B, LLAMA_13B, LLAMA_70B, ServingModelSpec
+from repro.serving.models import (
+    LLAMA_7B,
+    LLAMA_13B,
+    LLAMA_70B,
+    ServingModelSpec,
+    serving_spec_for,
+)
+from repro.serving.backend import (
+    AnalyticBackend,
+    DecodeSlot,
+    ExecutionBackend,
+    NumericBackend,
+    PrefillChunk,
+    StepTiming,
+)
+from repro.serving.model_runner import ModelRunner, synthetic_prompt
 from repro.serving.kernels import (
     attention_decode_time,
     reorder_ablation_latency,
@@ -44,7 +59,12 @@ from repro.serving.kernels import (
     gemm_time,
     gemm_tops,
 )
-from repro.serving.paged_kv import KVAccountingError, PagedKVAllocator
+from repro.serving.paged_kv import (
+    KVAccountingError,
+    PagedKVAllocator,
+    PagedKVCache,
+    PagedKVStore,
+)
 from repro.serving.parallel import NVLINK, PCIE_4, TPConfig, tp_dense_layer_time
 from repro.serving.engine import (
     TERMINAL_STATES,
@@ -74,7 +94,10 @@ from repro.serving.telemetry import (
 __all__ = [
     "A100_40G",
     "ATOM_W4A4",
+    "AnalyticBackend",
     "CancelFault",
+    "DecodeSlot",
+    "ExecutionBackend",
     "FP16",
     "FaultInjector",
     "FaultPlan",
@@ -83,14 +106,20 @@ __all__ = [
     "LLAMA_13B",
     "LLAMA_70B",
     "LLAMA_7B",
+    "ModelRunner",
+    "NumericBackend",
     "PagePoolFault",
     "PagedKVAllocator",
+    "PagedKVCache",
+    "PagedKVStore",
+    "PrefillChunk",
     "QuantScheme",
     "RTX_4090",
     "SCHEMES",
     "ServingEngine",
     "ServingModelSpec",
     "ShedError",
+    "StepTiming",
     "StragglerFault",
     "NVLINK",
     "NULL_TELEMETRY",
@@ -112,7 +141,9 @@ __all__ = [
     "reorder_ablation_latency",
     "roofline_throughput",
     "runtime_breakdown",
+    "serving_spec_for",
     "summarize",
+    "synthetic_prompt",
     "tp_dense_layer_time",
     "write_csv",
     "write_jsonl",

@@ -1,0 +1,331 @@
+"""Pluggable execution backends for the serving engine.
+
+The engine (:mod:`repro.serving.engine`) owns *scheduling*: admission,
+continuous batching, paged-KV accounting, preemption, deadlines, faults.
+What one scheduled iteration *costs* — and, for a real model, what tokens it
+*produces* — is delegated to an :class:`ExecutionBackend`:
+
+:class:`AnalyticBackend`
+    The roofline cost models of :mod:`repro.serving.kernels`, extracted
+    verbatim from the engine's historical inline implementation.  It is the
+    default everywhere and is pinned bit-identical to the pre-backend
+    engine by the golden-trace tests (``tests/serving/goldens``).
+:class:`NumericBackend`
+    Drives a real :class:`~repro.models.llama.LlamaModel` (FP16 or
+    Atom-quantized linears, any KV codec) through a
+    :class:`~repro.serving.model_runner.ModelRunner` over a paged KV store,
+    so one engine run executes the *actual* quantized numerics under
+    continuous batching, paged KV, preemption, and chaos schedules.  Its
+    iteration *timing* still comes from an internal analytic backend (the
+    simulated clock stays deterministic and fault/deadline semantics are
+    unchanged); its *tokens* are real, and bit-identical to per-request
+    :meth:`LlamaModel.generate` — the whole-system correctness oracle.
+
+The engine drives a backend through a narrow protocol:
+
+- :meth:`ExecutionBackend.bind` — called once by the engine with the
+  (spec, scheme, gpu, tp) tuple the run is configured for;
+- :meth:`ExecutionBackend.on_admit` / :meth:`ExecutionBackend.on_release`
+  — request lifecycle, mirroring every paged-KV allocate/free;
+- :meth:`ExecutionBackend.execute_step` — one batched iteration (prefill
+  chunks + decode slots), returning a :class:`StepTiming`.
+
+Recompute-on-resume falls out of the lifecycle hooks: preemption releases
+the backend's per-request state, re-admission rebuilds it from scratch, and
+deterministic sampling makes the regenerated tokens identical.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.serving.hardware import GPUSpec, RTX_4090
+from repro.serving.kernels import (
+    attention_decode_time,
+    attention_prefill_time,
+    dense_layer_time,
+    other_ops_time,
+    quant_fusion_overhead,
+)
+from repro.serving.models import ServingModelSpec, serving_spec_for
+from repro.serving.parallel import (
+    TPConfig,
+    tp_dense_layer_breakdown,
+    tp_dense_layer_time,
+)
+from repro.serving.schemes import QuantScheme
+
+__all__ = [
+    "AnalyticBackend",
+    "DecodeSlot",
+    "ExecutionBackend",
+    "NumericBackend",
+    "PrefillChunk",
+    "StepTiming",
+]
+
+
+@dataclass(frozen=True)
+class PrefillChunk:
+    """One request's prompt chunk in this iteration."""
+
+    request_id: int
+    prefix_len: int  # prompt tokens already processed before this chunk
+    chunk: int  # prompt tokens processed this iteration
+    prefill_len: int  # the request's full prompt length
+
+    @property
+    def completes(self) -> bool:
+        return self.prefix_len + self.chunk >= self.prefill_len
+
+
+@dataclass(frozen=True)
+class DecodeSlot:
+    """One request decoding a single token this iteration."""
+
+    request_id: int
+    context_len: int  # KV length attended over (prompt + generated so far)
+
+
+@dataclass
+class StepTiming:
+    """Per-phase cost of one batched iteration (simulated seconds)."""
+
+    t_dense: float = 0.0
+    t_attention: float = 0.0
+    t_quant: float = 0.0
+    t_other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.t_dense + self.t_attention + self.t_quant + self.t_other
+
+    def scale(self, factor: float) -> None:
+        """Stretch every phase (straggler faults), preserving the breakdown."""
+        self.t_dense *= factor
+        self.t_attention *= factor
+        self.t_quant *= factor
+        self.t_other *= factor
+
+
+class ExecutionBackend(abc.ABC):
+    """Execution strategy for the engine's batched iterations."""
+
+    #: Human-readable tag, propagated into ``ServingResult.backend`` and
+    #: (for non-analytic backends) each telemetry ``IterationSample``.
+    name: str = "backend"
+
+    def bind(
+        self,
+        spec: ServingModelSpec,
+        scheme: QuantScheme,
+        gpu: GPUSpec,
+        tp: TPConfig | None,
+    ) -> None:
+        """Attach the engine's run configuration (called once by the engine)."""
+        self.spec = spec
+        self.scheme = scheme
+        self.gpu = gpu
+        self.tp = tp
+
+    # -- request lifecycle (mirrors paged-KV allocate/free) -------------- #
+    def on_admit(self, request) -> None:
+        """A request entered the running batch (pages reserved)."""
+
+    def on_release(self, request_id: int, reason: str) -> None:
+        """A running request left the batch.
+
+        ``reason`` is one of ``finished`` / ``preempted`` / ``cancelled`` /
+        ``timed_out`` / ``shed``.  Preempted requests will be re-admitted
+        later and must be recomputable from scratch.
+        """
+
+    # -- execution -------------------------------------------------------- #
+    @abc.abstractmethod
+    def execute_step(
+        self, prefill: list[PrefillChunk], decode: list[DecodeSlot]
+    ) -> StepTiming:
+        """Run one batched iteration and return its per-phase cost."""
+
+    def comm_time(self, m: int) -> float:
+        """All-reduce share of the dense time for ``m`` tokens (TP only)."""
+        return 0.0
+
+    def generated_tokens(self, request_id: int):
+        """Tokens produced for ``request_id`` (None for analytic backends)."""
+        return None
+
+
+class AnalyticBackend(ExecutionBackend):
+    """Roofline cost models — the engine's historical inline implementation.
+
+    Float operation order is identical to the pre-backend engine, so results
+    and telemetry traces are bit-identical (pinned by the golden tests).
+    """
+
+    name = "analytic"
+
+    def execute_step(
+        self, prefill: list[PrefillChunk], decode: list[DecodeSlot]
+    ) -> StepTiming:
+        m = sum(p.chunk for p in prefill) + len(decode)
+        degree = self.tp.degree if self.tp else 1
+        if self.tp and degree > 1:
+            t_dense = tp_dense_layer_time(m, self.spec, self.scheme, self.tp, self.gpu)
+        else:
+            t_dense = dense_layer_time(m, self.spec, self.scheme, self.gpu)
+        t_attn = 0.0
+        if decode:
+            # Attention heads shard evenly across the TP group.
+            t_attn += attention_decode_time(
+                [d.context_len for d in decode],
+                self.spec,
+                self.scheme.kv_bits,
+                self.gpu,
+            ) / degree
+        for p in prefill:
+            t_attn += attention_prefill_time(
+                p.chunk,
+                self.spec,
+                self.gpu,
+                kv_bits=self.scheme.kv_bits,
+                prefix_len=p.prefix_len,
+            ) / degree
+        t_quant = (
+            quant_fusion_overhead(m, self.spec, self.gpu, fused=True)
+            if self.scheme.a_bits < 16
+            else 0.0
+        )
+        t_other = other_ops_time(m, self.spec, self.gpu)
+        return StepTiming(t_dense, t_attn, t_quant, t_other)
+
+    def comm_time(self, m: int) -> float:
+        if self.tp and self.tp.degree > 1:
+            return tp_dense_layer_breakdown(
+                m, self.spec, self.scheme, self.tp, self.gpu
+            )[1]
+        return 0.0
+
+
+class NumericBackend(ExecutionBackend):
+    """Real-model execution: the engine's schedule drives actual numerics.
+
+    Each admitted request gets a deterministic synthetic prompt (a pure
+    function of ``request_id``); prefill chunks and decode slots execute
+    through a :class:`~repro.serving.model_runner.ModelRunner` whose KV
+    lives in a paged store.  Greedy (or seeded-sampled) tokens are retained
+    for finished requests and exposed via :meth:`generated_tokens`.
+
+    Iteration *cost* is delegated to an internal :class:`AnalyticBackend`
+    over a :class:`ServingModelSpec` derived from the model config, so the
+    simulated clock (deadlines, backoff, straggler scaling) behaves exactly
+    as in analytic runs.
+
+    Bit-identity contract: with full (unchunked) prefill, the tokens of
+    every *finished* request equal per-request
+    ``LlamaModel.generate(prompt, decode_len)`` on the same model, because
+    the runner issues forward passes with identical shapes, positions, and
+    cache contents (see :mod:`repro.serving.model_runner` for the paged ==
+    dense equivalence argument).  Chunked prefill changes GEMM shapes and is
+    supported but excluded from the bit-identity guarantee.
+    """
+
+    name = "numeric"
+
+    def __init__(
+        self,
+        model,
+        *,
+        page_size: int = 16,
+        temperature: float = 0.0,
+        seed: int = 0,
+        store=None,
+    ) -> None:
+        from repro.serving.model_runner import ModelRunner
+
+        self.model = model
+        self.runner = ModelRunner(
+            model,
+            page_size=page_size,
+            temperature=temperature,
+            seed=seed,
+            store=store,
+        )
+        self._timing = AnalyticBackend()
+
+    def bind(
+        self,
+        spec: ServingModelSpec,
+        scheme: QuantScheme,
+        gpu: GPUSpec,
+        tp: TPConfig | None,
+    ) -> None:
+        super().bind(spec, scheme, gpu, tp)
+        self._timing.bind(spec, scheme, gpu, tp)
+
+    @classmethod
+    def engine_for(
+        cls,
+        model,
+        scheme: QuantScheme,
+        *,
+        gpu: GPUSpec = RTX_4090,
+        page_size: int = 16,
+        temperature: float = 0.0,
+        seed: int = 0,
+        **engine_kwargs,
+    ):
+        """Build a :class:`ServingEngine` serving ``model`` numerically.
+
+        Derives the :class:`ServingModelSpec` from the model config so the
+        engine's page accounting matches the model's real KV shapes, and
+        wires a fresh backend in.  ``engine_kwargs`` pass through to the
+        engine constructor.
+        """
+        from repro.serving.engine import ServingEngine
+
+        backend = cls(
+            model, page_size=page_size, temperature=temperature, seed=seed
+        )
+        return ServingEngine(
+            serving_spec_for(model.config),
+            scheme,
+            gpu=gpu,
+            page_size=page_size,
+            backend=backend,
+            **engine_kwargs,
+        )
+
+    # -- lifecycle -------------------------------------------------------- #
+    def on_admit(self, request) -> None:
+        if request.total_len > self.model.config.max_seq_len:
+            raise ValueError(
+                f"request {request.request_id} needs {request.total_len} "
+                f"positions but the model's max_seq_len is "
+                f"{self.model.config.max_seq_len}"
+            )
+        self.runner.start(request.request_id, request.prefill_len)
+
+    def on_release(self, request_id: int, reason: str) -> None:
+        self.runner.release(request_id, keep_tokens=(reason == "finished"))
+
+    # -- execution -------------------------------------------------------- #
+    def execute_step(
+        self, prefill: list[PrefillChunk], decode: list[DecodeSlot]
+    ) -> StepTiming:
+        for p in prefill:
+            self.runner.prefill_chunk(p.request_id, p.prefix_len, p.chunk)
+        for d in decode:
+            self.runner.decode_one(d.request_id)
+        return self._timing.execute_step(prefill, decode)
+
+    def comm_time(self, m: int) -> float:
+        return self._timing.comm_time(m)
+
+    def generated_tokens(self, request_id: int):
+        return self.runner.tokens(request_id)
+
+    def prompt_for(self, request_id: int, prefill_len: int):
+        """The synthetic prompt a request is served with (for oracle tests)."""
+        return self.runner.prompt_for(request_id, prefill_len)

@@ -67,23 +67,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.sharegpt import Request
+from repro.serving.backend import (
+    AnalyticBackend,
+    DecodeSlot,
+    ExecutionBackend,
+    PrefillChunk,
+)
 from repro.serving.faults import FaultInjector, FaultPlan
 from repro.serving.hardware import GPUSpec, RTX_4090
-from repro.serving.kernels import (
-    attention_decode_time,
-    attention_prefill_time,
-    dense_layer_time,
-    other_ops_time,
-    quant_fusion_overhead,
-)
 from repro.serving.models import ServingModelSpec
 from repro.serving.paged_kv import PagedKVAllocator
-from repro.serving.parallel import (
-    TPConfig,
-    tp_dense_layer_breakdown,
-    tp_dense_layer_time,
-    validate_shardable,
-)
+from repro.serving.parallel import TPConfig, validate_shardable
 from repro.serving.schemes import QuantScheme
 from repro.serving.telemetry import (
     NULL_TELEMETRY,
@@ -151,10 +145,13 @@ class ServingResult:
     faults_injected: int = 0  # page-shrink/straggler/alloc-fail events fired
     #: request_id -> terminal state (one entry per request, always).
     terminal_states: dict[int, str] = field(default_factory=dict)
+    #: Which execution backend produced the run ("analytic" or "numeric").
+    backend: str = "analytic"
 
     def summary(self) -> str:
         return (
-            f"{self.scheme:10s} batch={self.requested_batch:4d} "
+            f"{self.scheme:10s} [{self.backend}] "
+            f"batch={self.requested_batch:4d} "
             f"(ach {self.achieved_batch:6.1f}) "
             f"tput={self.throughput_tokens_per_s:9.1f} tok/s  "
             f"lat={self.mean_decode_latency_s * 1e3:7.2f} ms"
@@ -203,6 +200,7 @@ class ServingEngine:
         max_alloc_retries: int = 3,
         backoff_base_s: float = 1e-3,
         stall_limit: int = 1000,
+        backend: "ExecutionBackend | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -256,6 +254,9 @@ class ServingEngine:
             page_size=page_size,
             telemetry=self.telemetry,
         )
+        # Execution strategy: the engine schedules, the backend executes.
+        self.backend = backend if backend is not None else AnalyticBackend()
+        self.backend.bind(spec, scheme, gpu, tp)
 
     # ------------------------------------------------------------------ #
     def _deadline_for(self, request_id: int) -> float:
@@ -365,6 +366,7 @@ class ServingEngine:
                         victim = running.pop()
                         vrid = victim.request.request_id
                         freed = alloc.free(vrid)
+                        self.backend.on_release(vrid, "preempted")
                         tel.request_preempted(vrid, freed)
                         pending.appendleft(victim.request)
                         preemptions += 1
@@ -377,6 +379,7 @@ class ServingEngine:
                     if hit is not None:
                         running.remove(hit)
                         freed = alloc.free(rid)
+                        self.backend.on_release(rid, "cancelled")
                         _terminal(rid, "cancelled")
                         cancelled_n += 1
                         tel.request_cancelled(rid, freed)
@@ -398,6 +401,7 @@ class ServingEngine:
                     if clock > self._deadline_for(rid):
                         running.remove(a)
                         freed = alloc.free(rid)
+                        self.backend.on_release(rid, "timed_out")
                         _terminal(rid, "timed_out")
                         timed_out_n += 1
                         tel.request_timed_out(rid, freed)
@@ -441,6 +445,7 @@ class ServingEngine:
                     )
                 pending.popleft()
                 running.append(_Active(nxt))
+                self.backend.on_admit(nxt)
             if not running:
                 # Nothing in flight and the queue head could not be
                 # admitted.  Decide between permanent (shed) and transient
@@ -523,12 +528,14 @@ class ServingEngine:
                             need = alloc.pages_for(a.request.total_len)
                             if self.shed_policy == "drop":
                                 alloc.free(rid)
+                                self.backend.on_release(rid, "shed")
                                 _shed(rid, need)
                                 preempted.add(rid)  # excluded from survivors
                                 break
                             raise ShedError(rid, need, alloc.total_pages)
                         vrid = victim.request.request_id
                         freed = alloc.free(vrid)
+                        self.backend.on_release(vrid, "preempted")
                         tel.request_preempted(vrid, freed)
                         pending.appendleft(victim.request)
                         preempted.add(vrid)
@@ -569,52 +576,33 @@ class ServingEngine:
                 iteration += 1
                 continue
             stall = 0
-            degree = self.tp.degree if self.tp else 1
-            if self.tp and degree > 1:
-                t_dense = tp_dense_layer_time(
-                    m, self.spec, self.scheme, self.tp, self.gpu
-                )
-            else:
-                t_dense = dense_layer_time(m, self.spec, self.scheme, self.gpu)
-            t_attn = 0.0
-            if decode_batch:
-                # Attention heads shard evenly across the TP group.
-                t_attn += attention_decode_time(
-                    [a.context_len for a in decoding],
-                    self.spec,
-                    self.scheme.kv_bits,
-                    self.gpu,
-                ) / degree
-            for a, chunk in chunks:
-                t_attn += attention_prefill_time(
+            prefill_work = [
+                PrefillChunk(
+                    a.request.request_id,
+                    a.prefilled,
                     chunk,
-                    self.spec,
-                    self.gpu,
-                    kv_bits=self.scheme.kv_bits,
-                    prefix_len=a.prefilled,
-                ) / degree
-            t_quant = (
-                quant_fusion_overhead(m, self.spec, self.gpu, fused=True)
-                if self.scheme.a_bits < 16
-                else 0.0
-            )
-            t_other = other_ops_time(m, self.spec, self.gpu)
+                    a.request.prefill_len,
+                )
+                for a, chunk in chunks
+            ]
+            decode_work = [
+                DecodeSlot(a.request.request_id, a.context_len)
+                for a in decoding
+            ]
+            timing = self.backend.execute_step(prefill_work, decode_work)
             if injector is not None:
                 # Straggler: one slow kernel stretches the whole iteration
                 # (scaled per phase so the breakdown still sums to total).
                 factor = injector.straggler_factor(iteration)
                 if factor != 1.0:
-                    t_dense *= factor
-                    t_attn *= factor
-                    t_quant *= factor
-                    t_other *= factor
+                    timing.scale(factor)
                     faults_injected += 1
                     tel.fault_injected("straggler", factor)
-            t_iter = t_dense + t_attn + t_quant + t_other
-            breakdown["dense"] += t_dense
-            breakdown["attention"] += t_attn
-            breakdown["quant"] += t_quant
-            breakdown["other"] += t_other
+            t_iter = timing.total
+            breakdown["dense"] += timing.t_dense
+            breakdown["attention"] += timing.t_attention
+            breakdown["quant"] += timing.t_quant
+            breakdown["other"] += timing.t_other
             clock += t_iter
             tel.set_clock(clock)
 
@@ -644,6 +632,7 @@ class ServingEngine:
             for a in running:
                 if a.done:
                     freed = alloc.free(a.request.request_id)
+                    self.backend.on_release(a.request.request_id, "finished")
                     tel.request_finished(a.request.request_id, freed)
                     _terminal(a.request.request_id, "finished")
                     completed += 1
@@ -653,26 +642,20 @@ class ServingEngine:
             running = still
 
             if tel.enabled:
-                t_comm = (
-                    tp_dense_layer_breakdown(
-                        m, self.spec, self.scheme, self.tp, self.gpu
-                    )[1]
-                    if self.tp and degree > 1
-                    else 0.0
-                )
                 tel.iteration_sample(
                     prefill_tokens=prefill_tokens,
                     decode_batch=decode_batch,
                     running=batch_now,
                     pending=len(pending),
-                    t_dense=t_dense,
-                    t_attention=t_attn,
-                    t_quant=t_quant,
-                    t_other=t_other,
-                    t_comm=t_comm,
+                    t_dense=timing.t_dense,
+                    t_attention=timing.t_attention,
+                    t_quant=timing.t_quant,
+                    t_other=timing.t_other,
+                    t_comm=self.backend.comm_time(m),
                     t_iter=t_iter,
                     kv_utilization=alloc.utilization(),
                     free_pages=alloc.free_pages,
+                    backend=self.backend.name,
                 )
             iteration += 1
 
@@ -704,4 +687,5 @@ class ServingEngine:
             alloc_retries=alloc_retries,
             faults_injected=faults_injected,
             terminal_states=terminal,
+            backend=self.backend.name,
         )

@@ -1,0 +1,233 @@
+"""Per-step model executor for the numeric serving backend.
+
+One :class:`ModelRunner` owns the real-model side of a serving run: it
+holds per-request decode state (prompt, emitted tokens, incremental KV) and
+executes the engine's scheduled work — prefill chunks and single-token
+decode steps — against one :class:`~repro.models.llama.LlamaModel` whose KV
+lives in a shared :class:`~repro.serving.paged_kv.PagedKVStore`.
+
+Each step is the full pipeline: embed -> decoder layer steps over gathered
+pages -> final norm -> logits -> sample.  That is exactly the per-iteration
+body of :meth:`LlamaModel.generate`, issued with identical shapes and
+positions:
+
+- a request's prompt is a deterministic pure function of its id
+  (:func:`synthetic_prompt`), so the oracle ``generate(prompt, ...)`` can be
+  reconstructed independently of any engine run;
+- prefill runs ``model.forward(prompt)`` (one pass when unchunked — the
+  bit-identity configuration) and the prompt-completing pass samples the
+  first output token, matching the engine's token accounting;
+- every decode step runs ``model.forward([[last]], pos_offset=len-1)``;
+- sampling goes through :func:`repro.models.llama.sample_token` with a
+  per-request generator seeded from ``(seed, request_id)``, the same
+  construction the oracle uses — so recompute-after-preemption replays the
+  identical token sequence.
+
+Paged == dense: each request's cache dict is pre-populated with per-layer
+:class:`~repro.serving.paged_kv.PagedKVCache` instances (the model uses
+whatever the cache dict holds, so the model object is never mutated);
+appends write the same post-codec float32 values a dense
+:class:`~repro.models.llama.KVCache` would hold and gathers return them
+contiguous and in token order, so the attention GEMMs consume bit-identical
+operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.llama import LlamaModel, sample_token
+from repro.serving.paged_kv import PagedKVCache, PagedKVStore
+
+__all__ = ["ModelRunner", "synthetic_prompt"]
+
+
+def synthetic_prompt(
+    request_id: int, prefill_len: int, vocab_size: int, *, seed: int = 0
+) -> np.ndarray:
+    """Deterministic prompt for one request: pure function of ``(seed, id)``.
+
+    The serving workload (:mod:`repro.data.sharegpt`) specifies lengths, not
+    token content; this supplies content reproducibly so an engine run and
+    its per-request ``generate`` oracle agree on the input.
+    """
+    rng = np.random.default_rng([seed, request_id])
+    return rng.integers(0, vocab_size, size=prefill_len, dtype=np.int64)
+
+
+class _RequestState:
+    """Decode state of one in-flight request."""
+
+    __slots__ = ("prompt", "tokens", "cache", "rng")
+
+    def __init__(self, prompt: np.ndarray, rng: np.random.Generator) -> None:
+        self.prompt = prompt
+        self.tokens: list[int] = list(prompt)
+        self.cache: dict = {}
+        self.rng = rng
+
+
+class ModelRunner:
+    """Executes scheduled prefill/decode work for many concurrent requests."""
+
+    def __init__(
+        self,
+        model: LlamaModel,
+        *,
+        page_size: int = 16,
+        temperature: float = 0.0,
+        seed: int = 0,
+        store: PagedKVStore | None = None,
+    ) -> None:
+        if not model.fast_path:
+            raise ValueError(
+                "ModelRunner requires fast_path=True (the pluggable-cache "
+                "execution path)"
+            )
+        if model.config.is_moe:
+            raise ValueError("numeric serving covers dense models only")
+        self.model = model
+        self.temperature = temperature
+        self.seed = seed
+        cfg = model.config
+        self.store = store or PagedKVStore(
+            cfg.n_kv_heads, cfg.head_dim, page_size=page_size
+        )
+        self._states: dict[int, _RequestState] = {}
+        #: Final token sequences of finished requests (prompt + generated).
+        self.finished_tokens: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def prompt_for(self, request_id: int, prefill_len: int) -> np.ndarray:
+        return synthetic_prompt(
+            request_id, prefill_len, self.model.config.vocab_size, seed=self.seed
+        )
+
+    def seed_for(self, request_id: int) -> list[int]:
+        """Per-request sampling seed (pass to ``generate(..., seed=...)``)."""
+        return [self.seed, 1, request_id]
+
+    def rng_for(self, request_id: int) -> np.random.Generator:
+        """The sampling generator for one request — the identical
+        ``default_rng(seed)`` construction ``generate`` performs with
+        :meth:`seed_for`'s key, so oracle and engine sampling streams match."""
+        return np.random.default_rng(self.seed_for(request_id))
+
+    def start(self, request_id: int, prefill_len: int) -> None:
+        """(Re)initialise a request from scratch — admission or recompute."""
+        if request_id in self._states:
+            raise KeyError(f"request {request_id} is already running")
+        state = _RequestState(
+            self.prompt_for(request_id, prefill_len), self.rng_for(request_id)
+        )
+        # Pre-populate the per-layer KV caches with paged caches over the
+        # shared store; the model uses whatever the cache dict holds, so the
+        # model object itself is never mutated (its ``kv_cache_factory``
+        # hook offers the same pluggability for standalone use).
+        state.cache = {
+            f"layers.{i}.kv": PagedKVCache(self.store)
+            for i in range(self.model.config.n_layers)
+        }
+        self._states[request_id] = state
+
+    def release(self, request_id: int, *, keep_tokens: bool = False) -> None:
+        """Drop a request's state, freeing its KV pages.
+
+        ``keep_tokens=True`` (the ``finished`` terminal state) retains the
+        final token sequence in :attr:`finished_tokens`.  Unknown ids are a
+        no-op: the engine also releases requests that never reached the
+        backend (cancelled/timed out while still queued).
+        """
+        state = self._states.pop(request_id, None)
+        if state is None:
+            return
+        if keep_tokens:
+            self.finished_tokens[request_id] = np.asarray(
+                state.tokens, dtype=np.int64
+            )
+        for kv_cache in state.cache.values():
+            kv_cache.release()
+
+    # ------------------------------------------------------------------ #
+    # Execution (one engine-scheduled unit each)
+    # ------------------------------------------------------------------ #
+    def prefill_chunk(
+        self, request_id: int, prefix_len: int, chunk: int
+    ) -> int | None:
+        """Run ``chunk`` prompt tokens; sample the first output token when
+        the prompt completes (returns it), else ``None``."""
+        state = self._states[request_id]
+        prompt_len = len(state.prompt)
+        if prefix_len + chunk > prompt_len:
+            raise ValueError(
+                f"request {request_id}: chunk [{prefix_len}, "
+                f"{prefix_len + chunk}) exceeds prompt length {prompt_len}"
+            )
+        piece = state.prompt[prefix_len : prefix_len + chunk]
+        logits = self.model.forward(
+            piece[None, :], pos_offset=prefix_len, cache=state.cache
+        )[0, -1]
+        if prefix_len + chunk < prompt_len:
+            return None
+        nxt = sample_token(logits, self.temperature, state.rng)
+        state.tokens.append(nxt)
+        return nxt
+
+    def decode_one(self, request_id: int) -> int:
+        """One decode step: forward the last token, sample the next."""
+        state = self._states[request_id]
+        last = state.tokens[-1]
+        logits = self.model.forward(
+            np.asarray([[last]]),
+            pos_offset=len(state.tokens) - 1,
+            cache=state.cache,
+        )[0, -1]
+        nxt = sample_token(logits, self.temperature, state.rng)
+        state.tokens.append(nxt)
+        return nxt
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests and accounting audits)
+    # ------------------------------------------------------------------ #
+    def tokens(self, request_id: int) -> np.ndarray | None:
+        """Token sequence (prompt + generated) of a live or finished request."""
+        state = self._states.get(request_id)
+        if state is not None:
+            return np.asarray(state.tokens, dtype=np.int64)
+        return self.finished_tokens.get(request_id)
+
+    def context_len(self, request_id: int) -> int:
+        """KV tokens written so far for one live request (layer 0's view)."""
+        state = self._states[request_id]
+        caches = list(state.cache.values())
+        return caches[0].length if caches else 0
+
+    def pages_held(self, request_id: int) -> int:
+        """Physical pages currently held by one live request, all layers."""
+        state = self._states[request_id]
+        return sum(len(c.pages) for c in state.cache.values())
+
+    def live_pages(self) -> int:
+        """Physical pages held across every live request (leak audits)."""
+        return sum(self.pages_held(rid) for rid in self._states)
+
+    def live_requests(self) -> set[int]:
+        return set(self._states)
+
+    def oracle_generate(
+        self, request_id: int, prefill_len: int, decode_len: int
+    ) -> np.ndarray:
+        """Single-request reference: dense-cache ``LlamaModel.generate``.
+
+        ``generate`` runs the ordinary dense-KV path on the same
+        weights/linears/codec — this is the bit-identity oracle for
+        engine-produced tokens.
+        """
+        return self.model.generate(
+            self.prompt_for(request_id, prefill_len),
+            decode_len,
+            temperature=self.temperature,
+            seed=self.seed_for(request_id),
+        )

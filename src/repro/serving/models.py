@@ -8,8 +8,18 @@ Touvron et al. 2023.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-__all__ = ["ServingModelSpec", "LLAMA_7B", "LLAMA_13B", "LLAMA_70B"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (models -> serving)
+    from repro.models.config import ModelConfig
+
+__all__ = [
+    "ServingModelSpec",
+    "serving_spec_for",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "LLAMA_70B",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +64,31 @@ class ServingModelSpec:
             (self.ffn_dim, self.dim),  # w_up
             (self.dim, self.ffn_dim),  # w_down
         ]
+
+
+def serving_spec_for(config: "ModelConfig") -> ServingModelSpec:
+    """Derive the serving shapes of a real (zoo / bench) model.
+
+    The numeric backend serves small NumPy models; the engine's memory and
+    timing accounting must use *their* dimensions, not the full-size Llama
+    shapes, so paged-KV page math lines up with the KV the model actually
+    writes.  MoE models are rejected: the serving cost model is dense-only.
+    """
+    if config.is_moe:
+        raise ValueError(
+            f"{config.name} is MoE; the serving cost model covers dense "
+            "FFNs only"
+        )
+    return ServingModelSpec(
+        name=config.name,
+        dim=config.dim,
+        n_layers=config.n_layers,
+        n_heads=config.n_heads,
+        n_kv_heads=config.n_kv_heads,
+        ffn_dim=config.ffn_dim,
+        vocab_size=config.vocab_size,
+        max_seq_len=config.max_seq_len,
+    )
 
 
 LLAMA_7B = ServingModelSpec(

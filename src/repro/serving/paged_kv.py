@@ -1,19 +1,45 @@
-"""vLLM-style paged KV-cache allocator (Kwon et al. 2023).
+"""vLLM-style paged KV-cache: allocator, physical page pool, per-request cache.
 
 Atom integrates PagedAttention for efficient memory usage (§4.5): KV-cache
 is allocated in fixed-size pages of ``page_size`` tokens, eliminating the
 external fragmentation of contiguous per-request reservations and letting
 the engine pack far larger batches — which is precisely what turns Atom's
 4x KV compression into 4x more concurrent requests in Fig. 10(c).
+
+Three layers share the page machinery:
+
+- :class:`PagedKVAllocator` — *accounting only*: page counts against a byte
+  budget.  The engine's admission/preemption decisions run on this.
+- :class:`PagedKVStore` — *physical storage*: a pool of fixed-size K/V page
+  arrays with a free list, shared by every request and layer of one model.
+- :class:`PagedKVCache` — one (request, layer)'s logical KV sequence as a
+  page table into a store.  It implements the same ``append -> live views``
+  protocol as the dense :class:`repro.models.llama.KVCache`, so a
+  :class:`~repro.models.llama.LlamaModel` runs over paged KV unchanged via
+  its ``kv_cache_factory`` hook.
+
+Paged == dense equivalence: ``append`` writes the exact float32 values the
+dense cache would hold (after any codec round-trip), and ``gather``
+reassembles them in token order into one contiguous array.  Attention over
+the gathered array therefore consumes bit-identical operands to attention
+over the dense cache's views, which is what makes the numeric serving
+backend's tokens bit-identical to single-request ``LlamaModel.generate``.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.serving.telemetry import NULL_TELEMETRY, Telemetry
 
-__all__ = ["KVAccountingError", "PagedKVAllocator"]
+__all__ = [
+    "KVAccountingError",
+    "PagedKVAllocator",
+    "PagedKVCache",
+    "PagedKVStore",
+]
 
 
 class KVAccountingError(KeyError):
@@ -153,3 +179,159 @@ class PagedKVAllocator:
             return 0.0
         live = sum(self._tokens.values())
         return 1.0 - live / alloc_tokens
+
+
+# --------------------------------------------------------------------------- #
+# Physical paged storage (numeric backend)
+# --------------------------------------------------------------------------- #
+class PagedKVStore:
+    """Shared physical page pool: fixed-size K/V pages plus a free list.
+
+    One store backs every request and layer of one served model.  Pages are
+    ``(n_kv_heads, page_size, head_dim)`` float32 blocks; the pool grows
+    geometrically on exhaustion (admission control lives in the engine's
+    :class:`PagedKVAllocator`, so physical capacity is an implementation
+    detail, not a policy boundary).
+    """
+
+    def __init__(
+        self,
+        n_kv_heads: int,
+        head_dim: int,
+        *,
+        page_size: int = 16,
+        initial_pages: int = 64,
+    ) -> None:
+        if n_kv_heads <= 0 or head_dim <= 0:
+            raise ValueError("n_kv_heads and head_dim must be positive")
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if initial_pages <= 0:
+            raise ValueError("initial_pages must be positive")
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.page_size = page_size
+        shape = (initial_pages, n_kv_heads, page_size, head_dim)
+        self._k = np.zeros(shape, dtype=np.float32)
+        self._v = np.zeros(shape, dtype=np.float32)
+        self._free: list[int] = list(range(initial_pages - 1, -1, -1))
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._k.shape[0]
+
+    @property
+    def used_pages(self) -> int:
+        return self.capacity_pages - len(self._free)
+
+    def _grow(self) -> None:
+        old = self.capacity_pages
+        new = max(1, old) * 2
+        k = np.zeros((new, *self._k.shape[1:]), dtype=np.float32)
+        v = np.zeros_like(k)
+        k[:old] = self._k
+        v[:old] = self._v
+        self._k, self._v = k, v
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def alloc_page(self) -> int:
+        """Take one page from the free list (growing the pool if empty)."""
+        if not self._free:
+            self._grow()
+        return self._free.pop()
+
+    def free_page(self, page_id: int) -> None:
+        self._free.append(page_id)
+
+    def page_k(self, page_id: int) -> np.ndarray:
+        """Writable ``(n_kv_heads, page_size, head_dim)`` view of one K page."""
+        return self._k[page_id]
+
+    def page_v(self, page_id: int) -> np.ndarray:
+        return self._v[page_id]
+
+
+class PagedKVCache:
+    """One (request, layer)'s KV sequence as a page table into a store.
+
+    Implements the dense :class:`repro.models.llama.KVCache` protocol
+    (``append(k_new, v_new) -> (k_view, v_view)`` over the live prefix), so
+    a model constructed with a ``kv_cache_factory`` returning these runs
+    its attention over paged storage with no other change.
+
+    Codec-aware: when ``codec`` is given, appended K/V round-trip through
+    it (quantized page storage) before being written — pass ``None`` when
+    the model already applies its codec upstream (as
+    :class:`~repro.models.llama.LlamaModel` does), or a
+    :class:`~repro.models.llama.KVCodec` to quantize at the page boundary.
+    Either arrangement stores identical values, since the codec is a pure
+    elementwise round-trip applied exactly once.
+
+    Batch dimension must be 1: the serving engine schedules per-request
+    caches (that is the point of paging).
+    """
+
+    __slots__ = ("store", "codec", "pages", "length")
+
+    def __init__(self, store: PagedKVStore, *, codec=None) -> None:
+        self.store = store
+        self.codec = codec
+        self.pages: list[int] = []
+        self.length = 0
+
+    # -- KVCache protocol ------------------------------------------------- #
+    def append(
+        self, k_new: np.ndarray, v_new: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Write ``(1, kv_heads, t, head_dim)`` steps; return gathered views."""
+        if k_new.shape[0] != 1:
+            raise ValueError(
+                f"paged KV caches are per-request (batch 1), got batch "
+                f"{k_new.shape[0]}"
+            )
+        if self.codec is not None:
+            k_new = self.codec.encode_decode(k_new, "k").astype(np.float32)
+            v_new = self.codec.encode_decode(v_new, "v").astype(np.float32)
+        ps = self.store.page_size
+        t = k_new.shape[2]
+        written = 0
+        while written < t:
+            slot = self.length % ps
+            if slot == 0:
+                self.pages.append(self.store.alloc_page())
+            take = min(ps - slot, t - written)
+            page_id = self.pages[-1]
+            # Page layout (kv_heads, page_size, head_dim) <- (1, kv, t, hd).
+            self.store.page_k(page_id)[:, slot : slot + take] = k_new[
+                0, :, written : written + take
+            ]
+            self.store.page_v(page_id)[:, slot : slot + take] = v_new[
+                0, :, written : written + take
+            ]
+            self.length += take
+            written += take
+        return self.gather()
+
+    def gather(self) -> tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(1, kv_heads, length, head_dim)`` K/V of the live prefix."""
+        st = self.store
+        k = np.empty(
+            (1, st.n_kv_heads, self.length, st.head_dim), dtype=np.float32
+        )
+        v = np.empty_like(k)
+        ps = st.page_size
+        for i, page_id in enumerate(self.pages):
+            lo = i * ps
+            take = min(ps, self.length - lo)
+            k[0, :, lo : lo + take] = st.page_k(page_id)[:, :take]
+            v[0, :, lo : lo + take] = st.page_v(page_id)[:, :take]
+        return k, v
+
+    def release(self) -> int:
+        """Return every page to the store; returns how many were freed."""
+        n = len(self.pages)
+        for page_id in self.pages:
+            self.store.free_page(page_id)
+        self.pages.clear()
+        self.length = 0
+        return n

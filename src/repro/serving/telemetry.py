@@ -228,8 +228,18 @@ class IterationSample(TraceEvent):
     t_iter: float = 0.0
     kv_utilization: float = 0.0
     free_pages: int = 0
+    #: Which :class:`~repro.serving.backend.ExecutionBackend` produced the
+    #: iteration.  The default is omitted from the JSONL form so analytic
+    #: traces remain byte-identical to those written before backends existed.
+    backend: str = "analytic"
 
     event: str = field(init=False, default="iteration", repr=False)
+
+    def to_dict(self) -> dict:
+        d = super().to_dict()
+        if self.backend == "analytic":
+            del d["backend"]
+        return d
 
 
 _EVENT_TYPES: dict[str, type[TraceEvent]] = {

@@ -267,3 +267,167 @@ class TestPropertyBased:
         for _ in range(total - 1):
             assert a.append_token(0)
         assert a.used_pages == a.pages_for(total)
+
+
+# --------------------------------------------------------------------------- #
+# Physical page store + per-request paged caches (numeric serving backend)
+# --------------------------------------------------------------------------- #
+from repro.core import AtomKVCodec  # noqa: E402
+from repro.models.llama import KVCache  # noqa: E402
+from repro.serving.paged_kv import PagedKVCache, PagedKVStore  # noqa: E402
+
+
+def _kv_chunk(rng, kv_heads, t, head_dim):
+    k = rng.standard_normal((1, kv_heads, t, head_dim)).astype(np.float32)
+    v = rng.standard_normal((1, kv_heads, t, head_dim)).astype(np.float32)
+    return k, v
+
+
+class TestPagedKVStore:
+    def test_alloc_free_round_trip(self):
+        store = PagedKVStore(2, 8, page_size=4, initial_pages=4)
+        pages = [store.alloc_page() for _ in range(4)]
+        assert store.used_pages == 4
+        for p in pages:
+            store.free_page(p)
+        assert store.used_pages == 0
+
+    def test_grows_geometrically_when_exhausted(self):
+        store = PagedKVStore(2, 8, page_size=4, initial_pages=2)
+        for _ in range(5):
+            store.alloc_page()
+        assert store.used_pages == 5
+        assert store.capacity_pages >= 5
+
+    def test_page_views_have_page_shape(self):
+        store = PagedKVStore(3, 8, page_size=4)
+        p = store.alloc_page()
+        assert store.page_k(p).shape == (3, 4, 8)
+        assert store.page_v(p).shape == (3, 4, 8)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            PagedKVStore(0, 8)
+        with pytest.raises(ValueError):
+            PagedKVStore(2, 8, page_size=0)
+        with pytest.raises(ValueError):
+            PagedKVStore(2, 8, initial_pages=0)
+
+
+class TestPagedKVCache:
+    def test_rejects_batched_appends(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        cache = PagedKVCache(store)
+        k = np.zeros((2, 2, 1, 8), dtype=np.float32)
+        with pytest.raises(ValueError, match="batch"):
+            cache.append(k, k)
+
+    def test_release_returns_every_page_to_the_store(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        cache = PagedKVCache(store)
+        rng = np.random.default_rng(0)
+        cache.append(*_kv_chunk(rng, 2, 11, 8))  # 3 pages: 4+4+3
+        assert len(cache.pages) == 3
+        assert store.used_pages == 3
+        assert cache.release() == 3
+        assert store.used_pages == 0
+        assert cache.length == 0
+
+    def test_many_caches_share_one_store(self):
+        """One store backs every (request, layer) — pages interleave freely."""
+        store = PagedKVStore(2, 8, page_size=4, initial_pages=2)
+        rng = np.random.default_rng(1)
+        caches = [PagedKVCache(store) for _ in range(6)]
+        chunks = [_kv_chunk(rng, 2, 7, 8) for _ in caches]
+        for cache, (k, v) in zip(caches, chunks):
+            cache.append(k, v)
+        # Each cache still gathers its own values despite interleaved pages.
+        for cache, (k, v) in zip(caches, chunks):
+            gk, gv = cache.gather()
+            np.testing.assert_array_equal(gk, k)
+            np.testing.assert_array_equal(gv, v)
+        assert store.used_pages == 6 * 2  # ceil(7/4) pages each
+
+    @given(
+        page_size=st.integers(1, 8),
+        kv_heads=st.integers(1, 4),
+        chunk_sizes=st.lists(st.integers(1, 13), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gather_matches_dense_cache_bitwise(
+        self, page_size, kv_heads, chunk_sizes
+    ):
+        """Paged == dense (satellite property): any append pattern — GQA
+        head counts, ragged last pages — gathers bit-identical K/V to the
+        dense ``KVCache`` fed the same chunks."""
+        head_dim = 4
+        store = PagedKVStore(kv_heads, head_dim, page_size=page_size)
+        paged = PagedKVCache(store)
+        dense = KVCache(1, kv_heads, head_dim, capacity=1)
+        rng = np.random.default_rng(sum(chunk_sizes) + page_size)
+        for t in chunk_sizes:
+            k, v = _kv_chunk(rng, kv_heads, t, head_dim)
+            pk, pv = paged.append(k, v)
+            dk, dv = dense.append(k, v)
+            np.testing.assert_array_equal(pk, dk)
+            np.testing.assert_array_equal(pv, dv)
+        total = sum(chunk_sizes)
+        assert paged.length == dense.length == total
+        assert len(paged.pages) == -(-total // page_size)  # ceil division
+
+    def test_codec_round_trip_matches_dense_cache(self):
+        """Quantizing at the page boundary stores exactly what a dense cache
+        holding codec'd values stores: the codec is one pure round-trip."""
+        codec = AtomKVCodec(4)
+        store = PagedKVStore(4, 8, page_size=4)
+        paged = PagedKVCache(store, codec=codec)
+        dense = KVCache(1, 4, 8, capacity=1)
+        rng = np.random.default_rng(7)
+        for t in (6, 1, 5):  # ragged: pages end mid-chunk and mid-page
+            k, v = _kv_chunk(rng, 4, t, 8)
+            pk, pv = paged.append(k, v)
+            dk, dv = dense.append(
+                codec.encode_decode(k, "k").astype(np.float32),
+                codec.encode_decode(v, "v").astype(np.float32),
+            )
+            np.testing.assert_array_equal(pk, dk)
+            np.testing.assert_array_equal(pv, dv)
+
+
+class TestKVCacheFactoryHook:
+    def test_paged_factory_matches_dense_logits(self):
+        """A model whose ``kv_cache_factory`` returns paged caches computes
+        bit-identical logits to the default dense path — GQA model,
+        incremental decode crossing page boundaries."""
+        from repro.bench.perf import build_bench_model
+        from repro.models.config import ModelConfig
+
+        cfg = ModelConfig(
+            "paged-hook-test",
+            dim=64,
+            n_layers=2,
+            n_heads=8,
+            n_kv_heads=2,
+            ffn_dim=128,
+            max_seq_len=64,
+        )
+        dense_model = build_bench_model(cfg, seed=3)
+        store = PagedKVStore(cfg.n_kv_heads, cfg.head_dim, page_size=4)
+        paged_model = build_bench_model(cfg, seed=3)
+        paged_model.kv_cache_factory = lambda b, kv, hd, t: PagedKVCache(store)
+
+        rng = np.random.default_rng(5)
+        prompt = rng.integers(0, cfg.vocab_size, size=(1, 9))
+        cache_d, cache_p = {}, {}
+        out_d = dense_model.forward(prompt, cache=cache_d)
+        out_p = paged_model.forward(prompt, cache=cache_p)
+        np.testing.assert_array_equal(out_d, out_p)
+        for step in range(7):  # crosses the 4-token page boundary
+            tok = np.asarray([[int(step) % cfg.vocab_size]])
+            out_d = dense_model.forward(tok, pos_offset=9 + step, cache=cache_d)
+            out_p = paged_model.forward(tok, pos_offset=9 + step, cache=cache_p)
+            np.testing.assert_array_equal(out_d, out_p)
+        assert store.used_pages > 0
+        for kv_cache in cache_p.values():
+            kv_cache.release()
+        assert store.used_pages == 0

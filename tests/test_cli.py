@@ -143,6 +143,20 @@ def bench_payload(tmp_path_factory):
     return payload, path
 
 
+@pytest.fixture(scope="module")
+def serving_bench_payload(tmp_path_factory):
+    """One real quick serving-bench run, shared by every --serving test."""
+    from repro.bench.serving_perf import (
+        run_serving_bench,
+        write_serving_bench_json,
+    )
+
+    payload = run_serving_bench(quick=True)
+    path = tmp_path_factory.mktemp("sbench") / "BENCH_serving_numeric.json"
+    write_serving_bench_json(payload, path)
+    return payload, path
+
+
 class TestBenchCommand:
     """Exercise `repro bench` without re-running the 10s+ suite per test:
     the module fixture runs it once and the suite is patched to reuse it."""
@@ -295,3 +309,91 @@ class TestQuantizeCheckpointFlags:
         assert args.checkpoint_dir is None
         assert args.force_restart is False
         assert args.strict_guards is False
+
+
+class TestNumericServeCommand:
+    def test_backend_flag_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.backend == "analytic"
+        assert args.verify is False
+
+    def test_numeric_serve_verifies_against_oracle(self, capsys, model7b):
+        assert main(
+            ["serve", "--backend", "numeric", "--scheme", "FP16",
+             "--requests", "4", "--batch", "2", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "numeric backend" in out
+        assert "tokens==generate" in out
+        assert "ok" in out and "FAIL" not in out
+
+    def test_numeric_serve_rejects_tp(self, capsys):
+        assert main(["serve", "--backend", "numeric", "--tp", "2"]) == 2
+        assert "tensor parallelism" in capsys.readouterr().err
+
+    def test_numeric_serve_rejects_unsupported_scheme(self, capsys):
+        assert main(
+            ["serve", "--backend", "numeric", "--scheme", "W8A8"]
+        ) == 2
+        assert "numeric backend supports" in capsys.readouterr().err
+
+
+class TestServingBenchCommand:
+    @pytest.fixture(autouse=True)
+    def _reuse_payload(self, serving_bench_payload, monkeypatch):
+        payload, path = serving_bench_payload
+        monkeypatch.setattr(
+            "repro.bench.serving_perf.run_serving_bench",
+            lambda *, quick=False, seed=0: copy.deepcopy(payload),
+        )
+        self.payload, self.baseline_path = payload, path
+
+    def test_serving_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--serving"])
+        assert args.serving is True
+
+    def test_reports_curve_and_verification(self, capsys):
+        assert main(["bench", "--serving", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "batched decode" in out
+        assert "bit-identical" in out
+
+    def test_writes_payload(self, capsys, tmp_path):
+        out_path = tmp_path / "serving.json"
+        assert main(
+            ["bench", "--serving", "--quick", "-o", str(out_path)]
+        ) == 0
+        written = json.loads(out_path.read_text())
+        assert written["schema"].endswith("bench-serving-numeric/v1")
+        assert written["verified_bit_identical"] is True
+
+    def test_check_against_clean_baseline_passes(self, capsys):
+        assert main(
+            ["bench", "--serving", "--quick",
+             "--check-against", str(self.baseline_path)]
+        ) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_check_against_regression_exits_1(self, capsys, monkeypatch):
+        slow = copy.deepcopy(self.payload)
+        for p in slow["batches"]:
+            p["tokens_per_s"] /= 100.0
+        monkeypatch.setattr(
+            "repro.bench.serving_perf.run_serving_bench",
+            lambda *, quick=False, seed=0: slow,
+        )
+        assert main(
+            ["bench", "--serving", "--quick",
+             "--check-against", str(self.baseline_path)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestTraceReportsBackend:
+    def test_trace_table_has_backend_row(self, capsys, tmp_path):
+        out_path = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", "--requests", "4", "--batch", "4", "-o", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "analytic" in out

@@ -199,6 +199,154 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_open_loop_interactions(args: argparse.Namespace, max_len: int):
+    """Arrival schedule for ``repro serve --open-loop`` (deterministic)."""
+    from repro.data.sharegpt import ShareGPTWorkload
+    from repro.serving import poisson_interactions, sharegpt_interactions
+
+    workload = ShareGPTWorkload(seed=args.seed, max_len=max_len)
+    tenants = tuple(f"tenant{i}" for i in range(args.tenants))
+    if args.conversations:
+        return sharegpt_interactions(
+            workload,
+            args.requests,
+            rate=args.rate,
+            seed=args.seed,
+            tenants=tenants,
+            think_mean_s=args.think,
+            deadline_s=args.deadline,
+        )
+    reqs = workload.sample_requests(args.requests)
+    return poisson_interactions(
+        reqs,
+        rate=args.rate,
+        seed=args.seed,
+        tenants=tenants,
+        deadline_s=args.deadline,
+    )
+
+
+def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
+    """Open-loop traffic through the front-end (both backends)."""
+    import numpy as np
+
+    from repro.serving import SCHEMES, NumericBackend, OpenLoopFrontend, ServingEngine
+    from repro.serving.models import LLAMA_13B, LLAMA_70B, LLAMA_7B
+    from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
+
+    numeric = args.backend == "numeric"
+    scheme_names = (
+        [args.scheme]
+        if args.scheme != "all"
+        else (["FP16", "Atom-W4A4"] if numeric else list(SCHEMES))
+    )
+    if numeric:
+        if args.tp > 1:
+            print("numeric backend does not support tensor parallelism",
+                  file=sys.stderr)
+            return 2
+        unsupported = [
+            s for s in scheme_names if s not in ("FP16", "Atom-W4A4")
+        ]
+        if unsupported:
+            print(f"numeric backend supports FP16 and Atom-W4A4, not "
+                  f"{', '.join(unsupported)}", file=sys.stderr)
+            return 2
+        from repro.models.zoo import load_model
+
+        zoo_name = _NUMERIC_ZOO[args.model]
+        model = load_model(zoo_name)
+        max_len = model.config.max_seq_len
+        model_name = f"{zoo_name} (numeric backend)"
+    else:
+        specs = {
+            "llama-7b": LLAMA_7B,
+            "llama-13b": LLAMA_13B,
+            "llama-70b": LLAMA_70B,
+        }
+        spec = specs[args.model]
+        max_len = 2048
+        model_name = f"{spec.name} (analytic backend)"
+    interactions = _build_open_loop_interactions(args, max_len)
+    tp = None
+    if args.tp > 1:
+        ic = NVLINK if args.interconnect == "nvlink" else PCIE_4
+        tp = TPConfig(args.tp, ic)
+    failed = False
+    for name in scheme_names:
+        if numeric:
+            served = model
+            if name == "Atom-W4A4":
+                from repro.core import AtomConfig, AtomQuantizer
+
+                served = AtomQuantizer(
+                    AtomConfig.paper_default()
+                ).quantize(model)
+            engine = NumericBackend.engine_for(
+                served, SCHEMES[name], max_batch=args.batch,
+                admission=args.admission, seed=args.seed,
+                shed_policy="drop",
+            )
+        else:
+            engine = ServingEngine(
+                spec,
+                SCHEMES[name],
+                max_batch=args.batch,
+                enforce_memory=not args.no_memory_limit,
+                admission=args.admission,
+                tp=tp,
+                shed_policy="drop",
+            )
+        frontend = OpenLoopFrontend(
+            engine,
+            args.scheduler,
+            slo_ttft_s=args.slo_ttft,
+            slo_tbt_s=args.slo_tbt,
+            max_queue=args.max_queue,
+        )
+        res = frontend.run(interactions)
+        r = res.serving
+        verified = ""
+        if numeric and args.verify:
+            backend = engine.backend
+            ok = all(
+                np.array_equal(
+                    backend.generated_tokens(sub.request_id),
+                    backend.runner.oracle_generate(
+                        sub.request_id,
+                        sub.request.prefill_len,
+                        sub.request.decode_len,
+                    ),
+                )
+                for sub in res.submissions
+                if r.terminal_states.get(sub.request_id) == "finished"
+            )
+            verified = (
+                "  tokens==generate: ok" if ok else "  tokens==generate: FAIL"
+            )
+            failed = failed or not ok
+        print(
+            f"{model_name}  scheme={name}  scheduler={res.scheduler}  "
+            f"rate={args.rate}/s  {res.submitted} submitted "
+            f"({res.interactions} interactions, "
+            f"{res.interactions_completed} completed)"
+        )
+        print(
+            f"  tput={r.throughput_tokens_per_s:.0f} tok/s  "
+            f"finished={r.completed_requests}  timed_out={r.timed_out}  "
+            f"shed={r.shed}  preempt={r.preemptions}  "
+            f"goodput={res.slo.overall.goodput_rps:.3f} req/s  "
+            f"attainment={res.slo.overall.attainment:.1%}{verified}"
+        )
+        print(res.slo.table())
+        print()
+    if failed:
+        print("numeric serving diverged from the generate oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.data.sharegpt import ShareGPTWorkload
     from repro.serving import SCHEMES, ServingEngine
@@ -206,6 +354,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
 
+    if args.open_loop:
+        return _cmd_serve_open_loop(args)
     if args.backend == "numeric":
         return _cmd_serve_numeric(args)
 
@@ -580,6 +730,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "model; numeric: actually execute the trained zoo "
                         "analog through the engine (real tokens, small "
                         "--requests recommended)")
+    s.add_argument("--open-loop", action="store_true",
+                   help="open-loop traffic: requests arrive over virtual "
+                        "time instead of being handed over up front")
+    s.add_argument("--scheduler", choices=("fcfs", "sjf", "edf", "fair"),
+                   default="fcfs",
+                   help="queue policy for --open-loop (default fcfs)")
+    s.add_argument("--rate", type=float, default=2.0, metavar="REQ_PER_S",
+                   help="Poisson arrival rate in simulated req/s "
+                        "(--open-loop; default 2.0)")
+    s.add_argument("--tenants", type=int, default=1,
+                   help="number of round-robin tenants (--open-loop)")
+    s.add_argument("--conversations", action="store_true",
+                   help="submit multi-round ShareGPT conversations as "
+                        "interactions (--requests then counts conversations)")
+    s.add_argument("--think", type=float, default=0.0, metavar="SECONDS",
+                   help="mean think time between conversation turns")
+    s.add_argument("--slo-ttft", type=float, default=None, metavar="SECONDS",
+                   help="TTFT SLO threshold for goodput accounting")
+    s.add_argument("--slo-tbt", type=float, default=None, metavar="SECONDS",
+                   help="TBT SLO threshold for goodput accounting")
+    s.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="relative per-request deadline (enforced; feeds EDF)")
+    s.add_argument("--max-queue", type=int, default=None, metavar="N",
+                   help="shed arrivals beyond N waiting requests "
+                        "(open-loop admission control)")
     s.add_argument("--verify", action="store_true",
                    help="numeric backend only: re-check every finished "
                         "request's tokens against per-request "

@@ -21,7 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Request", "ShareGPTWorkload"]
+__all__ = ["Request", "ShareGPTWorkload", "TURN_STRIDE"]
+
+#: Request-id stride for id-addressed conversations: conversation ``c``'s
+#: turn ``t`` gets request id ``c * TURN_STRIDE + t``, so ids stay unique
+#: and the conversation/turn of any request can be recovered by divmod.
+TURN_STRIDE = 64
 
 
 @dataclass(frozen=True)
@@ -69,20 +74,68 @@ class ShareGPTWorkload:
         self.sigma_response = sigma_response
         self.mean_rounds = mean_rounds
         self.max_len = max_len
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._next_id = 0
 
-    def _sample_len(self, mu: float, sigma: float) -> int:
-        return max(1, int(self._rng.lognormal(mu, sigma)))
+    def _sample_len(
+        self, mu: float, sigma: float, rng: "np.random.Generator | None" = None
+    ) -> int:
+        gen = self._rng if rng is None else rng
+        return max(1, int(gen.lognormal(mu, sigma)))
 
-    def sample_conversation(self) -> list[Request]:
+    def sample_conversation(
+        self, conversation_id: "int | None" = None
+    ) -> list[Request]:
         """Sample one conversation as a list of per-round requests.
 
         Round *k*'s prefill is the concatenation of every earlier prompt and
         response plus the new prompt (§5.3.2: "we concatenate all previous
         prompts and responses and use them as the prompt for the new user
         request").
+
+        With ``conversation_id=None`` (the legacy path) draws come from the
+        sampler's shared call-order stream and ids from a global counter —
+        this stream is pinned byte-for-byte by the golden serving traces,
+        so it must never change.  With an explicit ``conversation_id``,
+        every draw is a pure function of ``(seed, conversation_id, turn)``:
+        resampling the same id is bit-stable no matter how many other
+        conversations were sampled in between, which is what open-loop
+        interaction replay requires.  Id-addressed requests are numbered
+        ``conversation_id * TURN_STRIDE + turn``.
         """
+        if conversation_id is None:
+            return self._sample_conversation_stream()
+        if conversation_id < 0:
+            raise ValueError("conversation_id must be >= 0")
+        rounds_rng = np.random.default_rng([self.seed, conversation_id])
+        n_rounds = min(
+            int(rounds_rng.geometric(1.0 / self.mean_rounds)), TURN_STRIDE
+        )
+        history = 0
+        requests: list[Request] = []
+        for turn in range(n_rounds):
+            rng = np.random.default_rng([self.seed, conversation_id, turn])
+            prompt = self._sample_len(self.mu_prompt, self.sigma_prompt, rng)
+            response = self._sample_len(
+                self.mu_response, self.sigma_response, rng
+            )
+            prefill = min(history + prompt, self.max_len - 1)
+            decode = min(response, self.max_len - prefill)
+            if decode < 1:
+                break
+            requests.append(
+                Request(
+                    conversation_id * TURN_STRIDE + turn, prefill, decode
+                )
+            )
+            history = prefill + decode
+            if history >= self.max_len - 2:
+                break
+        return requests
+
+    def _sample_conversation_stream(self) -> list[Request]:
+        """Legacy call-order sampling (golden-pinned; see above)."""
         n_rounds = int(self._rng.geometric(1.0 / self.mean_rounds))
         history = 0
         requests: list[Request] = []

@@ -23,7 +23,13 @@ on an RTX 4090 with custom CUDA kernels.  Without a GPU, we reproduce the
 - :mod:`repro.serving.breakdown` — per-operator runtime breakdown (Fig. 3);
 - :mod:`repro.serving.telemetry` — structured event-trace + metrics
   telemetry (typed events, per-iteration samples, JSONL/CSV export) with a
-  no-op null sink as the engine-wide default.
+  no-op null sink as the engine-wide default, plus TTFT/TBT/goodput SLO
+  aggregation for open-loop runs;
+- :mod:`repro.serving.frontend` — open-loop multi-tenant front-end
+  (virtual-clock event loop, Poisson/ShareGPT arrival processes,
+  multi-round interactions, SLO accounting);
+- :mod:`repro.serving.schedulers` — pluggable queue policies (FCFS, SJF,
+  deadline-EDF, per-tenant fair share) for the open-loop front-end.
 """
 
 from repro.serving.hardware import A100_40G, RTX_4090, GPUSpec, roofline_throughput
@@ -68,9 +74,27 @@ from repro.serving.paged_kv import (
 from repro.serving.parallel import NVLINK, PCIE_4, TPConfig, tp_dense_layer_time
 from repro.serving.engine import (
     TERMINAL_STATES,
+    EngineRun,
     ServingEngine,
     ServingResult,
     ShedError,
+)
+from repro.serving.schedulers import (
+    SCHEDULERS,
+    BaseScheduler,
+    EDFScheduler,
+    FairShareScheduler,
+    FCFSScheduler,
+    SJFScheduler,
+    Submission,
+    make_scheduler,
+)
+from repro.serving.frontend import (
+    FrontendResult,
+    Interaction,
+    OpenLoopFrontend,
+    poisson_interactions,
+    sharegpt_interactions,
 )
 from repro.serving.faults import (
     CancelFault,
@@ -82,10 +106,14 @@ from repro.serving.faults import (
 from repro.serving.breakdown import runtime_breakdown
 from repro.serving.telemetry import (
     NULL_TELEMETRY,
+    RequestSLORecord,
+    SLOSummary,
     Telemetry,
+    TenantSLO,
     TraceRecorder,
     TraceSummary,
     read_jsonl,
+    slo_summary,
     summarize,
     write_csv,
     write_jsonl,
@@ -98,10 +126,18 @@ __all__ = [
     "CancelFault",
     "DecodeSlot",
     "ExecutionBackend",
+    "BaseScheduler",
+    "EDFScheduler",
+    "EngineRun",
+    "FCFSScheduler",
     "FP16",
+    "FairShareScheduler",
     "FaultInjector",
     "FaultPlan",
+    "FrontendResult",
     "GPUSpec",
+    "Interaction",
+    "OpenLoopFrontend",
     "KVAccountingError",
     "LLAMA_13B",
     "LLAMA_70B",
@@ -115,12 +151,17 @@ __all__ = [
     "PrefillChunk",
     "QuantScheme",
     "RTX_4090",
+    "RequestSLORecord",
+    "SCHEDULERS",
     "SCHEMES",
+    "SJFScheduler",
+    "SLOSummary",
     "ServingEngine",
     "ServingModelSpec",
     "ShedError",
     "StepTiming",
     "StragglerFault",
+    "Submission",
     "NVLINK",
     "NULL_TELEMETRY",
     "PCIE_4",
@@ -128,6 +169,7 @@ __all__ = [
     "TERMINAL_STATES",
     "TPConfig",
     "Telemetry",
+    "TenantSLO",
     "TraceRecorder",
     "TraceSummary",
     "W4A16",
@@ -137,11 +179,15 @@ __all__ = [
     "dense_layer_time",
     "gemm_time",
     "gemm_tops",
+    "make_scheduler",
+    "poisson_interactions",
     "read_jsonl",
     "reorder_ablation_latency",
     "roofline_throughput",
     "runtime_breakdown",
     "serving_spec_for",
+    "sharegpt_interactions",
+    "slo_summary",
     "summarize",
     "synthetic_prompt",
     "tp_dense_layer_time",

@@ -81,12 +81,19 @@ from repro.serving.parallel import TPConfig, validate_shardable
 from repro.serving.schemes import QuantScheme
 from repro.serving.telemetry import (
     NULL_TELEMETRY,
+    SLOSummary,
     Telemetry,
     weighted_mean,
     weighted_percentile,
 )
 
-__all__ = ["ServingEngine", "ServingResult", "ShedError", "TERMINAL_STATES"]
+__all__ = [
+    "EngineRun",
+    "ServingEngine",
+    "ServingResult",
+    "ShedError",
+    "TERMINAL_STATES",
+]
 
 # Workspace reserved for activations / scratch beyond weights and KV.
 _WORKSPACE_BYTES = 1.0e9
@@ -147,6 +154,9 @@ class ServingResult:
     terminal_states: dict[int, str] = field(default_factory=dict)
     #: Which execution backend produced the run ("analytic" or "numeric").
     backend: str = "analytic"
+    #: TTFT/TBT/goodput-under-SLO aggregation; filled by the open-loop
+    #: front-end (:mod:`repro.serving.frontend`), ``None`` for closed-loop.
+    slo: "SLOSummary | None" = None
 
     def summary(self) -> str:
         return (
@@ -267,6 +277,27 @@ class ServingEngine:
             return self.deadline_s.get(request_id, float("inf"))
         return float(self.deadline_s)
 
+    def start_run(
+        self,
+        requests: list[Request],
+        *,
+        faults: "FaultPlan | FaultInjector | None" = None,
+    ) -> "EngineRun":
+        """Begin an incremental run; the caller drives it with ``step()``.
+
+        This is the open-loop entry point: the front-end injects arrivals
+        into :attr:`EngineRun.pending` between steps and idles the virtual
+        clock across arrival gaps.  ``ServingEngine.run`` is exactly
+        ``start_run`` driven to completion.
+        """
+        if faults is None:
+            injector = None
+        elif isinstance(faults, FaultPlan):
+            injector = FaultInjector(faults)
+        else:
+            injector = faults
+        return EngineRun(self, requests, injector)
+
     def run(
         self,
         requests: list[Request],
@@ -280,412 +311,496 @@ class ServingEngine:
         fresh :class:`FaultInjector` so the run is replayable; ``None``
         (the default) skips every fault hook entirely.
         """
-        if faults is None:
-            injector = None
-        elif isinstance(faults, FaultPlan):
-            injector = FaultInjector(faults)
-        else:
-            injector = faults
-        pending: deque[Request] = deque(requests)
-        running: list[_Active] = []
-        alloc = self._allocator
-        tel = self.telemetry
-        iteration = 0
-        clock = 0.0
-        decode_tokens = 0
-        delivered_tokens = 0
-        completed = 0
-        preemptions = 0
-        latencies: list[tuple[float, int]] = []  # (iter time, decode count)
-        ttfts: list[float] = []
-        occupancy: list[int] = []
-        peak_batch = 0
-        memory_limited = False
-        breakdown = {"dense": 0.0, "attention": 0.0, "quant": 0.0, "other": 0.0}
-        terminal: dict[int, str] = {}
-        timed_out_n = cancelled_n = shed_n = 0
-        alloc_retries = 0
-        faults_injected = 0
-        stall = 0  # consecutive zero-progress iterations (liveness guard)
-        has_deadlines = self.deadline_s is not None
+        state = self.start_run(requests, faults=faults)
+        while state.active:
+            state.step()
+        return state.result()
 
-        def _terminal(request_id: int, state: str) -> None:
-            # Engine-wide invariant: exactly one terminal state per request.
-            if request_id in terminal:  # pragma: no cover - internal bug trap
-                raise AssertionError(
-                    f"request {request_id} reached a second terminal state "
-                    f"{state!r} after {terminal[request_id]!r}"
+
+class EngineRun:
+    """Mutable state of one serving run, advanced one iteration per ``step``.
+
+    Extracted verbatim from the historical ``ServingEngine.run`` loop body,
+    so a closed-loop drive (``while active: step()``) is bit-identical to
+    the pre-refactor engine — the golden traces pin this.  The open-loop
+    front-end (:mod:`repro.serving.frontend`) interleaves ``step()`` with
+    arrival injection into :attr:`pending` and :meth:`advance_clock` idles
+    across arrival gaps.
+
+    Side-channel records (``admission_log`` / ``terminal_log`` /
+    ``first_token_s`` / ``finish_s``) are append-only and never read by the
+    engine itself; they exist so the front-end can observe per-step deltas
+    without scanning dictionaries.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        requests: list[Request],
+        injector: "FaultInjector | None",
+    ) -> None:
+        self.engine = engine
+        self.injector = injector
+        self.pending: deque[Request] = deque(requests)
+        self.running: list[_Active] = []
+        self.iteration = 0
+        self.clock = 0.0
+        self.decode_tokens = 0
+        self.delivered_tokens = 0
+        self.completed = 0
+        self.preemptions = 0
+        self.latencies: list[tuple[float, int]] = []  # (iter time, decode n)
+        self.ttfts: list[float] = []
+        self.occupancy: list[int] = []
+        self.peak_batch = 0
+        self.memory_limited = False
+        self.breakdown = {
+            "dense": 0.0,
+            "attention": 0.0,
+            "quant": 0.0,
+            "other": 0.0,
+        }
+        self.terminal: dict[int, str] = {}
+        self.timed_out_n = 0
+        self.cancelled_n = 0
+        self.shed_n = 0
+        self.alloc_retries = 0
+        self.faults_injected = 0
+        self.stall = 0  # consecutive zero-progress iterations (liveness)
+        self.has_deadlines = engine.deadline_s is not None
+        # -- side-channel records for the open-loop front-end -------------- #
+        self.admission_log: list[tuple[int, float]] = []
+        self.terminal_log: list[tuple[int, str]] = []
+        self.first_token_s: dict[int, float] = {}
+        self.finish_s: dict[int, float] = {}
+
+    @property
+    def active(self) -> bool:
+        """True while there is queued or in-flight work."""
+        return bool(self.pending or self.running)
+
+    def advance_clock(self, t: float) -> None:
+        """Idle-advance the virtual clock (open-loop arrival gaps).
+
+        Only legal forward in time; the engine never calls this itself, so
+        closed-loop runs are unaffected.
+        """
+        if t < self.clock:
+            raise ValueError(
+                f"clock may not move backwards ({t} < {self.clock})"
+            )
+        self.clock = t
+        self.engine.telemetry.set_clock(t)
+
+    # ------------------------------------------------------------------ #
+    def _terminal(self, request_id: int, state: str) -> None:
+        # Engine-wide invariant: exactly one terminal state per request.
+        if request_id in self.terminal:  # pragma: no cover - internal bug trap
+            raise AssertionError(
+                f"request {request_id} reached a second terminal state "
+                f"{state!r} after {self.terminal[request_id]!r}"
+            )
+        self.terminal[request_id] = state
+        self.terminal_log.append((request_id, state))
+        self.finish_s[request_id] = self.clock
+
+    def _shed(self, request_id: int, pages_required: int) -> None:
+        self._terminal(request_id, "shed")
+        self.shed_n += 1
+        self.engine.telemetry.request_shed(
+            request_id, pages_required, self.engine._allocator.total_pages
+        )
+
+    def _alloc_blocked(self) -> bool:
+        """Consult the injector before an allocator call.
+
+        Returns True if an injected transient failure persisted through
+        ``max_alloc_retries`` exponential-backoff retries (each retry
+        adds simulated wait to the clock); False if the call may
+        proceed (no fault, or a retry succeeded).
+        """
+        engine, injector = self.engine, self.injector
+        if injector is None or not injector.alloc_attempt_fails():
+            return False
+        self.faults_injected += 1
+        blocked = True
+        retries = 0
+        while retries < engine.max_alloc_retries:
+            self.clock += engine.backoff_base_s * (2.0**retries)
+            retries += 1
+            self.alloc_retries += 1
+            if not injector.alloc_attempt_fails():
+                blocked = False
+                break
+        engine.telemetry.set_clock(self.clock)
+        engine.telemetry.fault_injected("alloc_fail", float(retries))
+        return blocked
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Run exactly one engine iteration (one pass of the serve loop)."""
+        engine = self.engine
+        alloc = engine._allocator
+        tel = engine.telemetry
+        injector = self.injector
+        pending = self.pending
+        running = self.running
+        tel.begin_iteration(self.iteration, self.clock)
+
+        # --- Fault hooks: page-pool resize and cancellations.
+        if injector is not None:
+            delta = injector.page_pool_delta(self.iteration)
+            if delta:
+                applied = alloc.resize(delta)
+                if applied:
+                    self.faults_injected += 1
+                    tel.fault_injected("page_shrink", float(applied))
+                # A shrink below live usage evicts the newest requests
+                # until accounting is consistent (recompute-on-resume).
+                while alloc.free_pages < 0 and running:
+                    victim = running.pop()
+                    vrid = victim.request.request_id
+                    freed = alloc.free(vrid)
+                    engine.backend.on_release(vrid, "preempted")
+                    tel.request_preempted(vrid, freed)
+                    pending.appendleft(victim.request)
+                    self.preemptions += 1
+                    self.memory_limited = True
+            for rid in injector.cancellations(self.iteration):
+                hit = next(
+                    (a for a in running if a.request.request_id == rid),
+                    None,
                 )
-            terminal[request_id] = state
+                if hit is not None:
+                    running.remove(hit)
+                    freed = alloc.free(rid)
+                    engine.backend.on_release(rid, "cancelled")
+                    self._terminal(rid, "cancelled")
+                    self.cancelled_n += 1
+                    tel.request_cancelled(rid, freed)
+                    continue
+                queued = next(
+                    (r for r in pending if r.request_id == rid), None
+                )
+                if queued is not None:
+                    pending.remove(queued)
+                    self._terminal(rid, "cancelled")
+                    self.cancelled_n += 1
+                    tel.request_cancelled(rid, 0)
 
-        def _shed(request_id: int, pages_required: int) -> None:
-            nonlocal shed_n
-            _terminal(request_id, "shed")
-            shed_n += 1
-            tel.request_shed(request_id, pages_required, alloc.total_pages)
+        # --- Deadline sweep: queued or in-flight requests past their
+        # deadline reach the timed_out terminal state.
+        if self.has_deadlines:
+            for a in [x for x in running]:
+                rid = a.request.request_id
+                if self.clock > engine._deadline_for(rid):
+                    running.remove(a)
+                    freed = alloc.free(rid)
+                    engine.backend.on_release(rid, "timed_out")
+                    self._terminal(rid, "timed_out")
+                    self.timed_out_n += 1
+                    tel.request_timed_out(rid, freed)
+            for r in [x for x in pending]:
+                if self.clock > engine._deadline_for(r.request_id):
+                    pending.remove(r)
+                    self._terminal(r.request_id, "timed_out")
+                    self.timed_out_n += 1
+                    tel.request_timed_out(r.request_id, 0)
 
-        def _alloc_blocked() -> bool:
-            """Consult the injector before an allocator call.
+        if not pending and not running:
+            return  # cancellations/deadlines drained everything
 
-            Returns True if an injected transient failure persisted through
-            ``max_alloc_retries`` exponential-backoff retries (each retry
-            adds simulated wait to the clock); False if the call may
-            proceed (no fault, or a retry succeeded).
-            """
-            nonlocal clock, alloc_retries, faults_injected
-            if injector is None or not injector.alloc_attempt_fails():
-                return False
-            faults_injected += 1
-            blocked = True
-            retries = 0
-            while retries < self.max_alloc_retries:
-                clock += self.backoff_base_s * (2.0**retries)
-                retries += 1
-                alloc_retries += 1
-                if not injector.alloc_attempt_fails():
-                    blocked = False
+        # --- Admission: refill the batch FCFS.
+        while pending and len(running) < engine.max_batch:
+            nxt = pending[0]
+            reserve = (
+                nxt.total_len
+                if engine.admission == "reserve"
+                else nxt.prefill_len + 1
+            )
+            if engine.admission == "dynamic":
+                # Watermark: keep enough free pages for one decode round
+                # of every in-flight request, or admission starves decode
+                # into a preempt/recompute livelock.
+                slack_after = alloc.free_pages - alloc.pages_for(reserve)
+                if slack_after < len(running) + 1:
+                    self.memory_limited = bool(running)
                     break
-            tel.set_clock(clock)
-            tel.fault_injected("alloc_fail", float(retries))
-            return blocked
-
-        while pending or running:
-            tel.begin_iteration(iteration, clock)
-
-            # --- Fault hooks: page-pool resize and cancellations.
-            if injector is not None:
-                delta = injector.page_pool_delta(iteration)
-                if delta:
-                    applied = alloc.resize(delta)
-                    if applied:
-                        faults_injected += 1
-                        tel.fault_injected("page_shrink", float(applied))
-                    # A shrink below live usage evicts the newest requests
-                    # until accounting is consistent (recompute-on-resume).
-                    while alloc.free_pages < 0 and running:
-                        victim = running.pop()
-                        vrid = victim.request.request_id
-                        freed = alloc.free(vrid)
-                        self.backend.on_release(vrid, "preempted")
-                        tel.request_preempted(vrid, freed)
-                        pending.appendleft(victim.request)
-                        preemptions += 1
-                        memory_limited = True
-                for rid in injector.cancellations(iteration):
-                    hit = next(
-                        (a for a in running if a.request.request_id == rid),
-                        None,
-                    )
-                    if hit is not None:
-                        running.remove(hit)
-                        freed = alloc.free(rid)
-                        self.backend.on_release(rid, "cancelled")
-                        _terminal(rid, "cancelled")
-                        cancelled_n += 1
-                        tel.request_cancelled(rid, freed)
-                        continue
-                    queued = next(
-                        (r for r in pending if r.request_id == rid), None
-                    )
-                    if queued is not None:
-                        pending.remove(queued)
-                        _terminal(rid, "cancelled")
-                        cancelled_n += 1
-                        tel.request_cancelled(rid, 0)
-
-            # --- Deadline sweep: queued or in-flight requests past their
-            # deadline reach the timed_out terminal state.
-            if has_deadlines:
-                for a in [x for x in running]:
-                    rid = a.request.request_id
-                    if clock > self._deadline_for(rid):
-                        running.remove(a)
-                        freed = alloc.free(rid)
-                        self.backend.on_release(rid, "timed_out")
-                        _terminal(rid, "timed_out")
-                        timed_out_n += 1
-                        tel.request_timed_out(rid, freed)
-                for r in [x for x in pending]:
-                    if clock > self._deadline_for(r.request_id):
-                        pending.remove(r)
-                        _terminal(r.request_id, "timed_out")
-                        timed_out_n += 1
-                        tel.request_timed_out(r.request_id, 0)
-
-            if not pending and not running:
-                break  # cancellations/deadlines drained everything
-
-            # --- Admission: refill the batch FCFS.
-            while pending and len(running) < self.max_batch:
-                nxt = pending[0]
-                reserve = (
-                    nxt.total_len
-                    if self.admission == "reserve"
-                    else nxt.prefill_len + 1
+            if self._alloc_blocked():
+                break
+            if not alloc.allocate(nxt.request_id, reserve):
+                self.memory_limited = True
+                break
+            if tel.enabled:
+                tel.request_admitted(
+                    nxt.request_id,
+                    nxt.prefill_len,
+                    nxt.decode_len,
+                    alloc.pages_for(reserve),
                 )
-                if self.admission == "dynamic":
-                    # Watermark: keep enough free pages for one decode round
-                    # of every in-flight request, or admission starves decode
-                    # into a preempt/recompute livelock.
-                    slack_after = alloc.free_pages - alloc.pages_for(reserve)
-                    if slack_after < len(running) + 1:
-                        memory_limited = bool(running)
-                        break
-                if _alloc_blocked():
-                    break
-                if not alloc.allocate(nxt.request_id, reserve):
-                    memory_limited = True
-                    break
-                if tel.enabled:
-                    tel.request_admitted(
-                        nxt.request_id,
-                        nxt.prefill_len,
-                        nxt.decode_len,
-                        alloc.pages_for(reserve),
-                    )
-                pending.popleft()
-                running.append(_Active(nxt))
-                self.backend.on_admit(nxt)
-            if not running:
-                # Nothing in flight and the queue head could not be
-                # admitted.  Decide between permanent (shed) and transient
-                # (back off and retry) failure.
-                nxt = pending[0]
-                reserve = (
-                    nxt.total_len
-                    if self.admission == "reserve"
-                    else nxt.prefill_len + 1
-                )
-                need = alloc.pages_for(reserve)
-                # Under dynamic admission one page of decode slack must
-                # remain after the reservation, so the largest admissible
-                # reservation is one page smaller.
-                headroom = alloc.total_pages - (
-                    1 if self.admission == "dynamic" else 0
-                )
-                if need > headroom:
-                    if self.shed_policy == "drop":
-                        pending.popleft()
-                        _shed(nxt.request_id, need)
-                        iteration += 1
-                        continue
-                    raise ShedError(nxt.request_id, need, alloc.total_pages)
-                # Transient blockage (injected allocator failure, or a
-                # shrunken pool that a later fault may restore): back off
-                # and retry, shedding the head request if the stall
-                # persists so the queue is guaranteed to drain.
-                stall += 1
-                if stall > self.stall_limit:
+            pending.popleft()
+            running.append(_Active(nxt))
+            engine.backend.on_admit(nxt)
+            self.admission_log.append((nxt.request_id, self.clock))
+        if not running:
+            # Nothing in flight and the queue head could not be
+            # admitted.  Decide between permanent (shed) and transient
+            # (back off and retry) failure.
+            nxt = pending[0]
+            reserve = (
+                nxt.total_len
+                if engine.admission == "reserve"
+                else nxt.prefill_len + 1
+            )
+            need = alloc.pages_for(reserve)
+            # Under dynamic admission one page of decode slack must
+            # remain after the reservation, so the largest admissible
+            # reservation is one page smaller.
+            headroom = alloc.total_pages - (
+                1 if engine.admission == "dynamic" else 0
+            )
+            if need > headroom:
+                if engine.shed_policy == "drop":
                     pending.popleft()
-                    _shed(nxt.request_id, need)
-                    stall = 0
-                else:
-                    clock += self.backoff_base_s * min(2.0**stall, 1024.0)
-                    tel.set_clock(clock)
-                iteration += 1
-                continue
-
-            # --- Split the batch into prefilling and decoding requests.
-            prefilling = [a for a in running if not a.prefill_done]
-            decoding = [a for a in running if a.prefill_done]
-
-            # --- Grow caches for this iteration's decode (dynamic mode).
-            if self.admission == "dynamic" and decoding:
-                order = [a for a in running if a.prefill_done]  # oldest first
-                preempted: set[int] = set()
-                appended: set[int] = set()
-                survivors: list[_Active] = []
-                for a in order:
-                    rid = a.request.request_id
-                    if rid in preempted:
-                        continue
-                    while True:
-                        blocked = _alloc_blocked()
-                        if not blocked and alloc.append_token(rid):
-                            break
-                        # Out of pages (or a persistent transient fault):
-                        # preempt the most recently admitted request whose
-                        # cache has not grown this iteration (vLLM recompute
-                        # preemption), else preempt `a`.
-                        victim = next(
-                            (
-                                c
-                                for c in reversed(order)
-                                if c is not a
-                                and c.request.request_id not in preempted
-                                and c.request.request_id not in appended
-                            ),
-                            a,
-                        )
-                        if (
-                            victim is a
-                            and len(order) == 1
-                            and not prefilling
-                            and not blocked
-                        ):
-                            # Recomputing a lone request cannot make progress:
-                            # its full lifetime exceeds the KV budget.
-                            need = alloc.pages_for(a.request.total_len)
-                            if self.shed_policy == "drop":
-                                alloc.free(rid)
-                                self.backend.on_release(rid, "shed")
-                                _shed(rid, need)
-                                preempted.add(rid)  # excluded from survivors
-                                break
-                            raise ShedError(rid, need, alloc.total_pages)
-                        vrid = victim.request.request_id
-                        freed = alloc.free(vrid)
-                        self.backend.on_release(vrid, "preempted")
-                        tel.request_preempted(vrid, freed)
-                        pending.appendleft(victim.request)
-                        preempted.add(vrid)
-                        preemptions += 1
-                        if not blocked:
-                            memory_limited = True
-                        if victim is a:
-                            break
-                    if rid not in preempted:
-                        appended.add(rid)
-                        survivors.append(a)
-                decoding = survivors
-                running = prefilling + survivors
-
-            # --- One batched iteration (Sarathi-style: prefill chunks and
-            # decode tokens share the dense GEMMs).
-            decode_batch = len(decoding)
-            chunks: list[tuple[_Active, int]] = []
-            for a in prefilling:
-                remaining = a.request.prefill_len - a.prefilled
-                chunk = (
-                    remaining
-                    if self.prefill_chunk is None
-                    else min(self.prefill_chunk, remaining)
+                    self._shed(nxt.request_id, need)
+                    self.iteration += 1
+                    return
+                raise ShedError(nxt.request_id, need, alloc.total_pages)
+            # Transient blockage (injected allocator failure, or a
+            # shrunken pool that a later fault may restore): back off
+            # and retry, shedding the head request if the stall
+            # persists so the queue is guaranteed to drain.
+            self.stall += 1
+            if self.stall > engine.stall_limit:
+                pending.popleft()
+                self._shed(nxt.request_id, need)
+                self.stall = 0
+            else:
+                self.clock += engine.backoff_base_s * min(
+                    2.0**self.stall, 1024.0
                 )
-                chunks.append((a, chunk))
-            prefill_tokens = sum(c for _, c in chunks)
-            m = prefill_tokens + decode_batch
-            if m == 0:
-                # Everything preempted; re-admit next round.  Under fault
-                # injection this can repeat, so the same liveness guard as
-                # admission applies: a persistent stall sheds the queue head.
-                stall += 1
-                if stall > self.stall_limit and pending:
-                    nxt = pending.popleft()
-                    _shed(nxt.request_id, alloc.pages_for(nxt.total_len))
-                    stall = 0
-                iteration += 1
-                continue
-            stall = 0
-            prefill_work = [
-                PrefillChunk(
-                    a.request.request_id,
-                    a.prefilled,
-                    chunk,
-                    a.request.prefill_len,
-                )
-                for a, chunk in chunks
-            ]
-            decode_work = [
-                DecodeSlot(a.request.request_id, a.context_len)
-                for a in decoding
-            ]
-            timing = self.backend.execute_step(prefill_work, decode_work)
-            if injector is not None:
-                # Straggler: one slow kernel stretches the whole iteration
-                # (scaled per phase so the breakdown still sums to total).
-                factor = injector.straggler_factor(iteration)
-                if factor != 1.0:
-                    timing.scale(factor)
-                    faults_injected += 1
-                    tel.fault_injected("straggler", factor)
-            t_iter = timing.total
-            breakdown["dense"] += timing.t_dense
-            breakdown["attention"] += timing.t_attention
-            breakdown["quant"] += timing.t_quant
-            breakdown["other"] += timing.t_other
-            clock += t_iter
-            tel.set_clock(clock)
+                tel.set_clock(self.clock)
+            self.iteration += 1
+            return
 
-            # --- Token accounting.
-            if decode_batch:
-                decode_tokens += decode_batch
-                latencies.append((t_iter, decode_batch))
-                occupancy.append(decode_batch)
-            for a in decoding:
+        # --- Split the batch into prefilling and decoding requests.
+        prefilling = [a for a in running if not a.prefill_done]
+        decoding = [a for a in running if a.prefill_done]
+
+        # --- Grow caches for this iteration's decode (dynamic mode).
+        if engine.admission == "dynamic" and decoding:
+            order = [a for a in running if a.prefill_done]  # oldest first
+            preempted: set[int] = set()
+            appended: set[int] = set()
+            survivors: list[_Active] = []
+            for a in order:
+                rid = a.request.request_id
+                if rid in preempted:
+                    continue
+                while True:
+                    blocked = self._alloc_blocked()
+                    if not blocked and alloc.append_token(rid):
+                        break
+                    # Out of pages (or a persistent transient fault):
+                    # preempt the most recently admitted request whose
+                    # cache has not grown this iteration (vLLM recompute
+                    # preemption), else preempt `a`.
+                    victim = next(
+                        (
+                            c
+                            for c in reversed(order)
+                            if c is not a
+                            and c.request.request_id not in preempted
+                            and c.request.request_id not in appended
+                        ),
+                        a,
+                    )
+                    if (
+                        victim is a
+                        and len(order) == 1
+                        and not prefilling
+                        and not blocked
+                    ):
+                        # Recomputing a lone request cannot make progress:
+                        # its full lifetime exceeds the KV budget.
+                        need = alloc.pages_for(a.request.total_len)
+                        if engine.shed_policy == "drop":
+                            alloc.free(rid)
+                            engine.backend.on_release(rid, "shed")
+                            self._shed(rid, need)
+                            preempted.add(rid)  # excluded from survivors
+                            break
+                        raise ShedError(rid, need, alloc.total_pages)
+                    vrid = victim.request.request_id
+                    freed = alloc.free(vrid)
+                    engine.backend.on_release(vrid, "preempted")
+                    tel.request_preempted(vrid, freed)
+                    pending.appendleft(victim.request)
+                    preempted.add(vrid)
+                    self.preemptions += 1
+                    if not blocked:
+                        self.memory_limited = True
+                    if victim is a:
+                        break
+                if rid not in preempted:
+                    appended.add(rid)
+                    survivors.append(a)
+            decoding = survivors
+            running = prefilling + survivors
+            self.running = running
+
+        # --- One batched iteration (Sarathi-style: prefill chunks and
+        # decode tokens share the dense GEMMs).
+        decode_batch = len(decoding)
+        chunks: list[tuple[_Active, int]] = []
+        for a in prefilling:
+            remaining = a.request.prefill_len - a.prefilled
+            chunk = (
+                remaining
+                if engine.prefill_chunk is None
+                else min(engine.prefill_chunk, remaining)
+            )
+            chunks.append((a, chunk))
+        prefill_tokens = sum(c for _, c in chunks)
+        m = prefill_tokens + decode_batch
+        if m == 0:
+            # Everything preempted; re-admit next round.  Under fault
+            # injection this can repeat, so the same liveness guard as
+            # admission applies: a persistent stall sheds the queue head.
+            self.stall += 1
+            if self.stall > engine.stall_limit and pending:
+                nxt = pending.popleft()
+                self._shed(nxt.request_id, alloc.pages_for(nxt.total_len))
+                self.stall = 0
+            self.iteration += 1
+            return
+        self.stall = 0
+        prefill_work = [
+            PrefillChunk(
+                a.request.request_id,
+                a.prefilled,
+                chunk,
+                a.request.prefill_len,
+            )
+            for a, chunk in chunks
+        ]
+        decode_work = [
+            DecodeSlot(a.request.request_id, a.context_len)
+            for a in decoding
+        ]
+        timing = engine.backend.execute_step(prefill_work, decode_work)
+        if injector is not None:
+            # Straggler: one slow kernel stretches the whole iteration
+            # (scaled per phase so the breakdown still sums to total).
+            factor = injector.straggler_factor(self.iteration)
+            if factor != 1.0:
+                timing.scale(factor)
+                self.faults_injected += 1
+                tel.fault_injected("straggler", factor)
+        t_iter = timing.total
+        self.breakdown["dense"] += timing.t_dense
+        self.breakdown["attention"] += timing.t_attention
+        self.breakdown["quant"] += timing.t_quant
+        self.breakdown["other"] += timing.t_other
+        self.clock += t_iter
+        tel.set_clock(self.clock)
+
+        # --- Token accounting.
+        if decode_batch:
+            self.decode_tokens += decode_batch
+            self.latencies.append((t_iter, decode_batch))
+            self.occupancy.append(decode_batch)
+        for a in decoding:
+            a.generated += 1
+            a.context_len += 1
+        # Advance prefill progress; a request whose prompt completes in
+        # THIS iteration emits its first token (the prefill pass
+        # produces one logit), then joins decode next iteration.
+        for a, chunk in chunks:
+            a.prefilled += chunk
+            if a.prefill_done:
                 a.generated += 1
                 a.context_len += 1
-            # Advance prefill progress; a request whose prompt completes in
-            # THIS iteration emits its first token (the prefill pass
-            # produces one logit), then joins decode next iteration.
-            for a, chunk in chunks:
-                a.prefilled += chunk
-                if a.prefill_done:
-                    a.generated += 1
-                    a.context_len += 1
-                    decode_tokens += 1
-                    ttfts.append(clock)
-            batch_now = len(running)
-            peak_batch = max(peak_batch, batch_now)
-
-            # --- Retire finished requests (continuous batching refill).
-            still: list[_Active] = []
-            for a in running:
-                if a.done:
-                    freed = alloc.free(a.request.request_id)
-                    self.backend.on_release(a.request.request_id, "finished")
-                    tel.request_finished(a.request.request_id, freed)
-                    _terminal(a.request.request_id, "finished")
-                    completed += 1
-                    delivered_tokens += a.request.decode_len
-                else:
-                    still.append(a)
-            running = still
-
-            if tel.enabled:
-                tel.iteration_sample(
-                    prefill_tokens=prefill_tokens,
-                    decode_batch=decode_batch,
-                    running=batch_now,
-                    pending=len(pending),
-                    t_dense=timing.t_dense,
-                    t_attention=timing.t_attention,
-                    t_quant=timing.t_quant,
-                    t_other=timing.t_other,
-                    t_comm=self.backend.comm_time(m),
-                    t_iter=t_iter,
-                    kv_utilization=alloc.utilization(),
-                    free_pages=alloc.free_pages,
-                    backend=self.backend.name,
+                self.decode_tokens += 1
+                self.ttfts.append(self.clock)
+                self.first_token_s.setdefault(
+                    a.request.request_id, self.clock
                 )
-            iteration += 1
+        batch_now = len(running)
+        self.peak_batch = max(self.peak_batch, batch_now)
 
+        # --- Retire finished requests (continuous batching refill).
+        still: list[_Active] = []
+        for a in running:
+            if a.done:
+                freed = alloc.free(a.request.request_id)
+                engine.backend.on_release(a.request.request_id, "finished")
+                tel.request_finished(a.request.request_id, freed)
+                self._terminal(a.request.request_id, "finished")
+                self.completed += 1
+                self.delivered_tokens += a.request.decode_len
+            else:
+                still.append(a)
+        self.running = still
+
+        if tel.enabled:
+            tel.iteration_sample(
+                prefill_tokens=prefill_tokens,
+                decode_batch=decode_batch,
+                running=batch_now,
+                pending=len(pending),
+                t_dense=timing.t_dense,
+                t_attention=timing.t_attention,
+                t_quant=timing.t_quant,
+                t_other=timing.t_other,
+                t_comm=engine.backend.comm_time(m),
+                t_iter=t_iter,
+                kv_utilization=alloc.utilization(),
+                free_pages=alloc.free_pages,
+                backend=engine.backend.name,
+            )
+        self.iteration += 1
+
+    # ------------------------------------------------------------------ #
+    def result(self) -> ServingResult:
+        """Aggregate metrics of the (drained) run."""
+        engine = self.engine
+        latencies = self.latencies
         lat_samples = [t for t, _ in latencies] if latencies else [0.0]
         lat_weights = [n for _, n in latencies] if latencies else [1]
         mean_lat = weighted_mean(lat_samples, lat_weights)
-        p99 = weighted_percentile(lat_samples, lat_weights, 0.99) if latencies else 0.0
+        p99 = (
+            weighted_percentile(lat_samples, lat_weights, 0.99)
+            if latencies
+            else 0.0
+        )
         return ServingResult(
-            scheme=self.scheme.name,
-            requested_batch=self.max_batch,
-            achieved_batch=float(np.mean(occupancy)) if occupancy else 0.0,
-            max_batch=peak_batch,
-            throughput_tokens_per_s=delivered_tokens / clock if clock else 0.0,
+            scheme=engine.scheme.name,
+            requested_batch=engine.max_batch,
+            achieved_batch=(
+                float(np.mean(self.occupancy)) if self.occupancy else 0.0
+            ),
+            max_batch=self.peak_batch,
+            throughput_tokens_per_s=(
+                self.delivered_tokens / self.clock if self.clock else 0.0
+            ),
             mean_decode_latency_s=mean_lat,
             p99_decode_latency_s=p99,
-            mean_ttft_s=float(np.mean(ttfts)) if ttfts else 0.0,
-            total_time_s=clock,
-            decode_tokens=decode_tokens,
-            completed_requests=completed,
-            preemptions=preemptions,
-            memory_limited=memory_limited,
-            weights_gb=self.weights_bytes / 1e9,
-            kv_budget_gb=self.kv_budget / 1e9,
-            time_breakdown=breakdown,
-            iterations=iteration,
-            timed_out=timed_out_n,
-            cancelled=cancelled_n,
-            shed=shed_n,
-            alloc_retries=alloc_retries,
-            faults_injected=faults_injected,
-            terminal_states=terminal,
-            backend=self.backend.name,
+            mean_ttft_s=float(np.mean(self.ttfts)) if self.ttfts else 0.0,
+            total_time_s=self.clock,
+            decode_tokens=self.decode_tokens,
+            completed_requests=self.completed,
+            preemptions=self.preemptions,
+            memory_limited=self.memory_limited,
+            weights_gb=engine.weights_bytes / 1e9,
+            kv_budget_gb=engine.kv_budget / 1e9,
+            time_breakdown=self.breakdown,
+            iterations=self.iteration,
+            timed_out=self.timed_out_n,
+            cancelled=self.cancelled_n,
+            shed=self.shed_n,
+            alloc_retries=self.alloc_retries,
+            faults_injected=self.faults_injected,
+            terminal_states=self.terminal,
+            backend=engine.backend.name,
         )

@@ -95,6 +95,10 @@ __all__ = [
     "IterationSample",
     "TraceSummary",
     "summarize",
+    "RequestSLORecord",
+    "TenantSLO",
+    "SLOSummary",
+    "slo_summary",
     "weighted_mean",
     "weighted_percentile",
     "write_jsonl",
@@ -570,6 +574,191 @@ def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
         timed_out=sum(1 for e in events if isinstance(e, RequestTimedOut)),
         shed=sum(1 for e in events if isinstance(e, RequestShed)),
         faults_injected=sum(1 for e in events if isinstance(e, FaultInjected)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# SLO aggregation (open-loop serving)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RequestSLORecord:
+    """Per-request lifecycle timestamps as the open-loop front-end saw them.
+
+    All times are absolute simulated seconds.  ``first_token_s`` /
+    ``finish_s`` are ``None`` for requests that never emitted a token /
+    never finished; ``admitted_s`` is the FIRST admission (a preempted and
+    re-admitted request keeps its original queueing delay).
+    """
+
+    request_id: int
+    tenant: str
+    arrival_s: float
+    admitted_s: "float | None"
+    first_token_s: "float | None"
+    finish_s: "float | None"
+    prefill_len: int
+    decode_len: int
+    state: str  # one of the engine's terminal states
+
+    @property
+    def ttft_s(self) -> "float | None":
+        """Time to first token: queueing delay + prefill."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tbt_s(self) -> "float | None":
+        """Mean time between tokens over the decode phase.
+
+        Defined only for finished requests with at least two decode tokens
+        (one inter-token gap); single-token requests have no TBT sample.
+        """
+        if self.state != "finished" or self.decode_len < 2:
+            return None
+        if self.first_token_s is None or self.finish_s is None:
+            return None
+        return (self.finish_s - self.first_token_s) / (self.decode_len - 1)
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """SLO attainment for one tenant (or ``"*"`` for the whole run)."""
+
+    tenant: str
+    submitted: int
+    finished: int
+    timed_out: int
+    cancelled: int
+    shed: int
+    ttft_mean_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tbt_mean_s: float
+    tbt_p99_s: float
+    #: Finished requests that also met every configured SLO threshold.
+    goodput_requests: int
+    #: ``goodput_requests`` per simulated second over the run horizon.
+    goodput_rps: float
+    #: ``goodput_requests / submitted`` (0.0 when nothing was submitted).
+    attainment: float
+
+
+@dataclass(frozen=True)
+class SLOSummary:
+    """TTFT/TBT percentiles and goodput-under-SLO, overall and per tenant."""
+
+    ttft_slo_s: "float | None"
+    tbt_slo_s: "float | None"
+    horizon_s: float
+    overall: TenantSLO
+    per_tenant: dict[str, TenantSLO]
+
+    def table(self) -> str:
+        """Fixed-width per-tenant table (CLI / README rendering)."""
+        header = (
+            f"{'tenant':>10s} {'subm':>5s} {'fin':>5s} {'goodput':>8s} "
+            f"{'attain':>7s} {'ttft_p50':>9s} {'ttft_p99':>9s} {'tbt_p99':>9s}"
+        )
+        rows = [header]
+        ordered = sorted(self.per_tenant) + ["*"]
+        for name in ordered:
+            t = self.overall if name == "*" else self.per_tenant[name]
+            rows.append(
+                f"{t.tenant:>10s} {t.submitted:5d} {t.finished:5d} "
+                f"{t.goodput_rps:8.3f} {t.attainment:6.1%} "
+                f"{t.ttft_p50_s * 1e3:8.2f}m {t.ttft_p99_s * 1e3:8.2f}m "
+                f"{t.tbt_p99_s * 1e3:8.2f}m"
+            )
+        return "\n".join(rows)
+
+
+def _meets_slo(
+    rec: RequestSLORecord,
+    ttft_slo_s: "float | None",
+    tbt_slo_s: "float | None",
+) -> bool:
+    if rec.state != "finished":
+        return False
+    if ttft_slo_s is not None:
+        ttft = rec.ttft_s
+        if ttft is None or ttft > ttft_slo_s:
+            return False
+    if tbt_slo_s is not None:
+        tbt = rec.tbt_s
+        if tbt is not None and tbt > tbt_slo_s:
+            return False
+    return True
+
+
+def _tenant_slo(
+    name: str,
+    records: "list[RequestSLORecord]",
+    ttft_slo_s: "float | None",
+    tbt_slo_s: "float | None",
+    horizon_s: float,
+) -> TenantSLO:
+    by_state = {s: 0 for s in ("finished", "timed_out", "cancelled", "shed")}
+    for r in records:
+        by_state[r.state] = by_state.get(r.state, 0) + 1
+    # TTFT over finished requests, one sample each; TBT weighted by the
+    # number of inter-token gaps (so long generations dominate, matching
+    # the engine's decode-latency weighting).
+    ttfts = [r.ttft_s for r in records if r.state == "finished" and r.ttft_s is not None]
+    tbt_pairs = [
+        (r.tbt_s, r.decode_len - 1)
+        for r in records
+        if r.tbt_s is not None
+    ]
+    tbt_vals = [v for v, _ in tbt_pairs]
+    tbt_wts = [w for _, w in tbt_pairs]
+    ones = [1] * len(ttfts)
+    good = sum(1 for r in records if _meets_slo(r, ttft_slo_s, tbt_slo_s))
+    return TenantSLO(
+        tenant=name,
+        submitted=len(records),
+        finished=by_state["finished"],
+        timed_out=by_state["timed_out"],
+        cancelled=by_state["cancelled"],
+        shed=by_state["shed"],
+        ttft_mean_s=weighted_mean(ttfts, ones) if ttfts else 0.0,
+        ttft_p50_s=weighted_percentile(ttfts, ones, 0.50),
+        ttft_p99_s=weighted_percentile(ttfts, ones, 0.99),
+        tbt_mean_s=weighted_mean(tbt_vals, tbt_wts) if tbt_vals else 0.0,
+        tbt_p99_s=weighted_percentile(tbt_vals, tbt_wts, 0.99),
+        goodput_requests=good,
+        goodput_rps=good / horizon_s if horizon_s > 0 else 0.0,
+        attainment=good / len(records) if records else 0.0,
+    )
+
+
+def slo_summary(
+    records: "Iterable[RequestSLORecord]",
+    *,
+    ttft_slo_s: "float | None" = None,
+    tbt_slo_s: "float | None" = None,
+    horizon_s: float,
+) -> SLOSummary:
+    """Aggregate per-request records into TTFT/TBT/goodput SLO metrics.
+
+    A request counts toward **goodput** iff it finished AND met every
+    configured threshold (``None`` thresholds are not enforced, so with
+    both ``None`` goodput degenerates to plain finished-request
+    throughput).  Percentiles use the engine's weighted CDF inversion.
+    """
+    records = list(records)
+    tenants: dict[str, list[RequestSLORecord]] = {}
+    for r in records:
+        tenants.setdefault(r.tenant, []).append(r)
+    return SLOSummary(
+        ttft_slo_s=ttft_slo_s,
+        tbt_slo_s=tbt_slo_s,
+        horizon_s=horizon_s,
+        overall=_tenant_slo("*", records, ttft_slo_s, tbt_slo_s, horizon_s),
+        per_tenant={
+            name: _tenant_slo(name, recs, ttft_slo_s, tbt_slo_s, horizon_s)
+            for name, recs in tenants.items()
+        },
     )
 
 

@@ -35,9 +35,13 @@ from repro.serving import (
     LLAMA_7B,
     TERMINAL_STATES,
     FaultPlan,
+    FrontendResult,
+    Interaction,
+    OpenLoopFrontend,
     ServingEngine,
     ServingResult,
     TraceRecorder,
+    sharegpt_interactions,
     summarize,
 )
 from repro.serving.telemetry import (
@@ -185,3 +189,169 @@ def assert_invariants(run: ChaosRun) -> None:
     # live churn.
     admitted = sum(1 for e in events if isinstance(e, RequestAdmitted))
     assert admitted >= result.completed_requests, f"{ctx}: admissions"
+
+
+# --------------------------------------------------------------------------- #
+# Open-loop chaos: faults x overload x multi-round interactions
+# --------------------------------------------------------------------------- #
+_SCHEDULER_ROTATION = ("fcfs", "sjf", "edf", "fair")
+
+
+@dataclass
+class OpenLoopChaosRun:
+    """One executed open-loop scenario plus everything needed to audit it."""
+
+    seed: int
+    scheduler: str
+    interactions: list[Interaction]
+    plan: FaultPlan
+    engine: ServingEngine
+    recorder: TraceRecorder
+    result: FrontendResult
+
+
+def open_loop_scenario(seed: int):
+    """Derive (interactions, plan, scheduler, frontend/engine kwargs)."""
+    rng = np.random.default_rng([seed, 0x01])
+    n_conversations = int(rng.integers(8, 20))
+    workload = ShareGPTWorkload(
+        seed=int(rng.integers(0, 2**31)), max_len=1024
+    )
+    tenants = ("alpha", "beta", "gamma")[: int(rng.integers(1, 4))]
+    interactions = sharegpt_interactions(
+        workload,
+        n_conversations,
+        rate=float(rng.choice([0.5, 2.0, 10.0])),
+        seed=seed,
+        tenants=tenants,
+        think_mean_s=float(rng.choice([0.0, 0.5])),
+        deadline_s=(
+            float(20.0 + 200.0 * rng.random())
+            if rng.random() < 0.3
+            else None
+        ),
+    )
+    # Faults may target any turn, including follow-ups that an abort means
+    # are never submitted — those entries must simply never fire.
+    all_ids = [r.request_id for i in interactions for r in i.turns]
+    plan = FaultPlan.random(
+        int(rng.integers(0, 2**31)), request_ids=all_ids, horizon=300
+    )
+    engine_kwargs = {
+        "scheme": FP16 if rng.random() < 0.75 else ATOM_W4A4,
+        "max_batch": int(rng.integers(8, 49)),
+        "admission": "dynamic" if rng.random() < 0.5 else "reserve",
+        "shed_policy": "drop",
+        "stall_limit": 50,
+    }
+    frontend_kwargs = {
+        "slo_ttft_s": 5.0,
+        "slo_tbt_s": 0.5,
+    }
+    if rng.random() < 0.3:
+        frontend_kwargs["max_queue"] = int(rng.integers(4, 17))
+    scheduler = _SCHEDULER_ROTATION[seed % len(_SCHEDULER_ROTATION)]
+    return interactions, plan, scheduler, engine_kwargs, frontend_kwargs
+
+
+def run_open_loop_scenario(seed: int) -> OpenLoopChaosRun:
+    """Execute one seeded open-loop scenario with full telemetry."""
+    inters, plan, scheduler, ekw, fkw = open_loop_scenario(seed)
+    scheme = ekw.pop("scheme")
+    recorder = TraceRecorder()
+    engine = ServingEngine(LLAMA_7B, scheme, telemetry=recorder, **ekw)
+    result = OpenLoopFrontend(engine, scheduler, **fkw).run(
+        inters, faults=plan
+    )
+    return OpenLoopChaosRun(
+        seed, scheduler, inters, plan, engine, recorder, result
+    )
+
+
+def assert_open_loop_invariants(run: OpenLoopChaosRun) -> None:
+    """The closed-loop invariants restated over *submissions* (turns that
+    actually arrived), plus the front-end's own accounting laws."""
+    res, result, events = run.result, run.result.serving, run.recorder.events
+    ctx = f"open-loop chaos seed {run.seed} [{run.scheduler}]"
+
+    # -- 1. drain: every submission in exactly one terminal state --------- #
+    assert result.iterations <= MAX_ITERATIONS, f"{ctx}: livelock"
+    submitted_ids = {s.request_id for s in res.submissions}
+    assert set(result.terminal_states) == submitted_ids, (
+        f"{ctx}: terminal/submission mismatch: "
+        f"{submitted_ids ^ set(result.terminal_states)}"
+    )
+    for state in result.terminal_states.values():
+        assert state in TERMINAL_STATES, f"{ctx}: bogus state {state!r}"
+    counts = {
+        "finished": result.completed_requests,
+        "timed_out": result.timed_out,
+        "cancelled": result.cancelled,
+        "shed": result.shed,
+    }
+    for state, n in counts.items():
+        observed = sum(
+            1 for s in result.terminal_states.values() if s == state
+        )
+        assert observed == n, f"{ctx}: {state} count {observed} != {n}"
+    assert sum(counts.values()) == res.submitted, f"{ctx}: state leak"
+
+    # -- 2. interaction accounting ---------------------------------------- #
+    assert (
+        res.interactions_completed + res.interactions_aborted
+        == res.interactions
+    ), f"{ctx}: interaction leak"
+    by_iid = {i.interaction_id: i for i in run.interactions}
+    sub_by_id = {s.request_id: s for s in res.submissions}
+    for sub in res.submissions:
+        # A turn > 0 implies its predecessor finished.
+        if sub.turn > 0:
+            prev = by_iid[sub.interaction_id].turns[sub.turn - 1]
+            assert result.terminal_states[prev.request_id] == "finished", (
+                f"{ctx}: turn {sub.turn} submitted after non-finished "
+                f"predecessor"
+            )
+
+    # -- 3. page conservation --------------------------------------------- #
+    assert run.engine._allocator.used_pages == 0, f"{ctx}: leaked pages"
+    net = sum(e.delta for e in events if isinstance(e, PagePoolDelta))
+    assert net == 0, f"{ctx}: trace page deltas sum to {net}, not 0"
+
+    # -- 4. no delivered-token loss --------------------------------------- #
+    finished_ids = {
+        rid for rid, s in result.terminal_states.items() if s == "finished"
+    }
+    expected_delivered = sum(
+        sub_by_id[rid].request.decode_len for rid in finished_ids
+    )
+    delivered = result.throughput_tokens_per_s * result.total_time_s
+    assert delivered == pytest.approx(expected_delivered, rel=1e-9), (
+        f"{ctx}: delivered {delivered} != {expected_delivered}"
+    )
+
+    # -- 5. monotone clock ------------------------------------------------ #
+    ts = [e.t for e in events]
+    assert all(a <= b for a, b in zip(ts, ts[1:])), f"{ctx}: clock reversed"
+
+    # -- 6. telemetry reconciliation (frontend sheds flow through the
+    #       engine's shed path, so the trace counts them too) ------------- #
+    summary = summarize(events)
+    assert summary.finished == result.completed_requests, f"{ctx}: finished"
+    assert summary.cancelled == result.cancelled, f"{ctx}: cancelled"
+    assert summary.timed_out == result.timed_out, f"{ctx}: timed_out"
+    assert summary.shed == result.shed, f"{ctx}: shed"
+    assert result.shed >= res.frontend_shed, f"{ctx}: frontend shed leak"
+
+    # -- 7. SLO records reconcile with the terminal accounting ------------ #
+    assert result.slo is res.slo
+    assert res.slo.overall.submitted == res.submitted, f"{ctx}: slo submitted"
+    assert res.slo.overall.finished == result.completed_requests
+    assert res.slo.overall.shed == result.shed
+    assert len(res.records) == res.submitted
+    for rec in res.records:
+        assert rec.state == result.terminal_states[rec.request_id]
+        if rec.state == "finished":
+            assert rec.finish_s is not None
+            assert rec.first_token_s is not None
+        else:
+            assert rec.finish_s is None

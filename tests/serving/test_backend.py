@@ -82,6 +82,59 @@ class TestGoldenTraces:
             assert any(e.event == "iteration" for e in events)
 
 
+class TestOpenLoopEquivalence:
+    """Open-loop FCFS with every request arriving at t=0 *is* the closed
+    loop: same engine, same admission order, byte-identical trace.  This
+    extends the golden pin to the front-end path — a scheduler or event-loop
+    regression that perturbs the engine shows up here as a trace diff."""
+
+    def _open_loop(self, scheme, admission, max_batch, n_requests):
+        from repro.serving import OpenLoopFrontend
+
+        reqs = ShareGPTWorkload(seed=11, max_len=2048).sample_requests(
+            n_requests
+        )
+        rec = TraceRecorder()
+        engine = ServingEngine(
+            LLAMA_7B,
+            SCHEMES[scheme],
+            max_batch=max_batch,
+            admission=admission,
+            telemetry=rec,
+        )
+        res = OpenLoopFrontend(
+            engine, "fcfs", enforce_deadlines=False
+        ).run(reqs)
+        buf = io.StringIO()
+        write_jsonl(rec.events, buf)
+        return buf.getvalue(), res
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_arrival_zero_fcfs_matches_golden_trace(self, name):
+        got, _ = self._open_loop(*GOLDEN_SCENARIOS[name])
+        want = (GOLDENS / f"{name}.jsonl").read_text()
+        assert got == want, f"{name}: open-loop FCFS trace diverged"
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_arrival_zero_fcfs_matches_closed_loop_result(self, name):
+        from dataclasses import replace
+
+        scheme, admission, max_batch, n_requests = GOLDEN_SCENARIOS[name]
+        reqs = ShareGPTWorkload(seed=11, max_len=2048).sample_requests(
+            n_requests
+        )
+        closed = ServingEngine(
+            LLAMA_7B,
+            SCHEMES[scheme],
+            max_batch=max_batch,
+            admission=admission,
+        ).run(reqs)
+        _, open_res = self._open_loop(*GOLDEN_SCENARIOS[name])
+        assert replace(open_res.serving, slo=None) == closed
+        assert open_res.serving.slo is not None
+        assert open_res.idle_advances == 0
+
+
 class TestBackendTagging:
     def test_result_defaults_to_analytic(self):
         engine = ServingEngine(LLAMA_7B, SCHEMES["FP16"], max_batch=4)

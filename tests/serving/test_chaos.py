@@ -6,23 +6,34 @@ plan, engine configuration), so a red seed is a permanent regression test.
 scenarios, collectively covering every fault kind.
 """
 
+import numpy as np
 import pytest
 
+from repro.bench.perf import build_bench_model
 from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.models.config import ModelConfig
 from repro.serving import (
     FP16,
     LLAMA_7B,
+    SCHEMES,
     CancelFault,
     FaultPlan,
+    Interaction,
+    NumericBackend,
+    OpenLoopFrontend,
     PagePoolFault,
     ServingEngine,
     StragglerFault,
+    TraceRecorder,
 )
 
 from chaos import (  # tests/serving/chaos.py (pytest adds this dir to sys.path)
     MAX_ITERATIONS,
+    OpenLoopChaosRun,
     assert_invariants,
+    assert_open_loop_invariants,
     injected_fault_kinds,
+    run_open_loop_scenario,
     run_scenario,
 )
 
@@ -32,6 +43,9 @@ SEEDS = list(range(30))
 #: Scenario cache: runs are deterministic, so the coverage sweep reuses the
 #: runs produced by the per-seed invariant tests instead of recomputing.
 _RUNS: dict[int, object] = {}
+
+#: Same, for the open-loop scenarios.
+_OL_RUNS: dict[int, object] = {}
 
 
 def scenario(seed):
@@ -231,3 +245,132 @@ class TestDynamicAdmissionLivelock:
         ).run(self._workload(), faults=plan)
         assert len(r.terminal_states) == 48
         assert r.iterations < 5000
+
+
+class TestOpenLoopChaos:
+    """Open-loop chaos: faults x overload x multi-round interactions.
+
+    Each pinned seed derives a ShareGPT conversation trace (Poisson
+    arrivals, think times, sometimes deadlines and a bounded queue), a
+    random fault plan, and a scheduler (rotating through all four), then
+    checks the open-loop invariants in ``chaos.assert_open_loop_invariants``.
+    """
+
+    OL_SEEDS = list(range(12))
+
+    def scenario(self, seed):
+        if seed not in _OL_RUNS:
+            _OL_RUNS[seed] = run_open_loop_scenario(seed)
+        return _OL_RUNS[seed]
+
+    @pytest.mark.parametrize("seed", OL_SEEDS)
+    def test_invariants_hold(self, seed):
+        assert_open_loop_invariants(self.scenario(seed))
+
+    def test_scenarios_are_deterministic(self):
+        a = run_open_loop_scenario(self.OL_SEEDS[0])
+        b = run_open_loop_scenario(self.OL_SEEDS[0])
+        assert a.result.records == b.result.records
+        assert a.result.serving == b.result.serving
+
+    def test_all_schedulers_rotated(self):
+        names = {self.scenario(s).scheduler for s in self.OL_SEEDS}
+        assert names == {"fcfs", "sjf", "edf", "fair"}
+
+    def test_sweep_covers_the_hard_regimes(self):
+        """The pinned seeds collectively exercise multi-round traffic,
+        fired faults, and degraded (non-finished) terminal states."""
+        multi_round = faults_fired = degraded = 0
+        for seed in self.OL_SEEDS:
+            run = self.scenario(seed)
+            res = run.result
+            if res.submitted > res.interactions:
+                multi_round += 1
+            if res.serving.faults_injected > 0:
+                faults_fired += 1
+            if res.submitted > res.serving.completed_requests:
+                degraded += 1
+        assert multi_round >= 3, "no seeds produced multi-round traffic"
+        assert faults_fired >= 3, "no seeds actually injected faults"
+        assert degraded >= 1, "no seed exercised a non-finished terminal"
+
+
+class TestOpenLoopNumericChaos:
+    """Numeric bit-identity survives open-loop chaos: pool shrink forcing
+    preemption + a cancelled turn (aborting its conversation) must leave
+    every delivered request token-identical to ``LlamaModel.generate``."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        cfg = ModelConfig(
+            "numeric-test",
+            dim=64,
+            n_layers=2,
+            n_heads=8,
+            n_kv_heads=2,
+            ffn_dim=128,
+            max_seq_len=256,
+        )
+        return build_bench_model(cfg, seed=0)
+
+    def test_faulted_open_loop_is_bit_identical(self, model):
+        rec = TraceRecorder()
+        engine = NumericBackend.engine_for(
+            model,
+            SCHEMES["FP16"],
+            max_batch=4,
+            admission="dynamic",
+            seed=0,
+            shed_policy="drop",
+            telemetry=rec,
+        )
+        inters = [
+            Interaction(
+                i,
+                [
+                    Request(10 * i, 12 + 3 * (i % 4), 9 + 2 * (i % 3)),
+                    Request(10 * i + 1, 14 + 2 * (i % 3), 8 + 3 * (i % 2)),
+                ],
+                tenant=("a", "b")[i % 2],
+                # Simultaneous arrivals fill the batch before the pool
+                # shrinks at iteration 3, so the shrink forces eviction.
+                arrival_s=0.0,
+                think_s=5e-4,
+            )
+            for i in range(6)
+        ]
+        shrink = engine._allocator.total_pages - 6
+        plan = FaultPlan(
+            page_faults=(
+                PagePoolFault(iteration=3, delta_pages=-shrink),
+                PagePoolFault(iteration=9, delta_pages=shrink),
+            ),
+            cancellations=(CancelFault(iteration=5, request_id=20),),
+            stragglers=(StragglerFault(iteration=4, factor=3.0),),
+        )
+        res = OpenLoopFrontend(engine, "fair").run(inters, faults=plan)
+        assert res.serving.preemptions > 0, "chaos must force preemption"
+        assert res.serving.cancelled == 1
+        assert res.interactions_aborted == 1
+        assert res.interactions_completed == 5
+        assert_open_loop_invariants(
+            OpenLoopChaosRun(0, "fair", inters, plan, engine, rec, res)
+        )
+        backend = engine.backend
+        for sub in res.submissions:
+            if res.serving.terminal_states[sub.request_id] != "finished":
+                continue
+            got = backend.generated_tokens(sub.request_id)
+            want = backend.runner.oracle_generate(
+                sub.request_id,
+                sub.request.prefill_len,
+                sub.request.decode_len,
+            )
+            np.testing.assert_array_equal(
+                got,
+                want,
+                err_msg=(
+                    f"request {sub.request_id} diverged from the generate "
+                    "oracle under open-loop chaos"
+                ),
+            )

@@ -1,0 +1,331 @@
+"""Seeded property suite for the open-loop schedulers.
+
+Every scheduler runs the same >= 20 pinned open-loop scenarios (Poisson
+arrivals, three tenants, queue-building rates against a batch-8 engine) and
+must uphold the scheduling invariants:
+
+- **Conservation**: submitted == finished + timed_out + cancelled + shed.
+- **Work conservation**: the engine is never idled while work is queued —
+  the run's total time decomposes exactly into iteration work plus the
+  idle gaps the front-end explicitly jumped (which only happen when both
+  the queue and the batch are empty).
+- **Priority invariant**: at every admission instant, no strictly
+  higher-priority request (by the scheduler's own key) was already waiting
+  — checked pairwise over the admission log (EDF ordering, SJF ordering,
+  FCFS arrival ordering).
+- **No starvation under fair-share**: every tenant's max queueing wait is
+  bounded by the run makespan, and a flooding tenant cannot starve a light
+  one (targeted comparison vs FCFS below).
+
+The scenarios use reserve admission with the headroom-rich Atom scheme, so
+no preemption or memory blocking muddies the admission order (asserted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sharegpt import Request, ShareGPTWorkload
+from repro.serving import (
+    ATOM_W4A4,
+    LLAMA_7B,
+    FairShareScheduler,
+    Interaction,
+    OpenLoopFrontend,
+    ServingEngine,
+    Submission,
+    TraceRecorder,
+    make_scheduler,
+)
+from repro.serving.telemetry import IterationSample
+
+SCHEDULER_NAMES = ("fcfs", "sjf", "edf", "fair")
+
+#: Pinned scenario seeds (>= 20 per the issue's acceptance criteria).
+SEEDS = list(range(20))
+
+_RUNS: dict = {}
+
+
+def build_scenario(seed: int):
+    """Derive (interactions, engine kwargs) deterministically from a seed."""
+    rng = np.random.default_rng([seed, 0x5C])
+    n = int(rng.integers(16, 29))
+    workload = ShareGPTWorkload(
+        seed=int(rng.integers(0, 2**31)), max_len=512
+    )
+    requests = workload.sample_requests(n)
+    rate = float(rng.choice([4.0, 12.0, 40.0]))
+    tenants = ("alpha", "beta", "gamma")
+    t = 0.0
+    interactions = []
+    for i, request in enumerate(requests):
+        t += float(rng.exponential(1.0 / rate))
+        interactions.append(
+            Interaction(
+                interaction_id=request.request_id,
+                turns=[request],
+                tenant=tenants[i % len(tenants)],
+                arrival_s=t,
+                # Varied deadlines so EDF ordering is non-trivial; a third
+                # of the requests have none (they must sort last).
+                deadline_s=(
+                    float(10.0 + 110.0 * rng.random())
+                    if rng.random() < 2 / 3
+                    else None
+                ),
+            )
+        )
+    return interactions
+
+
+def run_scenario(seed: int, scheduler: str):
+    if (seed, scheduler) not in _RUNS:
+        interactions = build_scenario(seed)
+        recorder = TraceRecorder()
+        engine = ServingEngine(
+            LLAMA_7B,
+            ATOM_W4A4,
+            max_batch=8,
+            admission="reserve",
+            telemetry=recorder,
+        )
+        frontend = OpenLoopFrontend(
+            engine, scheduler, enforce_deadlines=False
+        )
+        result = frontend.run(interactions)
+        _RUNS[(seed, scheduler)] = (interactions, recorder, result)
+    return _RUNS[(seed, scheduler)]
+
+
+def _scheduler_key(name: str, sub: Submission):
+    inf = float("inf")
+    if name == "fcfs":
+        return (sub.arrival_s, sub.seq)
+    if name == "sjf":
+        return (sub.request.total_len, sub.arrival_s, sub.seq)
+    if name == "edf":
+        return (
+            inf if sub.deadline_s is None else sub.deadline_s,
+            sub.arrival_s,
+            sub.seq,
+        )
+    raise AssertionError(name)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_conservation_and_drain(self, seed, scheduler):
+        _, _, res = run_scenario(seed, scheduler)
+        r = res.serving
+        assert (
+            r.completed_requests + r.timed_out + r.cancelled + r.shed
+            == res.submitted
+        )
+        assert set(r.terminal_states) == {
+            s.request_id for s in res.submissions
+        }
+        # Headroom-rich reserve scenario: the admission log is clean.
+        assert r.preemptions == 0
+        assert not r.memory_limited
+
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_work_conservation(self, seed, scheduler):
+        """Idle time only ever covers arrival gaps with an empty system:
+        total time == iteration work + explicitly-audited idle jumps."""
+        _, recorder, res = run_scenario(seed, scheduler)
+        work = sum(
+            e.t_iter
+            for e in recorder.events
+            if isinstance(e, IterationSample)
+        )
+        assert res.serving.total_time_s == pytest.approx(
+            work + res.idle_time_s, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_request_admitted_once(self, seed, scheduler):
+        _, _, res = run_scenario(seed, scheduler)
+        for sub in res.submissions:
+            assert sub.request_id in res.admitted_at
+            assert res.admitted_at[sub.request_id] >= sub.arrival_s
+
+    @pytest.mark.parametrize("scheduler", ("fcfs", "sjf", "edf"))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_priority_order_at_admission(self, seed, scheduler):
+        """Pairwise: when X was admitted, no strictly higher-priority Y
+        (by the scheduler's own key) was already waiting.  For EDF this is
+        exactly the issue's "EDF ordering invariant"."""
+        _, _, res = run_scenario(seed, scheduler)
+        subs = {s.request_id: s for s in res.submissions}
+        # Admission order == admitted_at insertion order (dict is ordered).
+        admitted = list(res.admitted_at.items())
+        for i, (xid, t_x) in enumerate(admitted):
+            kx = _scheduler_key(scheduler, subs[xid])
+            for yid, _ in admitted[i + 1:]:
+                y = subs[yid]
+                if y.arrival_s <= t_x:
+                    assert _scheduler_key(scheduler, y) >= kx, (
+                        f"seed {seed}: {scheduler} admitted {xid} at {t_x} "
+                        f"while higher-priority {yid} was waiting"
+                    )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fair_share_every_tenant_wait_bounded(self, seed):
+        _, _, res = run_scenario(seed, "fair")
+        waits: dict[str, float] = {}
+        for sub in res.submissions:
+            wait = res.admitted_at[sub.request_id] - sub.arrival_s
+            waits[sub.tenant] = max(waits.get(sub.tenant, 0.0), wait)
+        assert waits, "no tenants?"
+        for tenant, wait in waits.items():
+            assert wait <= res.serving.total_time_s, (
+                f"seed {seed}: tenant {tenant} starved ({wait}s)"
+            )
+
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    def test_deterministic(self, scheduler):
+        a = run_scenario(SEEDS[0], scheduler)[2]
+        _RUNS.pop((SEEDS[0], scheduler))
+        b = run_scenario(SEEDS[0], scheduler)[2]
+        assert a.records == b.records
+        assert a.serving == b.serving
+
+    def test_sweep_is_not_vacuous(self):
+        """At least some pinned scenarios actually build a queue (positive
+        waits) — otherwise the ordering invariants test nothing."""
+        queued = 0
+        for seed in SEEDS:
+            _, _, res = run_scenario(seed, "fcfs")
+            waits = [
+                res.admitted_at[s.request_id] - s.arrival_s
+                for s in res.submissions
+            ]
+            if max(waits) > 1e-9:
+                queued += 1
+        assert queued >= 5
+
+
+class TestFairShareStarvation:
+    """A flooding tenant must not starve a light one (the issue's
+    "no starvation under fair-share": every tenant's max wait bounded)."""
+
+    def _interactions(self):
+        workload = ShareGPTWorkload(seed=17, max_len=512)
+        heavy = workload.sample_requests(24)
+        light = workload.sample_requests(6)
+        out = [
+            Interaction(r.request_id, [r], tenant="heavy", arrival_s=0.0)
+            for r in heavy
+        ]
+        out += [
+            Interaction(
+                r.request_id, [r], tenant="light", arrival_s=2.0 * (i + 1)
+            )
+            for i, r in enumerate(light)
+        ]
+        return out
+
+    def _run(self, scheduler):
+        engine = ServingEngine(
+            LLAMA_7B, ATOM_W4A4, max_batch=4, admission="reserve"
+        )
+        return OpenLoopFrontend(engine, scheduler).run(self._interactions())
+
+    def _max_wait(self, res, tenant):
+        return max(
+            res.admitted_at[s.request_id] - s.arrival_s
+            for s in res.submissions
+            if s.tenant == tenant
+        )
+
+    def test_fair_share_bounds_light_tenant_wait(self):
+        fcfs = self._run("fcfs")
+        fair = self._run("fair")
+        # Same work either way; fairness changes who waits.
+        assert fair.serving.completed_requests == fcfs.serving.completed_requests
+        fcfs_wait = self._max_wait(fcfs, "light")
+        fair_wait = self._max_wait(fair, "light")
+        assert fair_wait < 0.5 * fcfs_wait, (
+            f"fair-share did not protect the light tenant "
+            f"({fair_wait:.3f}s vs FCFS {fcfs_wait:.3f}s)"
+        )
+        # And bounded for every tenant, not just the light one.
+        for tenant in ("heavy", "light"):
+            assert self._max_wait(fair, tenant) <= fair.serving.total_time_s
+
+    def test_service_ledger_accumulates(self):
+        sched = FairShareScheduler()
+        engine = ServingEngine(
+            LLAMA_7B, ATOM_W4A4, max_batch=4, admission="reserve"
+        )
+        OpenLoopFrontend(engine, sched).run(self._interactions())
+        heavy = sched.attained_service("heavy")
+        light = sched.attained_service("light")
+        assert heavy > light > 0.0
+
+
+class TestOrderUnits:
+    """Direct order() checks on hand-built submissions (no engine)."""
+
+    def _subs(self):
+        def sub(rid, arrival, total, tenant="t", deadline=None, seq=0):
+            return Submission(
+                request=Request(rid, total // 2, total - total // 2),
+                arrival_s=arrival,
+                tenant=tenant,
+                deadline_s=deadline,
+                seq=seq,
+            )
+
+        return sub
+
+    def test_fcfs_orders_by_arrival(self):
+        sub = self._subs()
+        a = sub(0, 5.0, 100, seq=0)
+        b = sub(1, 1.0, 100, seq=1)
+        assert make_scheduler("fcfs").order([a, b], 0.0) == [b, a]
+
+    def test_sjf_orders_by_total_len(self):
+        sub = self._subs()
+        a = sub(0, 0.0, 400, seq=0)
+        b = sub(1, 1.0, 40, seq=1)
+        assert make_scheduler("sjf").order([a, b], 0.0) == [b, a]
+
+    def test_edf_orders_by_deadline_none_last(self):
+        sub = self._subs()
+        a = sub(0, 0.0, 100, deadline=None, seq=0)
+        b = sub(1, 1.0, 100, deadline=50.0, seq=1)
+        c = sub(2, 2.0, 100, deadline=10.0, seq=2)
+        assert make_scheduler("edf").order([a, b, c], 0.0) == [c, b, a]
+
+    def test_fair_interleaves_tenants(self):
+        sub = self._subs()
+        a0 = sub(0, 0.0, 100, tenant="a", seq=0)
+        a1 = sub(1, 0.1, 100, tenant="a", seq=1)
+        a2 = sub(2, 0.2, 100, tenant="a", seq=2)
+        b0 = sub(3, 0.3, 100, tenant="b", seq=3)
+        b1 = sub(4, 0.4, 100, tenant="b", seq=4)
+        order = make_scheduler("fair").order([a0, a1, a2, b0, b1], 1.0)
+        # Virtual-service accumulation interleaves rather than blocking.
+        tenants = [s.tenant for s in order]
+        assert tenants == ["a", "b", "a", "b", "a"]
+
+    def test_fair_respects_prior_service(self):
+        sub = self._subs()
+        sched = FairShareScheduler()
+        sched.on_admit(sub(9, 0.0, 500, tenant="a"))
+        a = sub(0, 0.0, 100, tenant="a", seq=0)
+        b = sub(1, 1.0, 100, tenant="b", seq=1)
+        assert sched.order([a, b], 2.0) == [b, a]
+
+    def test_make_scheduler_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("lifo")
+
+    def test_make_scheduler_returns_fresh_instances(self):
+        assert make_scheduler("fair") is not make_scheduler("fair")

@@ -397,3 +397,85 @@ class TestTraceReportsBackend:
         ) == 0
         out = capsys.readouterr().out
         assert "backend" in out and "analytic" in out
+
+
+class TestOpenLoopServeCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.open_loop is False
+        assert args.scheduler == "fcfs"
+        assert args.rate == 2.0
+        assert args.tenants == 1
+        assert args.conversations is False
+        assert args.think == 0.0
+        assert args.slo_ttft is None and args.slo_tbt is None
+        assert args.deadline is None and args.max_queue is None
+
+    def test_full_flag_set_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--open-loop", "--scheduler", "fair", "--rate", "8.5",
+             "--tenants", "3", "--conversations", "--think", "0.5",
+             "--slo-ttft", "2.0", "--slo-tbt", "0.1", "--deadline", "30",
+             "--max-queue", "16"]
+        )
+        assert args.open_loop is True
+        assert args.scheduler == "fair"
+        assert args.rate == 8.5
+        assert args.tenants == 3
+        assert args.conversations is True
+        assert args.think == 0.5
+        assert args.slo_ttft == 2.0 and args.slo_tbt == 0.1
+        assert args.deadline == 30.0 and args.max_queue == 16
+
+    def test_scheduler_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheduler", "lifo"])
+
+    def test_analytic_open_loop_multi_tenant(self, capsys):
+        assert main(
+            ["serve", "--open-loop", "--scheme", "Atom-W4A4",
+             "--requests", "12", "--batch", "8", "--scheduler", "fair",
+             "--tenants", "2", "--rate", "5", "--slo-ttft", "2.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=fair" in out
+        assert "12 submitted" in out
+        assert "goodput" in out and "attainment" in out
+        # Per-tenant SLO table with both round-robin tenants + overall row.
+        assert "tenant0" in out and "tenant1" in out and "*" in out
+
+    def test_conversations_with_deadline_edf(self, capsys):
+        assert main(
+            ["serve", "--open-loop", "--conversations", "--scheme",
+             "Atom-W4A4", "--requests", "4", "--batch", "8", "--think",
+             "0.5", "--scheduler", "edf", "--deadline", "30", "--rate", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=edf" in out
+        assert "(4 interactions" in out
+
+    def test_max_queue_sheds_under_overload(self, capsys):
+        assert main(
+            ["serve", "--open-loop", "--scheme", "Atom-W4A4",
+             "--requests", "24", "--batch", "4", "--rate", "400",
+             "--scheduler", "sjf", "--max-queue", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=sjf" in out and "shed=" in out
+
+    def test_numeric_open_loop_verifies_oracle(self, capsys, model7b):
+        assert main(
+            ["serve", "--open-loop", "--backend", "numeric", "--scheme",
+             "FP16", "--requests", "4", "--batch", "2", "--scheduler",
+             "fair", "--tenants", "2", "--rate", "200", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "numeric backend" in out
+        assert "tokens==generate: ok" in out
+        assert "FAIL" not in out
+
+    def test_numeric_open_loop_rejects_tp(self, capsys):
+        assert main(
+            ["serve", "--open-loop", "--backend", "numeric", "--tp", "2"]
+        ) == 2
+        assert "tensor parallelism" in capsys.readouterr().err

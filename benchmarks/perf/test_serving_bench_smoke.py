@@ -35,8 +35,9 @@ class TestPayloadSchema:
         assert payload["schema"] == SERVING_BENCH_SCHEMA
         assert payload["quick"] is True
         assert payload["verified_bit_identical"] is True
+        assert payload["batched"] is True
         batches = [p["batch"] for p in payload["batches"]]
-        assert batches == sorted(batches)
+        assert batches == [1, 8]  # quick sweep: smallest + headline batch
         for p in payload["batches"]:
             assert p["decode_tokens"] == p["batch"] * p["decode_len"]
             assert p["tokens_per_s"] > 0
@@ -63,11 +64,33 @@ class TestRegressionGate:
         assert check_serving_regression(payload, payload) == []
 
     def test_trips_on_real_regression(self, payload):
+        # Inflating the whole baseline 10x trips both gates: the largest
+        # batch regressed >3x AND batch 8 lost its 2x edge over batch 1.
         inflated = json.loads(json.dumps(payload))
         for p in inflated["batches"]:
             p["tokens_per_s"] *= 10.0
         problems = check_serving_regression(payload, inflated)
-        assert len(problems) == 1 and "regressed" in problems[0]
+        assert len(problems) == 2
+        assert any("regressed" in p for p in problems)
+        assert any("batched decode too slow" in p for p in problems)
+
+    def test_trips_when_batching_speedup_lost(self, payload):
+        """The headline gate: fused decode at batch 8 must beat 2x the
+        baseline's batch-1 throughput, even if absolute speed is fine."""
+        slow8 = json.loads(json.dumps(payload))
+        by_batch = {p["batch"]: p for p in slow8["batches"]}
+        by_batch[8]["tokens_per_s"] = 1.5 * by_batch[1]["tokens_per_s"]
+        problems = check_serving_regression(slow8, payload)
+        assert problems
+        assert any("batched decode too slow" in p for p in problems)
+
+    def test_speedup_gate_skipped_for_sequential_runs(self, payload):
+        seq = json.loads(json.dumps(payload))
+        seq["batched"] = False
+        by_batch = {p["batch"]: p for p in seq["batches"]}
+        by_batch[8]["tokens_per_s"] = 1.5 * by_batch[1]["tokens_per_s"]
+        problems = check_serving_regression(seq, payload)
+        assert not any("batched decode too slow" in p for p in problems)
 
     def test_trips_on_unverified_run(self, payload):
         unverified = json.loads(json.dumps(payload))
@@ -94,7 +117,10 @@ class TestCommittedBaseline:
         assert max(p["batch"] for p in base["batches"]) >= 16
 
     def test_baseline_shows_batching_speedup(self):
-        """The serving thesis: batched decode beats batch-1 throughput."""
+        """The serving thesis: batched decode beats batch-1 throughput —
+        and the committed fused-path baseline clears its own 2x gate."""
         base = read_serving_bench_json(BASELINE)
+        assert base["batched"] is True
         by_batch = {p["batch"]: p["tokens_per_s"] for p in base["batches"]}
         assert max(by_batch.values()) > by_batch[1]
+        assert by_batch[8] >= 2.0 * by_batch[1]

@@ -518,12 +518,14 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
         write_serving_bench_json,
     )
 
-    payload = run_serving_bench(quick=args.quick)
+    batched = not getattr(args, "sequential", False)
+    payload = run_serving_bench(quick=args.quick, batched=batched)
     print(
         format_table(
             ["batch", "decode tokens", "wall s", "tokens/s"],
             format_serving_rows(payload),
-            title="numeric serving backend, batched decode"
+            title="numeric serving backend, "
+            + ("fused batched decode" if batched else "sequential decode")
             + (" (quick)" if args.quick else ""),
         )
     )
@@ -803,6 +805,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--trace", default=None, metavar="JSONL",
                    help="also write a kernel-phase telemetry trace "
                         "(quantize vs GEMM time per linear call)")
+    b.add_argument("--sequential", action="store_true",
+                   help="with --serving: decode per-request (decode_one "
+                        "loop) instead of the fused cross-request batched "
+                        "path — the 'before' comparison for the batching "
+                        "speedup")
     b.add_argument("--serving", action="store_true",
                    help="run the batched-decode microbenchmark through the "
                         "numeric serving backend instead (tokens/s vs batch "

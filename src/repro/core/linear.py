@@ -55,7 +55,7 @@ import numpy as np
 
 from repro.core.gptq import SlicedWeight, _fp_grid
 from repro.core.groups import GroupSlice
-from repro.models.llama import LinearImpl
+from repro.models.llama import LinearImpl, rowwise_matmul
 from repro.quant.dtypes import IntFormat
 
 __all__ = ["AtomLinear", "QuantLinear"]
@@ -229,8 +229,29 @@ class AtomLinear(LinearImpl):
         y = self._forward_fast(x) if self.fast else self._forward_reference(x)
         return y.astype(np.float32)
 
-    def _forward_fast(self, x: np.ndarray) -> np.ndarray:
+    def forward_rowwise(self, x: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant forward: row ``i`` == ``self(x[i:i+1])[0]``.
+
+        Identical pipeline to :meth:`__call__` — quantization and dequant
+        epilogues are already per-token — but every GEMM contracts through
+        :func:`~repro.models.llama.rowwise_matmul`, so each row keeps the
+        accumulation order of its own single-row call regardless of how many
+        requests share the batch.  The reference path falls back to the
+        generic per-row loop (it is the frozen oracle; no need to thread the
+        flag through it).
+        """
+        if not self.fast:
+            return LinearImpl.forward_rowwise(self, x)
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D activations, got shape {x.shape}")
+        if self.perm is not None:
+            x = x[:, self.perm]
+        return self._forward_fast(x, rowwise=True).astype(np.float32)
+
+    def _forward_fast(self, x: np.ndarray, *, rowwise: bool = False) -> np.ndarray:
         """Vectorized pipeline; float64 output (pre-cast)."""
+        mm = rowwise_matmul if rowwise else np.matmul
         w = self.weight
         t0 = time.perf_counter()
         # ---- Phase 1: dynamic activation quantization ------------------ #
@@ -264,18 +285,18 @@ class AtomLinear(LinearImpl):
             # all body groups in ONE flat GEMM against the weight block that
             # already carries the per-group weight scales.
             qx = (codes * scale).reshape(x.shape[0], -1)
-            y += qx @ self._stack_w
+            y += mm(qx, self._stack_w)
         for i in self._rest_idx:
             s = w.slices[i]
             w_t = self._rest_wT[i]
             if w.scales[i] is None:
                 # FP16 slice: both operands stay high precision.
-                y += x[:, s.start : s.stop] @ w_t
+                y += mm(x[:, s.start : s.stop], w_t)
                 continue
             codes, scale = rest[i]
-            partial = (
-                codes.astype(w_t.dtype, copy=False) @ w_t
-            ).astype(np.float64, copy=False)
+            partial = mm(codes.astype(w_t.dtype, copy=False), w_t).astype(
+                np.float64, copy=False
+            )
             y += partial * scale * self._wscaleT[i]
         t2 = time.perf_counter()
         tel = self.telemetry

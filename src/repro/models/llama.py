@@ -62,6 +62,7 @@ __all__ = [
     "KVCache",
     "LlamaModel",
     "input_site",
+    "rowwise_matmul",
     "sample_token",
 ]
 
@@ -89,12 +90,37 @@ def input_site(linear_name: str) -> str:
     raise ValueError(f"{linear_name!r} is not a quantizable linear")
 
 
+def rowwise_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with each row of ``a`` contracted independently.
+
+    One stacked ``np.matmul`` over ``(rows, 1, k) @ (k, n)`` issues a
+    separate inner GEMM per row, so row ``i`` of the result is bit-identical
+    to ``a[i : i + 1] @ b`` — unlike a flat 2-D GEMM, whose blocked
+    accumulation order (and therefore float rounding) depends on the row
+    count.  This is the primitive that makes cross-request batched decode
+    batch-size-invariant: stacking B requests into one call keeps every
+    request's accumulation order identical to its own B=1 execution.
+    """
+    return np.matmul(a[:, None, :], b)[:, 0]
+
+
 class LinearImpl(abc.ABC):
     """Execution backend for one dense projection ``y = x @ W.T``."""
 
     @abc.abstractmethod
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Apply to a 2-D activation matrix ``(tokens, in_features)``."""
+
+    def forward_rowwise(self, x: np.ndarray) -> np.ndarray:
+        """Apply with per-row accumulation order (batch-size-invariant).
+
+        Row ``i`` of the result must be bit-identical to
+        ``self(x[i : i + 1])[0]`` for any number of rows.  The default
+        satisfies the contract by construction (a per-row loop);
+        implementations override it with a vectorized version built on
+        :func:`rowwise_matmul`.
+        """
+        return np.concatenate([self(x[i : i + 1]) for i in range(x.shape[0])])
 
     @property
     @abc.abstractmethod
@@ -115,6 +141,9 @@ class FloatLinear(LinearImpl):
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return x @ self.weight.T
+
+    def forward_rowwise(self, x: np.ndarray) -> np.ndarray:
+        return rowwise_matmul(x, self.weight.T)
 
     @property
     def out_features(self) -> int:
@@ -314,6 +343,12 @@ class LlamaModel:
             self._capture.setdefault(name, []).append(x2d.copy())
         return self.linears[name](x2d)
 
+    def _linear_rowwise(self, name: str, x2d: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant linear: one row per independent sequence."""
+        if self._capture is not None:
+            self._capture.setdefault(name, []).append(x2d.copy())
+        return self.linears[name].forward_rowwise(x2d)
+
     @staticmethod
     def _rope_apply(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
         half = x.shape[-1] // 2
@@ -367,6 +402,31 @@ class LlamaModel:
                     k = np.concatenate([k_prev, k], axis=2)
                     v = np.concatenate([v_prev, v], axis=2)
                 cache[key] = (k, v)
+        out = self._attention_core(q, k, v, pos_offset=pos_offset, t=t)
+        return self._linear(f"{pre}.wo", out.astype(np.float32)).reshape(b, t, c.dim)
+
+    def _attention_core(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        *,
+        pos_offset: int,
+        t: int,
+    ) -> np.ndarray:
+        """Scores -> causal mask -> softmax -> context over cached K/V.
+
+        ``q`` is ``(b, n_heads, t, head_dim)``; ``k``/``v`` are the full
+        cached sequences ``(b, kv_heads, t_kv, head_dim)``.  Returns the
+        pre-``wo`` context ``(b * t, n_heads * head_dim)``.  Every operation
+        reduces along trailing axes only (stacked matmuls, row-wise softmax),
+        so stacking independent sequences along ``b`` is bit-identical to
+        running them one at a time — the batched decode path reuses this
+        verbatim on per-context-length buckets of requests.
+        """
+        c = self.config
+        b = q.shape[0]
+        h, kv, hd = c.n_heads, c.n_kv_heads, c.head_dim
         grouped = kv != h and self.fast_path
         if kv != h and not self.fast_path:
             g = h // kv
@@ -396,14 +456,109 @@ class LlamaModel:
             )
         else:
             ctx = attn @ v
-        out = ctx.transpose(0, 2, 1, 3).reshape(b * t, h * hd)
-        return self._linear(f"{pre}.wo", out.astype(np.float32)).reshape(b, t, c.dim)
+        return ctx.transpose(0, 2, 1, 3).reshape(b * t, h * hd)
+
+    def _attention_batch(
+        self,
+        x: np.ndarray,
+        layer: int,
+        positions: np.ndarray,
+        caches: list[dict],
+    ) -> np.ndarray:
+        """Fused decode attention for B independent single-token sequences.
+
+        ``x`` is ``(B, 1, dim)`` — one decode token per request — with
+        request ``j`` at absolute position ``positions[j]`` and its
+        incremental KV in ``caches[j]``.  QKV/output projections run as one
+        row-wise batched call each; RoPE broadcasts per-request tables; cache
+        appends go through :meth:`_append_kv_batch` (vectorized over a shared
+        paged store when possible); and attention itself runs
+        :meth:`_attention_core` per (context length, position) bucket, since
+        rows of equal shape stack bit-identically along the batch axis.
+        """
+        c = self.config
+        b = x.shape[0]
+        h, kv, hd = c.n_heads, c.n_kv_heads, c.head_dim
+        pre = f"layers.{layer}"
+        x2d = x.reshape(b, c.dim)
+        q = self._linear_rowwise(f"{pre}.wq", x2d).reshape(b, 1, h, hd).transpose(0, 2, 1, 3)
+        k = self._linear_rowwise(f"{pre}.wk", x2d).reshape(b, 1, kv, hd).transpose(0, 2, 1, 3)
+        v = self._linear_rowwise(f"{pre}.wv", x2d).reshape(b, 1, kv, hd).transpose(0, 2, 1, 3)
+        # Per-request RoPE tables, broadcast over (heads, t=1) like the
+        # sequential path's (t, hd/2) tables broadcast over (b, heads).
+        cos = self._cos[positions][:, None, None, :]
+        sin = self._sin[positions][:, None, None, :]
+        q = self._rope_apply(q, cos, sin)
+        k = self._rope_apply(k, cos, sin)
+        k = self.kv_codec.encode_decode(k, "k").astype(np.float32)
+        v = self.kv_codec.encode_decode(v, "v").astype(np.float32)
+        key = f"{pre}.kv"
+        kv_caches = []
+        for cache in caches:
+            kv_cache = cache.get(key)
+            if kv_cache is None:
+                if self.kv_cache_factory is not None:
+                    kv_cache = self.kv_cache_factory(1, kv, hd, 1)
+                else:
+                    kv_cache = KVCache(
+                        1, kv, hd, capacity=1, max_capacity=c.max_seq_len
+                    )
+                cache[key] = kv_cache
+            kv_caches.append(kv_cache)
+        gathered = self._append_kv_batch(kv_caches, k, v)
+        # Ragged attention: bucket requests by (context length, position).
+        # Within a bucket every operand shape and mask is identical, so
+        # _attention_core stacks the rows bit-identically; bucket iteration
+        # order is first-occurrence order, and results scatter back into the
+        # original row order.
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for j in range(b):
+            bkey = (gathered[j][0].shape[2], int(positions[j]))
+            buckets.setdefault(bkey, []).append(j)
+        out = np.empty((b, h * hd), dtype=np.float32)
+        for (_, pos), rows in buckets.items():
+            kb = np.concatenate([gathered[j][0] for j in rows])
+            vb = np.concatenate([gathered[j][1] for j in rows])
+            out[rows] = self._attention_core(
+                q[rows], kb, vb, pos_offset=pos, t=1
+            ).astype(np.float32)
+        return self._linear_rowwise(f"{pre}.wo", out).reshape(b, 1, c.dim)
+
+    @staticmethod
+    def _append_kv_batch(
+        kv_caches: list, k: np.ndarray, v: np.ndarray
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Append one token to each request's cache; return gathered views.
+
+        When every cache is the same type and that type offers an
+        ``append_batch`` classmethod (e.g.
+        :class:`repro.serving.paged_kv.PagedKVCache`), the whole batch is
+        written and gathered in vectorized store-level operations; otherwise
+        this falls back to per-request ``append`` calls.  Both produce the
+        exact values per-request appends would.
+        """
+        cache_type = type(kv_caches[0])
+        batch_append = getattr(cache_type, "append_batch", None)
+        if batch_append is not None and all(
+            type(cache) is cache_type for cache in kv_caches
+        ):
+            return batch_append(kv_caches, k, v)
+        return [
+            cache.append(k[j : j + 1], v[j : j + 1])
+            for j, cache in enumerate(kv_caches)
+        ]
 
     def _dense_ffn(self, x2d: np.ndarray, prefix: str) -> np.ndarray:
         gate = self._linear(f"{prefix}.w_gate", x2d)
         up = self._linear(f"{prefix}.w_up", x2d)
         hidden = (gate / (1.0 + np.exp(-gate))) * up  # SiLU(gate) * up
         return self._linear(f"{prefix}.w_down", hidden.astype(np.float32))
+
+    def _dense_ffn_rowwise(self, x2d: np.ndarray, prefix: str) -> np.ndarray:
+        gate = self._linear_rowwise(f"{prefix}.w_gate", x2d)
+        up = self._linear_rowwise(f"{prefix}.w_up", x2d)
+        hidden = (gate / (1.0 + np.exp(-gate))) * up  # SiLU(gate) * up
+        return self._linear_rowwise(f"{prefix}.w_down", hidden.astype(np.float32))
 
     @staticmethod
     def _topk_threshold(logits: np.ndarray, k: int) -> np.ndarray:
@@ -506,6 +661,55 @@ class LlamaModel:
         x = self._rms_norm(x, self.weights["final_norm"], c.norm_eps)
         logits = x.reshape(b * t, c.dim) @ self.weights["lm_head"].T
         return logits.reshape(b, t, c.vocab_size)
+
+    def forward_batch(
+        self,
+        tokens: np.ndarray,
+        positions: np.ndarray,
+        caches: list[dict],
+    ) -> np.ndarray:
+        """Fused decode step for B *independent* sequences -> logits (B, V).
+
+        Request ``j`` contributes its last token ``tokens[j]`` at absolute
+        position ``positions[j]`` with incremental KV ``caches[j]``; the
+        whole batch runs one row-wise batched linear per projection and
+        bucketed ragged attention per layer.  Row ``j`` of the result is
+        bit-identical to
+        ``forward([[tokens[j]]], pos_offset=positions[j], cache=caches[j])``
+        — batch composition never changes any request's numerics (see
+        :func:`rowwise_matmul` and :meth:`_attention_core`).
+        """
+        c = self.config
+        if not self.fast_path:
+            raise ValueError(
+                "forward_batch requires fast_path=True (the pluggable-cache "
+                "execution path)"
+            )
+        if c.is_moe:
+            raise ValueError("forward_batch covers dense models only")
+        tokens = np.asarray(tokens, dtype=np.int64).ravel()
+        positions = np.asarray(positions, dtype=np.int64).ravel()
+        b = tokens.shape[0]
+        if b == 0 or len(positions) != b or len(caches) != b:
+            raise ValueError(
+                f"batch mismatch: {b} tokens, {len(positions)} positions, "
+                f"{len(caches)} caches (need equal and non-empty)"
+            )
+        if int(positions.max()) + 1 > c.max_seq_len:
+            raise ValueError(
+                f"positions up to {int(positions.max()) + 1} exceed "
+                f"max_seq_len {c.max_seq_len}"
+            )
+        x = self.weights["embed"][tokens][:, None, :]
+        for i in range(c.n_layers):
+            pre = f"layers.{i}"
+            hdn = self._rms_norm(x, self.weights[f"{pre}.attn_norm"], c.norm_eps)
+            x = x + self._attention_batch(hdn, i, positions, caches)
+            hdn = self._rms_norm(x, self.weights[f"{pre}.mlp_norm"], c.norm_eps)
+            ffn = self._dense_ffn_rowwise(hdn.reshape(b, c.dim), pre)
+            x = x + ffn.reshape(b, 1, c.dim)
+        x = self._rms_norm(x, self.weights["final_norm"], c.norm_eps)
+        return rowwise_matmul(x.reshape(b, c.dim), self.weights["lm_head"].T)
 
     # ------------------------------------------------------------------ #
     # Utilities

@@ -106,6 +106,7 @@ from repro.serving.faults import (
 from repro.serving.breakdown import runtime_breakdown
 from repro.serving.telemetry import (
     NULL_TELEMETRY,
+    BatchedDecodeSample,
     RequestSLORecord,
     SLOSummary,
     Telemetry,
@@ -123,6 +124,7 @@ __all__ = [
     "A100_40G",
     "ATOM_W4A4",
     "AnalyticBackend",
+    "BatchedDecodeSample",
     "CancelFault",
     "DecodeSlot",
     "ExecutionBackend",

@@ -38,6 +38,7 @@ deterministic sampling makes the regenerated tokens identical.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 
 from repro.serving.hardware import GPUSpec, RTX_4090
@@ -55,6 +56,7 @@ from repro.serving.parallel import (
     tp_dense_layer_time,
 )
 from repro.serving.schemes import QuantScheme
+from repro.serving.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "AnalyticBackend",
@@ -115,6 +117,11 @@ class ExecutionBackend(abc.ABC):
     #: Human-readable tag, propagated into ``ServingResult.backend`` and
     #: (for non-analytic backends) each telemetry ``IterationSample``.
     name: str = "backend"
+
+    #: Telemetry sink; the engine points this at its own sink on
+    #: construction so backends can emit execution-side events (the numeric
+    #: backend's per-step ``BatchedDecodeSample``).  Null by default.
+    telemetry: Telemetry = NULL_TELEMETRY
 
     def bind(
         self,
@@ -208,6 +215,26 @@ class AnalyticBackend(ExecutionBackend):
         return 0.0
 
 
+class _KernelPhaseCollector:
+    """Duck-typed telemetry sink summing AtomLinear kernel-phase times.
+
+    Installed on the model's linears for the duration of one decode step so
+    the per-call ``t_quant``/``t_dense`` wall-times aggregate into one
+    per-step number (the linears only check ``enabled`` and call
+    ``iteration_sample``).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.t_quant = 0.0
+        self.t_dense = 0.0
+
+    def iteration_sample(self, **metrics) -> None:
+        self.t_quant += metrics.get("t_quant", 0.0)
+        self.t_dense += metrics.get("t_dense", 0.0)
+
+
 class NumericBackend(ExecutionBackend):
     """Real-model execution: the engine's schedule drives actual numerics.
 
@@ -241,6 +268,7 @@ class NumericBackend(ExecutionBackend):
         temperature: float = 0.0,
         seed: int = 0,
         store=None,
+        batched: bool = True,
     ) -> None:
         from repro.serving.model_runner import ModelRunner
 
@@ -252,6 +280,12 @@ class NumericBackend(ExecutionBackend):
             seed=seed,
             store=store,
         )
+        #: Fused cross-request decode: one ``forward_batch`` per engine step
+        #: instead of a per-request ``decode_one`` loop.  Tokens are
+        #: bit-identical either way (the batched path is batch-size-
+        #: invariant); ``False`` keeps the sequential loop as the oracle /
+        #: "before" baseline.
+        self.batched = batched
         self._timing = AnalyticBackend()
 
     def bind(
@@ -274,6 +308,7 @@ class NumericBackend(ExecutionBackend):
         page_size: int = 16,
         temperature: float = 0.0,
         seed: int = 0,
+        batched: bool = True,
         **engine_kwargs,
     ):
         """Build a :class:`ServingEngine` serving ``model`` numerically.
@@ -286,7 +321,11 @@ class NumericBackend(ExecutionBackend):
         from repro.serving.engine import ServingEngine
 
         backend = cls(
-            model, page_size=page_size, temperature=temperature, seed=seed
+            model,
+            page_size=page_size,
+            temperature=temperature,
+            seed=seed,
+            batched=batched,
         )
         return ServingEngine(
             serving_spec_for(model.config),
@@ -316,9 +355,50 @@ class NumericBackend(ExecutionBackend):
     ) -> StepTiming:
         for p in prefill:
             self.runner.prefill_chunk(p.request_id, p.prefix_len, p.chunk)
-        for d in decode:
-            self.runner.decode_one(d.request_id)
+        if decode:
+            self._decode(decode)
         return self._timing.execute_step(prefill, decode)
+
+    def _decode(self, decode: list[DecodeSlot]) -> None:
+        """Run the step's decode slots — fused by default, instrumented.
+
+        With telemetry enabled, the quantized linears' kernel-phase sinks
+        are temporarily pointed at a collector so each step emits one
+        ``BatchedDecodeSample`` with real measured ``t_quant``/``t_dense``
+        aggregates alongside the step's wall time and batch size.
+        """
+        request_ids = [d.request_id for d in decode]
+        tel = self.telemetry
+        if not tel.enabled:
+            self._run_decode(request_ids)
+            return
+        collector = _KernelPhaseCollector()
+        patched = []
+        for lin in self.runner.model.linears.values():
+            if hasattr(lin, "telemetry"):
+                patched.append((lin, lin.telemetry))
+                lin.telemetry = collector
+        t0 = time.perf_counter()
+        try:
+            self._run_decode(request_ids)
+        finally:
+            wall = time.perf_counter() - t0
+            for lin, prev in patched:
+                lin.telemetry = prev
+        tel.batched_decode_sample(
+            decode_batch=len(request_ids),
+            batched=self.batched,
+            t_quant_s=collector.t_quant,
+            t_dense_s=collector.t_dense,
+            t_wall_s=wall,
+        )
+
+    def _run_decode(self, request_ids: list[int]) -> None:
+        if self.batched:
+            self.runner.decode_batch(request_ids)
+        else:
+            for rid in request_ids:
+                self.runner.decode_one(rid)
 
     def comm_time(self, m: int) -> float:
         return self._timing.comm_time(m)

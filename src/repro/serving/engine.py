@@ -61,7 +61,7 @@ this machinery.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -154,6 +154,10 @@ class ServingResult:
     terminal_states: dict[int, str] = field(default_factory=dict)
     #: Which execution backend produced the run ("analytic" or "numeric").
     backend: str = "analytic"
+    #: Decode batch-occupancy histogram: ``{batch_size: iterations}`` over
+    #: every iteration that decoded at least one token.  Summarizes how
+    #: much cross-request fusion the schedule actually achieved.
+    decode_batch_hist: dict[int, int] = field(default_factory=dict)
     #: TTFT/TBT/goodput-under-SLO aggregation; filled by the open-loop
     #: front-end (:mod:`repro.serving.frontend`), ``None`` for closed-loop.
     slo: "SLOSummary | None" = None
@@ -267,6 +271,9 @@ class ServingEngine:
         # Execution strategy: the engine schedules, the backend executes.
         self.backend = backend if backend is not None else AnalyticBackend()
         self.backend.bind(spec, scheme, gpu, tp)
+        # Share the engine's sink so backends can emit execution-side events
+        # (e.g. the numeric backend's per-step BatchedDecodeSample).
+        self.backend.telemetry = self.telemetry
 
     # ------------------------------------------------------------------ #
     def _deadline_for(self, request_id: int) -> float:
@@ -803,4 +810,7 @@ class EngineRun:
             faults_injected=self.faults_injected,
             terminal_states=self.terminal,
             backend=engine.backend.name,
+            decode_batch_hist=dict(
+                sorted(Counter(self.occupancy).items())
+            ),
         )

@@ -96,18 +96,36 @@ class ModelRunner:
         self._states: dict[int, _RequestState] = {}
         #: Final token sequences of finished requests (prompt + generated).
         self.finished_tokens: dict[int, np.ndarray] = {}
+        # Derivation caches: prompts and sampling seed keys are pure
+        # functions of (request_id, ...), so re-deriving them on every
+        # recompute/oracle call is waste.  The cached prompt is shared (the
+        # runner copies into per-request token lists and never mutates it).
+        self._prompt_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._seed_cache: dict[int, list[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def prompt_for(self, request_id: int, prefill_len: int) -> np.ndarray:
-        return synthetic_prompt(
-            request_id, prefill_len, self.model.config.vocab_size, seed=self.seed
-        )
+        key = (request_id, prefill_len)
+        prompt = self._prompt_cache.get(key)
+        if prompt is None:
+            prompt = synthetic_prompt(
+                request_id,
+                prefill_len,
+                self.model.config.vocab_size,
+                seed=self.seed,
+            )
+            self._prompt_cache[key] = prompt
+        return prompt
 
     def seed_for(self, request_id: int) -> list[int]:
         """Per-request sampling seed (pass to ``generate(..., seed=...)``)."""
-        return [self.seed, 1, request_id]
+        key = self._seed_cache.get(request_id)
+        if key is None:
+            key = [self.seed, 1, request_id]
+            self._seed_cache[request_id] = key
+        return key
 
     def rng_for(self, request_id: int) -> np.random.Generator:
         """The sampling generator for one request — the identical
@@ -187,6 +205,36 @@ class ModelRunner:
         nxt = sample_token(logits, self.temperature, state.rng)
         state.tokens.append(nxt)
         return nxt
+
+    def decode_batch(self, request_ids: "list[int]") -> list[int]:
+        """One fused decode step for many requests (single batched forward).
+
+        Stacks every request's last token into one
+        :meth:`~repro.models.llama.LlamaModel.forward_batch` call — one
+        batched linear per projection per layer instead of a full forward
+        per request — then samples each request from its own rng stream.
+        Tokens and rng states are bit-identical to calling
+        :meth:`decode_one` per request in any order (the batched path is
+        batch-size-invariant and sampling is per-request).
+        """
+        if not request_ids:
+            return []
+        if len(set(request_ids)) != len(request_ids):
+            raise ValueError(f"duplicate request ids in decode batch: {request_ids}")
+        states = [self._states[rid] for rid in request_ids]
+        last = np.asarray([s.tokens[-1] for s in states], dtype=np.int64)
+        positions = np.asarray(
+            [len(s.tokens) - 1 for s in states], dtype=np.int64
+        )
+        logits = self.model.forward_batch(
+            last, positions, [s.cache for s in states]
+        )
+        out: list[int] = []
+        for j, state in enumerate(states):
+            nxt = sample_token(logits[j], self.temperature, state.rng)
+            state.tokens.append(nxt)
+            out.append(nxt)
+        return out
 
     # ------------------------------------------------------------------ #
     # Introspection (tests and accounting audits)

@@ -327,6 +327,86 @@ class PagedKVCache:
             v[0, :, lo : lo + take] = st.page_v(page_id)[:, :take]
         return k, v
 
+    # -- batched store-level operations (fused cross-request decode) ------ #
+    @classmethod
+    def append_batch(
+        cls, caches: "list[PagedKVCache]", k_new: np.ndarray, v_new: np.ndarray
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Append ONE token to each of B caches with one vectorized write.
+
+        ``k_new``/``v_new`` are ``(B, kv_heads, 1, head_dim)``; row ``j``
+        goes to ``caches[j]``.  Page allocation stays a (cheap) per-cache
+        loop, then every row lands in its (page, slot) through a single
+        fancy-indexed store write.  Values written — and the gathered views
+        returned — are exactly those of per-cache ``append`` calls; caches
+        on different stores or with page-boundary codecs take the
+        per-cache path.
+        """
+        if k_new.shape[0] != len(caches) or k_new.shape[2] != 1:
+            raise ValueError(
+                f"append_batch needs one (B, kv, 1, hd) token per cache, got "
+                f"{k_new.shape} for {len(caches)} caches"
+            )
+        store = caches[0].store
+        if any(c.store is not store for c in caches) or any(
+            c.codec is not None for c in caches
+        ):
+            return [
+                c.append(k_new[j : j + 1], v_new[j : j + 1])
+                for j, c in enumerate(caches)
+            ]
+        ps = store.page_size
+        page_ids = np.empty(len(caches), dtype=np.intp)
+        slots = np.empty(len(caches), dtype=np.intp)
+        # Allocate first (alloc_page may grow, i.e. reallocate, the pool
+        # arrays), index the store only once allocation is settled.
+        for j, cache in enumerate(caches):
+            slot = cache.length % ps
+            if slot == 0:
+                cache.pages.append(store.alloc_page())
+            page_ids[j] = cache.pages[-1]
+            slots[j] = slot
+            cache.length += 1
+        store._k[page_ids, :, slots] = k_new[:, :, 0, :]
+        store._v[page_ids, :, slots] = v_new[:, :, 0, :]
+        return cls.gather_batch(caches)
+
+    @classmethod
+    def gather_batch(
+        cls, caches: "list[PagedKVCache]"
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Gather B caches' live prefixes with one store-level page gather.
+
+        All pages of every cache come out of the pool in a single
+        fancy-indexed read each for K and V, then reassemble per cache in
+        token order.  Returns one ``(1, kv_heads, length, head_dim)`` pair
+        per cache with the same float32 values as per-cache :meth:`gather`.
+        """
+        store = caches[0].store
+        if any(c.store is not store for c in caches):
+            return [c.gather() for c in caches]
+        all_pages = np.asarray(
+            [pid for c in caches for pid in c.pages], dtype=np.intp
+        )
+        k_pages = store._k[all_pages]
+        v_pages = store._v[all_pages]
+        kvh, ps, hd = store.n_kv_heads, store.page_size, store.head_dim
+        out = []
+        ofs = 0
+        for cache in caches:
+            n = len(cache.pages)
+            # (n, kvh, ps, hd) -> (1, kvh, n*ps, hd), truncated to the live
+            # prefix (the transpose-reshape makes the token axis contiguous).
+            k = k_pages[ofs : ofs + n].transpose(1, 0, 2, 3).reshape(
+                1, kvh, n * ps, hd
+            )[:, :, : cache.length]
+            v = v_pages[ofs : ofs + n].transpose(1, 0, 2, 3).reshape(
+                1, kvh, n * ps, hd
+            )[:, :, : cache.length]
+            out.append((k, v))
+            ofs += n
+        return out
+
     def release(self) -> int:
         """Return every page to the store; returns how many were freed."""
         n = len(self.pages)

@@ -93,6 +93,7 @@ __all__ = [
     "PagePoolDelta",
     "PipelineStage",
     "IterationSample",
+    "BatchedDecodeSample",
     "TraceSummary",
     "summarize",
     "RequestSLORecord",
@@ -246,6 +247,26 @@ class IterationSample(TraceEvent):
         return d
 
 
+@dataclass(frozen=True)
+class BatchedDecodeSample(TraceEvent):
+    """Measured wall-time of one numeric-backend decode step.
+
+    Unlike :class:`IterationSample` (simulated per-phase cost from the
+    analytic model), this records *real* kernel wall-clock: ``decode_batch``
+    requests decoded in one fused (or, with ``batched=False``, sequential)
+    pass, with ``t_quant_s``/``t_dense_s`` aggregated from the quantized
+    linears' own kernel-phase samples and ``t_wall_s`` the whole step.
+    """
+
+    decode_batch: int = 0
+    batched: bool = True
+    t_quant_s: float = 0.0
+    t_dense_s: float = 0.0
+    t_wall_s: float = 0.0
+
+    event: str = field(init=False, default="batched_decode", repr=False)
+
+
 _EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.event: cls  # type: ignore[misc]
     for cls in (
@@ -259,6 +280,7 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
         PagePoolDelta,
         PipelineStage,
         IterationSample,
+        BatchedDecodeSample,
     )
 }
 
@@ -326,6 +348,17 @@ class Telemetry:
         pass
 
     def iteration_sample(self, **metrics) -> None:
+        pass
+
+    def batched_decode_sample(
+        self,
+        *,
+        decode_batch: int,
+        batched: bool,
+        t_quant_s: float,
+        t_dense_s: float,
+        t_wall_s: float,
+    ) -> None:
         pass
 
 
@@ -457,6 +490,27 @@ class TraceRecorder(Telemetry):
     def iteration_sample(self, **metrics) -> None:
         self.events.append(
             IterationSample(t=self._clock, iteration=self._iteration, **metrics)
+        )
+
+    def batched_decode_sample(
+        self,
+        *,
+        decode_batch: int,
+        batched: bool,
+        t_quant_s: float,
+        t_dense_s: float,
+        t_wall_s: float,
+    ) -> None:
+        self.events.append(
+            BatchedDecodeSample(
+                t=self._clock,
+                iteration=self._iteration,
+                decode_batch=decode_batch,
+                batched=batched,
+                t_quant_s=t_quant_s,
+                t_dense_s=t_dense_s,
+                t_wall_s=t_wall_s,
+            )
         )
 
     # -- convenience ----------------------------------------------------- #

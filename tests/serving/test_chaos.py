@@ -313,7 +313,8 @@ class TestOpenLoopNumericChaos:
         )
         return build_bench_model(cfg, seed=0)
 
-    def test_faulted_open_loop_is_bit_identical(self, model):
+    @pytest.mark.parametrize("batched", [True, False], ids=["fused", "sequential"])
+    def test_faulted_open_loop_is_bit_identical(self, model, batched):
         rec = TraceRecorder()
         engine = NumericBackend.engine_for(
             model,
@@ -323,6 +324,7 @@ class TestOpenLoopNumericChaos:
             seed=0,
             shed_policy="drop",
             telemetry=rec,
+            batched=batched,
         )
         inters = [
             Interaction(

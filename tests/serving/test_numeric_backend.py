@@ -338,6 +338,164 @@ class TestGuards:
         runner.release(0)
 
 
+class TestBatchedVsSequential:
+    """The fused cross-request decode path (``decode_batch``) must be
+    bit-identical to the retained sequential oracle path (``decode_one``)
+    — tokens, terminal states, and per-request rng streams — including
+    under pinned chaos schedules with mid-decode preemption."""
+
+    def _chaos_run(self, model, *, seed, batched):
+        engine = NumericBackend.engine_for(
+            model,
+            SCHEMES["FP16"] if model.config.name == "numeric-test"
+            else SCHEMES["Atom-W4A4"],
+            max_batch=8,
+            admission="dynamic",
+            seed=seed,
+            batched=batched,
+        )
+        # Same chaos family as TestPreemptionRecompute, with the fault
+        # schedule and victim varied by the pinned seed.
+        shrink = engine._allocator.total_pages - 6
+        plan = FaultPlan(
+            page_faults=(
+                PagePoolFault(iteration=3 + seed % 3, delta_pages=-shrink),
+                PagePoolFault(iteration=9 + seed % 3, delta_pages=shrink),
+            ),
+            cancellations=(CancelFault(iteration=5, request_id=seed % 8),),
+            stragglers=(StragglerFault(iteration=4, factor=3.0),),
+        )
+        reqs = _requests(8)
+        result = engine.run(reqs, faults=plan)
+        return engine, reqs, result
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_chaos_tokens_identical_across_paths(self, fp_model, seed):
+        eng_b, reqs, res_b = self._chaos_run(fp_model, seed=seed, batched=True)
+        eng_s, _, res_s = self._chaos_run(fp_model, seed=seed, batched=False)
+        assert res_b.preemptions > 0, "chaos schedule must force preemption"
+        assert res_b.terminal_states == res_s.terminal_states
+        assert res_b.preemptions == res_s.preemptions
+        finished = {
+            rid
+            for rid, state in res_b.terminal_states.items()
+            if state == "finished"
+        }
+        assert finished
+        for rid in finished:
+            np.testing.assert_array_equal(
+                eng_b.backend.generated_tokens(rid),
+                eng_s.backend.generated_tokens(rid),
+                err_msg=f"request {rid}: batched != sequential (seed {seed})",
+            )
+        _assert_oracle_identical(eng_b.backend, reqs, expect=finished)
+        _assert_oracle_identical(eng_s.backend, reqs, expect=finished)
+        _assert_clean_accounting(eng_b)
+        _assert_clean_accounting(eng_s)
+
+    def test_chaos_atom_quantized_identical_across_paths(self, atom_model):
+        eng_b, reqs, res_b = self._chaos_run(atom_model, seed=0, batched=True)
+        eng_s, _, res_s = self._chaos_run(atom_model, seed=0, batched=False)
+        assert res_b.preemptions > 0
+        assert res_b.terminal_states == res_s.terminal_states
+        finished = {
+            rid
+            for rid, state in res_b.terminal_states.items()
+            if state == "finished"
+        }
+        for rid in finished:
+            np.testing.assert_array_equal(
+                eng_b.backend.generated_tokens(rid),
+                eng_s.backend.generated_tokens(rid),
+            )
+        _assert_oracle_identical(eng_b.backend, reqs, expect=finished)
+
+    def test_sequential_backend_still_matches_generate(self, fp_model):
+        """``batched=False`` keeps the per-request oracle path alive."""
+        engine = NumericBackend.engine_for(
+            fp_model,
+            SCHEMES["FP16"],
+            max_batch=4,
+            admission="reserve",
+            batched=False,
+        )
+        assert engine.backend.batched is False
+        reqs = _requests(6)
+        result = engine.run(reqs)
+        assert result.completed_requests == len(reqs)
+        _assert_oracle_identical(engine.backend, reqs)
+        _assert_clean_accounting(engine)
+
+    def test_rng_streams_advance_identically(self, fp_model):
+        """Satellite: sampled decoding (temperature > 0) consumes each
+        request's rng stream identically on both paths — same tokens AND
+        same post-run ``bit_generator.state``."""
+
+        def run(batched):
+            runner = ModelRunner(fp_model, temperature=0.7, seed=9)
+            ids = list(range(5))
+            for i in ids:
+                runner.start(i, 8 + 3 * i)
+                runner.prefill_chunk(i, 0, 8 + 3 * i)
+            for _ in range(6):
+                if batched:
+                    runner.decode_batch(ids)
+                else:
+                    for i in ids:
+                        runner.decode_one(i)
+            states = {
+                i: runner._states[i].rng.bit_generator.state for i in ids
+            }
+            tokens = {i: runner.tokens(i).tolist() for i in ids}
+            return states, tokens
+
+        states_b, tokens_b = run(batched=True)
+        states_s, tokens_s = run(batched=False)
+        assert tokens_b == tokens_s
+        assert states_b == states_s
+
+    def test_batch_order_does_not_matter(self, fp_model):
+        """Cross-request sampling order is irrelevant: each request has its
+        own rng stream, so reversing the batch changes nothing."""
+
+        def run(order):
+            runner = ModelRunner(fp_model, temperature=0.5, seed=2)
+            ids = [0, 1, 2, 3]
+            for i in ids:
+                runner.start(i, 10 + i)
+                runner.prefill_chunk(i, 0, 10 + i)
+            for _ in range(5):
+                runner.decode_batch(order(ids))
+            return {i: runner.tokens(i).tolist() for i in ids}
+
+        assert run(lambda ids: ids) == run(lambda ids: list(reversed(ids)))
+
+    def test_decode_batch_guards(self, fp_model):
+        runner = ModelRunner(fp_model)
+        assert runner.decode_batch([]) == []
+        runner.start(0, 8)
+        runner.prefill_chunk(0, 0, 8)
+        with pytest.raises(ValueError, match="duplicate"):
+            runner.decode_batch([0, 0])
+        runner.release(0)
+
+    def test_prompt_and_seed_derivations_are_cached(self, fp_model):
+        """Satellite: repeated derivations return the cached objects and
+        still equal the pure-function originals."""
+        runner = ModelRunner(fp_model, seed=3)
+        p1 = runner.prompt_for(4, 12)
+        assert runner.prompt_for(4, 12) is p1
+        np.testing.assert_array_equal(
+            p1,
+            synthetic_prompt(4, 12, fp_model.config.vocab_size, seed=3),
+        )
+        k1 = runner.seed_for(4)
+        assert runner.seed_for(4) is k1
+        assert k1 == [3, 1, 4]
+        # rng_for must NOT be cached: recompute needs a fresh stream.
+        assert runner.rng_for(4) is not runner.rng_for(4)
+
+
 class TestSyntheticPrompts:
     def test_pure_function_of_seed_and_id(self):
         a = synthetic_prompt(3, 16, 80, seed=1)

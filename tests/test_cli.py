@@ -344,13 +344,34 @@ class TestServingBenchCommand:
         payload, path = serving_bench_payload
         monkeypatch.setattr(
             "repro.bench.serving_perf.run_serving_bench",
-            lambda *, quick=False, seed=0: copy.deepcopy(payload),
+            lambda *, quick=False, seed=0, batched=True: copy.deepcopy(payload),
         )
         self.payload, self.baseline_path = payload, path
 
     def test_serving_flag_parses(self):
         args = build_parser().parse_args(["bench", "--serving"])
         assert args.serving is True
+        assert args.sequential is False
+
+    def test_sequential_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--serving", "--sequential"])
+        assert args.sequential is True
+
+    def test_sequential_flag_reaches_bench_and_title(self, capsys, monkeypatch):
+        seen = {}
+
+        def spy(*, quick=False, seed=0, batched=True):
+            seen["batched"] = batched
+            payload = copy.deepcopy(self.payload)
+            payload["batched"] = batched
+            return payload
+
+        monkeypatch.setattr(
+            "repro.bench.serving_perf.run_serving_bench", spy
+        )
+        assert main(["bench", "--serving", "--quick", "--sequential"]) == 0
+        assert seen["batched"] is False
+        assert "sequential decode" in capsys.readouterr().out
 
     def test_reports_curve_and_verification(self, capsys):
         assert main(["bench", "--serving", "--quick"]) == 0
@@ -380,7 +401,7 @@ class TestServingBenchCommand:
             p["tokens_per_s"] /= 100.0
         monkeypatch.setattr(
             "repro.bench.serving_perf.run_serving_bench",
-            lambda *, quick=False, seed=0: slow,
+            lambda *, quick=False, seed=0, batched=True: slow,
         )
         assert main(
             ["bench", "--serving", "--quick",

@@ -124,3 +124,84 @@ class TestCommittedBaseline:
         by_batch = {p["batch"]: p["tokens_per_s"] for p in base["batches"]}
         assert max(by_batch.values()) > by_batch[1]
         assert by_batch[8] >= 2.0 * by_batch[1]
+
+
+class TestPrefixCacheBench:
+    """Warm-vs-cold sweep mechanics + the committed BENCH_prefix_cache.json."""
+
+    PREFIX_BASELINE = Path(__file__).parent / "BENCH_prefix_cache.json"
+
+    @pytest.fixture(scope="class")
+    def prefix_payload(self) -> dict:
+        from repro.bench.serving_perf import run_prefix_cache_bench
+
+        return run_prefix_cache_bench(quick=True)
+
+    def test_schema_and_runs(self, prefix_payload):
+        from repro.bench.serving_perf import PREFIX_BENCH_SCHEMA
+
+        p = prefix_payload
+        assert p["schema"] == PREFIX_BENCH_SCHEMA
+        assert p["verified_bit_identical"] is True
+        assert set(p["runs"]) == {"cold", "warm"}
+        assert p["runs"]["warm"]["decode_tokens"] == p["runs"]["cold"]["decode_tokens"]
+        # Every turn after a conversation's first must hit.
+        warm = p["runs"]["warm"]
+        assert warm["hits"] == p["conversations"] * (p["turns"] - 1)
+        assert warm["lookups"] == p["conversations"] * p["turns"]
+        assert warm["kv_tokens_reused"] > 0
+
+    def test_round_trip_and_schema_guard(self, prefix_payload, tmp_path):
+        from repro.bench.serving_perf import (
+            read_prefix_bench_json,
+            write_serving_bench_json,
+        )
+
+        dest = tmp_path / "prefix.json"
+        write_serving_bench_json(prefix_payload, dest)
+        assert read_prefix_bench_json(dest) == prefix_payload
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": SERVING_BENCH_SCHEMA}))
+        with pytest.raises(ValueError, match="schema"):
+            read_prefix_bench_json(bad)
+
+    def test_self_comparison_passes(self, prefix_payload):
+        from repro.bench.serving_perf import check_prefix_cache_regression
+
+        assert check_prefix_cache_regression(prefix_payload, prefix_payload) == []
+
+    def test_trips_when_warm_loses_to_cold(self, prefix_payload):
+        from repro.bench.serving_perf import check_prefix_cache_regression
+
+        slow = json.loads(json.dumps(prefix_payload))
+        slow["runs"]["warm"]["tokens_per_s"] = (
+            0.5 * slow["runs"]["cold"]["tokens_per_s"]
+        )
+        problems = check_prefix_cache_regression(slow, prefix_payload)
+        assert any("slower than cold" in p for p in problems)
+
+    def test_trips_on_hit_rate_collapse(self, prefix_payload):
+        from repro.bench.serving_perf import check_prefix_cache_regression
+
+        cachemiss = json.loads(json.dumps(prefix_payload))
+        cachemiss["runs"]["warm"]["hit_rate"] = 0.0
+        problems = check_prefix_cache_regression(cachemiss, prefix_payload)
+        assert any("hit rate" in p for p in problems)
+
+    def test_trips_on_unverified_run(self, prefix_payload):
+        from repro.bench.serving_perf import check_prefix_cache_regression
+
+        unverified = json.loads(json.dumps(prefix_payload))
+        unverified["verified_bit_identical"] = False
+        problems = check_prefix_cache_regression(unverified, prefix_payload)
+        assert any("verification" in p for p in problems)
+
+    def test_committed_baseline_warm_beats_cold(self):
+        from repro.bench.serving_perf import read_prefix_bench_json
+
+        base = read_prefix_bench_json(self.PREFIX_BASELINE)
+        assert base["quick"] is False
+        assert base["verified_bit_identical"] is True
+        warm, cold = base["runs"]["warm"], base["runs"]["cold"]
+        assert warm["tokens_per_s"] >= cold["tokens_per_s"]
+        assert warm["hit_rate"] >= (base["turns"] - 1) / base["turns"] - 1e-9

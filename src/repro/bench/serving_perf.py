@@ -36,16 +36,22 @@ from repro.models.config import ModelConfig
 
 __all__ = [
     "SERVING_BENCH_SCHEMA",
+    "PREFIX_BENCH_SCHEMA",
     "SERVING_BENCH_CONFIG",
     "build_serving_bench_model",
     "run_serving_bench",
+    "run_prefix_cache_bench",
     "check_serving_regression",
+    "check_prefix_cache_regression",
     "write_serving_bench_json",
     "read_serving_bench_json",
+    "read_prefix_bench_json",
     "format_serving_rows",
+    "format_prefix_rows",
 ]
 
 SERVING_BENCH_SCHEMA = "atom-repro/bench-serving-numeric/v1"
+PREFIX_BENCH_SCHEMA = "atom-repro/bench-prefix-cache/v1"
 
 #: Small dense GQA model (4 query heads per KV head) — large enough that the
 #: grouped attention path and multi-page KV sequences are exercised, small
@@ -175,6 +181,147 @@ def run_serving_bench(
     }
 
 
+def _conversation_requests(
+    n_conversations: int, turns: int, prompt_len: int, decode_len: int
+):
+    """Multi-round conversation workload ordered so later turns can hit.
+
+    Request ids follow the ShareGPT ``TURN_STRIDE`` addressing
+    (``cid * 64 + turn``) that groups turns of one conversation onto one
+    token stream; each turn's prompt is the previous turn's full history
+    plus a fresh ``prompt_len``-token message.  Requests are sorted by turn
+    so every conversation's turn ``k`` retires (and interns its pages)
+    before its turn ``k + 1`` is admitted.
+    """
+    from repro.data.sharegpt import Request
+
+    reqs = []
+    for cid in range(n_conversations):
+        history = 0
+        for turn in range(turns):
+            prefill = history + prompt_len
+            reqs.append(Request(cid * 64 + turn, prefill, decode_len))
+            history = prefill + decode_len
+    reqs.sort(key=lambda r: (r.request_id % 64, r.request_id // 64))
+    return reqs
+
+
+def run_prefix_cache_bench(*, quick: bool = False, seed: int = 0) -> dict:
+    """Warm-vs-cold sweep: the same conversations with and without the cache.
+
+    Runs one multi-round conversation workload twice through the numeric
+    backend — cold (no prefix cache: every turn re-prefills its whole
+    history) and warm (radix-tree prefix cache: turn ``k + 1`` resumes from
+    turn ``k``'s interned pages).  Both runs serve identical conversation
+    prompts; every finished request in *both* runs is verified bit-identical
+    against the per-request ``generate`` oracle, which is the whole point:
+    the warm run skips prefill work without changing a single token.
+
+    Returns the ``BENCH_prefix_cache.json`` payload.
+    """
+    from repro.serving import SCHEMES, NumericBackend, PrefixCache
+
+    # Prompts are long enough that the skipped prefill FLOPs dominate the
+    # cache's Python-side bookkeeping — warm must beat cold on wall-clock
+    # (the CI gate), not just on positions computed.
+    n_conv, turns = (2, 3) if quick else (3, 3)
+    prompt_len, decode_len = (64, 8) if quick else (96, 12)
+    model = build_serving_bench_model(seed=seed)
+    scheme = SCHEMES["Atom-W4A4"]
+    reqs = _conversation_requests(n_conv, turns, prompt_len, decode_len)
+
+    runs = {}
+    tokens = {}
+    for mode in ("cold", "warm"):
+        cache = PrefixCache(seed=seed) if mode == "warm" else None
+        engine = NumericBackend.engine_for(
+            model,
+            scheme,
+            max_batch=n_conv,
+            admission="reserve",
+            seed=seed,
+            prompts="conversation",
+            prefix_cache=cache,
+        )
+        backend = engine.backend
+        t0 = time.perf_counter()
+        result = engine.run(reqs)
+        wall_s = time.perf_counter() - t0
+        if result.completed_requests != len(reqs):
+            raise RuntimeError(
+                f"prefix cache bench ({mode}): only "
+                f"{result.completed_requests}/{len(reqs)} requests finished"
+            )
+        for r in reqs:
+            got = backend.generated_tokens(r.request_id)
+            want = backend.runner.oracle_generate(
+                r.request_id, r.prefill_len, r.decode_len
+            )
+            if not np.array_equal(got, want):
+                raise RuntimeError(
+                    f"prefix cache bench ({mode}): request {r.request_id} "
+                    "tokens diverge from the generate oracle"
+                )
+        tokens[mode] = {
+            r.request_id: np.asarray(
+                backend.generated_tokens(r.request_id)
+            ).tolist()
+            for r in reqs
+        }
+        delivered = len(reqs) * decode_len
+        point = {
+            "decode_tokens": delivered,
+            "wall_s": wall_s,
+            "tokens_per_s": delivered / wall_s if wall_s > 0 else 0.0,
+        }
+        if cache is not None:
+            pc = result.prefix_cache
+            point.update(
+                hits=pc["hits"],
+                lookups=pc["lookups"],
+                hit_rate=pc["hit_rate"],
+                kv_tokens_reused=pc["kv_tokens"],
+                shared_pages=pc["shared_pages"],
+                evicted_pages=pc["evicted_pages"],
+            )
+        runs[mode] = point
+    if tokens["warm"] != tokens["cold"]:
+        raise RuntimeError(
+            "prefix cache bench: warm tokens differ from cold tokens"
+        )
+
+    cfg = SERVING_BENCH_CONFIG
+    return {
+        "schema": PREFIX_BENCH_SCHEMA,
+        "quick": quick,
+        "scheme": scheme.name,
+        "conversations": n_conv,
+        "turns": turns,
+        "prompt_len": prompt_len,
+        "decode_len": decode_len,
+        "verified_bit_identical": True,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "model": {
+            "name": cfg.name,
+            "dim": cfg.dim,
+            "n_layers": cfg.n_layers,
+            "n_heads": cfg.n_heads,
+            "n_kv_heads": cfg.n_kv_heads,
+            "ffn_dim": cfg.ffn_dim,
+        },
+        "runs": runs,
+        "warm_speedup": (
+            runs["cold"]["wall_s"] / runs["warm"]["wall_s"]
+            if runs["warm"]["wall_s"] > 0
+            else 0.0
+        ),
+    }
+
+
 def check_serving_regression(
     current: dict,
     baseline: dict,
@@ -234,6 +381,65 @@ def check_serving_regression(
     return problems
 
 
+def check_prefix_cache_regression(
+    current: dict,
+    baseline: dict,
+    *,
+    max_slowdown: float = 3.0,
+    min_warm_ratio: float = 1.0,
+) -> list[str]:
+    """Gate the warm-vs-cold sweep against the committed baseline.
+
+    Three gates:
+
+    - the warm run must be verified bit-identical to the oracle (and to the
+      cold run — ``run_prefix_cache_bench`` raises otherwise);
+    - warm throughput must be at least ``min_warm_ratio`` x the *current*
+      run's cold throughput — the cache's entire job is to do strictly less
+      prefill work, so warm < cold means it is adding overhead, not saving
+      it;
+    - warm throughput may not regress more than ``max_slowdown`` x against
+      the baseline's warm point (generous slack: shared-CI wall-clock);
+    - the hit rate must reach the workload's structural expectation —
+      every turn after a conversation's first is a hit, so
+      ``(turns - 1) / turns`` of lookups — against the current payload's
+      own shape (quick and full runs differ in size but not in this ratio).
+
+    Returns human-readable failures (empty = pass).
+    """
+    problems: list[str] = []
+    try:
+        warm = current["runs"]["warm"]
+        cold = current["runs"]["cold"]
+        base_warm = float(baseline["runs"]["warm"]["tokens_per_s"])
+        turns = int(current["turns"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"malformed prefix cache bench payload: {exc!r}"]
+    if not current.get("verified_bit_identical"):
+        problems.append("current run skipped oracle verification")
+    warm_tps = float(warm["tokens_per_s"])
+    cold_tps = float(cold["tokens_per_s"])
+    if warm_tps < min_warm_ratio * cold_tps:
+        problems.append(
+            f"warm run slower than cold: {warm_tps:.1f} tokens/s with the "
+            f"prefix cache vs {cold_tps:.1f} tokens/s without "
+            f"(required ratio {min_warm_ratio:g})"
+        )
+    if warm_tps * max_slowdown < base_warm:
+        problems.append(
+            f"warm throughput regressed >{max_slowdown:g}x: "
+            f"{warm_tps:.1f} tokens/s vs baseline {base_warm:.1f} tokens/s"
+        )
+    expect_rate = (turns - 1) / turns if turns > 0 else 0.0
+    if float(warm.get("hit_rate", 0.0)) < expect_rate - 1e-9:
+        problems.append(
+            f"hit rate {float(warm.get('hit_rate', 0.0)):.1%} below the "
+            f"structural expectation {expect_rate:.1%} "
+            f"({turns - 1} of every {turns} turns should hit)"
+        )
+    return problems
+
+
 def write_serving_bench_json(payload: dict, dest: "str | Path") -> None:
     from repro.bench.artifacts import atomic_write_text
 
@@ -248,6 +454,33 @@ def read_serving_bench_json(src: "str | Path") -> dict:
             f"in {src}"
         )
     return payload
+
+
+def read_prefix_bench_json(src: "str | Path") -> dict:
+    payload = json.loads(Path(src).read_text())
+    if payload.get("schema") != PREFIX_BENCH_SCHEMA:
+        raise ValueError(
+            f"unexpected prefix cache bench schema "
+            f"{payload.get('schema')!r} in {src}"
+        )
+    return payload
+
+
+def format_prefix_rows(payload: dict) -> list[list]:
+    """Table rows (run, decode tokens, wall s, tokens/s, hit rate)."""
+    rows = []
+    for mode in ("cold", "warm"):
+        p = payload["runs"][mode]
+        rows.append(
+            [
+                mode,
+                p["decode_tokens"],
+                f"{p['wall_s']:.3f}",
+                f"{p['tokens_per_s']:.1f}",
+                f"{p['hit_rate']:.0%}" if "hit_rate" in p else "-",
+            ]
+        )
+    return rows
 
 
 def format_serving_rows(payload: dict) -> list[list]:

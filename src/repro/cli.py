@@ -120,6 +120,33 @@ _NUMERIC_ZOO = {
 }
 
 
+def _prefix_cache_for(args: argparse.Namespace):
+    """A fresh ``PrefixCache`` when ``--prefix-cache`` was given, else None.
+
+    One cache per engine: binding rewires the allocator/backend plumbing,
+    so caches are never shared across scheme runs.  Prompts follow the
+    multi-round conversation derivation — requests in the same
+    conversation (``request_id // 64``) then share token prefixes, which
+    is what makes caching them worthwhile.
+    """
+    if not getattr(args, "prefix_cache", False):
+        return None
+    from repro.serving import PrefixCache
+
+    return PrefixCache(seed=args.seed)
+
+
+def _print_prefix_stats(label: str, stats: "dict | None") -> None:
+    if not stats:
+        return
+    print(
+        f"  {label}: prefix cache {stats['hits']}/{stats['lookups']} hits "
+        f"({stats['hit_rate']:.0%}), {stats['kv_tokens']} KV tokens reused, "
+        f"{stats['shared_pages']} shared pages held, "
+        f"{stats['evicted_pages']} evicted"
+    )
+
+
 def _cmd_serve_numeric(args: argparse.Namespace) -> int:
     """Serve a real zoo model through the numeric execution backend."""
     import numpy as np
@@ -148,6 +175,7 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
         args.requests
     )
     rows = []
+    prefix_lines = []
     for name in scheme_names:
         served = model
         if name == "Atom-W4A4":
@@ -157,9 +185,13 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
         engine = NumericBackend.engine_for(
             served, SCHEMES[name], max_batch=args.batch,
             admission=args.admission, seed=args.seed,
+            prompts="conversation" if args.prefix_cache else "synthetic",
+            prefix_cache=_prefix_cache_for(args),
         )
         backend = engine.backend
         r = engine.run(reqs)
+        if r.prefix_cache is not None:
+            prefix_lines.append((name, r.prefix_cache))
         verified = "-"
         if args.verify:
             ok = all(
@@ -192,6 +224,8 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
             f"{len(reqs)} requests, {args.admission} admission",
         )
     )
+    for name, stats in prefix_lines:
+        _print_prefix_stats(name, stats)
     if args.verify and any(row[-1] == "FAIL" for row in rows):
         print("numeric serving diverged from the generate oracle",
               file=sys.stderr)
@@ -286,6 +320,8 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
                 served, SCHEMES[name], max_batch=args.batch,
                 admission=args.admission, seed=args.seed,
                 shed_policy="drop",
+                prompts="conversation" if args.prefix_cache else "synthetic",
+                prefix_cache=_prefix_cache_for(args),
             )
         else:
             engine = ServingEngine(
@@ -296,6 +332,7 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
                 admission=args.admission,
                 tp=tp,
                 shed_policy="drop",
+                prefix_cache=_prefix_cache_for(args),
             )
         frontend = OpenLoopFrontend(
             engine,
@@ -338,6 +375,7 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
             f"goodput={res.slo.overall.goodput_rps:.3f} req/s  "
             f"attainment={res.slo.overall.attainment:.1%}{verified}"
         )
+        _print_prefix_stats(name, r.prefix_cache)
         print(res.slo.table())
         print()
     if failed:
@@ -372,6 +410,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.requests
     )
     rows = []
+    prefix_lines = []
     for scheme in schemes:
         engine = ServingEngine(
             spec,
@@ -380,8 +419,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             enforce_memory=not args.no_memory_limit,
             admission=args.admission,
             tp=tp,
+            prefix_cache=_prefix_cache_for(args),
         )
         r = engine.run(reqs)
+        if r.prefix_cache is not None:
+            prefix_lines.append((scheme.name, r.prefix_cache))
         rows.append(
             [
                 scheme.name,
@@ -400,6 +442,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{len(reqs)} requests, {args.admission} admission",
         )
     )
+    for name, stats in prefix_lines:
+        _print_prefix_stats(name, stats)
     return 0
 
 
@@ -508,8 +552,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_prefix(args: argparse.Namespace) -> int:
+    """Warm-vs-cold prefix-cache sweep through the numeric serving backend."""
+    from repro.bench.serving_perf import (
+        check_prefix_cache_regression,
+        format_prefix_rows,
+        read_prefix_bench_json,
+        run_prefix_cache_bench,
+        write_serving_bench_json,
+    )
+
+    payload = run_prefix_cache_bench(quick=args.quick)
+    print(
+        format_table(
+            ["run", "decode tokens", "wall s", "tokens/s", "hit rate"],
+            format_prefix_rows(payload),
+            title="numeric serving backend, "
+            f"{payload['conversations']} conversations x "
+            f"{payload['turns']} turns, prefix cache warm vs cold"
+            + (" (quick)" if args.quick else ""),
+        )
+    )
+    print(f"warm speedup over cold prefill: {payload['warm_speedup']:.2f}x")
+    print("tokens verified bit-identical to generate oracle (both runs): "
+          f"{payload['verified_bit_identical']}")
+    if args.output:
+        write_serving_bench_json(payload, args.output)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        try:
+            baseline = read_prefix_bench_json(args.check_against)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {args.check_against}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_prefix_cache_regression(
+            payload, baseline, max_slowdown=args.max_slowdown
+        )
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check_against}")
+    return 0
+
+
 def _cmd_bench_serving(args: argparse.Namespace) -> int:
     """Batched-decode microbenchmark through the numeric serving backend."""
+    if getattr(args, "prefix_cache", False):
+        return _cmd_bench_prefix(args)
     from repro.bench.serving_perf import (
         check_serving_regression,
         format_serving_rows,
@@ -761,6 +852,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="numeric backend only: re-check every finished "
                         "request's tokens against per-request "
                         "LlamaModel.generate (the bit-identity oracle)")
+    s.add_argument("--prefix-cache", action="store_true",
+                   help="enable the radix-tree prefix cache: matched prompt "
+                        "prefixes resume from shared KV pages instead of "
+                        "re-prefilling (prompts switch to the multi-round "
+                        "conversation derivation so prefixes repeat; "
+                        "pairs well with --conversations)")
     s.set_defaults(func=_cmd_serve)
 
     t = sub.add_parser(
@@ -815,6 +912,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "numeric serving backend instead (tokens/s vs batch "
                         "size; -o/--check-against then use the "
                         "BENCH_serving_numeric.json schema)")
+    b.add_argument("--prefix-cache", action="store_true",
+                   help="with --serving: warm-vs-cold prefix-cache sweep "
+                        "over multi-round conversations instead "
+                        "(-o/--check-against then use the "
+                        "BENCH_prefix_cache.json schema)")
     b.set_defaults(func=_cmd_bench)
 
     d = sub.add_parser(

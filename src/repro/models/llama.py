@@ -367,15 +367,17 @@ class LlamaModel:
         *,
         pos_offset: int,
         cache: dict | None,
+        rowwise: bool = False,
     ) -> np.ndarray:
         c = self.config
         b, t, _ = x.shape
         h, kv, hd = c.n_heads, c.n_kv_heads, c.head_dim
         pre = f"layers.{layer}"
+        lin = self._linear_rowwise if rowwise else self._linear
         x2d = x.reshape(b * t, c.dim)
-        q = self._linear(f"{pre}.wq", x2d).reshape(b, t, h, hd).transpose(0, 2, 1, 3)
-        k = self._linear(f"{pre}.wk", x2d).reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
-        v = self._linear(f"{pre}.wv", x2d).reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
+        q = lin(f"{pre}.wq", x2d).reshape(b, t, h, hd).transpose(0, 2, 1, 3)
+        k = lin(f"{pre}.wk", x2d).reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
+        v = lin(f"{pre}.wv", x2d).reshape(b, t, kv, hd).transpose(0, 2, 1, 3)
         cos = self._cos[pos_offset : pos_offset + t]
         sin = self._sin[pos_offset : pos_offset + t]
         q = self._rope_apply(q, cos, sin)
@@ -402,8 +404,9 @@ class LlamaModel:
                     k = np.concatenate([k_prev, k], axis=2)
                     v = np.concatenate([v_prev, v], axis=2)
                 cache[key] = (k, v)
-        out = self._attention_core(q, k, v, pos_offset=pos_offset, t=t)
-        return self._linear(f"{pre}.wo", out.astype(np.float32)).reshape(b, t, c.dim)
+        out = self._attention_core(q, k, v, pos_offset=pos_offset, t=t, rowwise=rowwise)
+        lin = self._linear_rowwise if rowwise else self._linear
+        return lin(f"{pre}.wo", out.astype(np.float32)).reshape(b, t, c.dim)
 
     def _attention_core(
         self,
@@ -413,6 +416,7 @@ class LlamaModel:
         *,
         pos_offset: int,
         t: int,
+        rowwise: bool = False,
     ) -> np.ndarray:
         """Scores -> causal mask -> softmax -> context over cached K/V.
 
@@ -423,6 +427,14 @@ class LlamaModel:
         so stacking independent sequences along ``b`` is bit-identical to
         running them one at a time — the batched decode path reuses this
         verbatim on per-context-length buckets of requests.
+
+        With ``rowwise=True`` the score and context matmuls additionally
+        contract each *query position* independently (an extra length-1
+        stacked axis per row), so row ``i`` of a multi-token prefill is
+        bit-identical to running positions ``<= i`` alone — the prefix-cache
+        property: resuming prefill at token ``m`` over cached K/V reproduces
+        the exact bytes of a cold full prefill.  At ``t == 1`` both forms
+        issue the same single-row GEMM, so decode bytes are unchanged.
         """
         c = self.config
         b = q.shape[0]
@@ -438,10 +450,22 @@ class LlamaModel:
             # against its group of query heads inside a batched matmul.
             g = h // kv
             qg = q.reshape(b, kv, g, t, hd)
-            scores = (qg @ k[:, :, None].transpose(0, 1, 2, 4, 3)) / np.sqrt(hd)
+            kt = k[:, :, None].transpose(0, 1, 2, 4, 3)
+            if rowwise:
+                scores = np.matmul(qg[:, :, :, :, None, :], kt[:, :, :, None, :, :])[
+                    :, :, :, :, 0
+                ] / np.sqrt(hd)
+            else:
+                scores = (qg @ kt) / np.sqrt(hd)
             scores = scores.reshape(b, h, t, t_kv)
         else:
-            scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(hd)
+            kt = k.transpose(0, 1, 3, 2)
+            if rowwise:
+                scores = np.matmul(q[:, :, :, None, :], kt[:, :, None, :, :])[
+                    :, :, :, 0
+                ] / np.sqrt(hd)
+            else:
+                scores = (q @ kt) / np.sqrt(hd)
         # Causal mask: query i (at absolute position pos_offset+i) may attend
         # to keys up to that absolute position.
         q_pos = np.arange(pos_offset, pos_offset + t)[:, None]
@@ -451,9 +475,17 @@ class LlamaModel:
         e = np.exp(scores)
         attn = e / e.sum(axis=-1, keepdims=True)
         if grouped:
-            ctx = (attn.reshape(b, kv, g, t, t_kv) @ v[:, :, None]).reshape(
-                b, h, t, hd
-            )
+            ag = attn.reshape(b, kv, g, t, t_kv)
+            vg = v[:, :, None]
+            if rowwise:
+                ctx = np.matmul(ag[:, :, :, :, None, :], vg[:, :, :, None, :, :])[
+                    :, :, :, :, 0
+                ]
+            else:
+                ctx = ag @ vg
+            ctx = ctx.reshape(b, h, t, hd)
+        elif rowwise:
+            ctx = np.matmul(attn[:, :, :, None, :], v[:, :, None, :, :])[:, :, :, 0]
         else:
             ctx = attn @ v
         return ctx.transpose(0, 2, 1, 3).reshape(b * t, h * hd)
@@ -598,19 +630,31 @@ class LlamaModel:
         *,
         pos_offset: int = 0,
         cache: dict | None = None,
+        rowwise: bool = False,
     ) -> np.ndarray:
-        """One decoder layer: attention + FFN with residuals, (B, T, D) -> same."""
+        """One decoder layer: attention + FFN with residuals, (B, T, D) -> same.
+
+        ``rowwise=True`` routes every projection through the
+        batch-size-invariant per-row kernels (see :meth:`forward`); MoE
+        routing stays on the flat path — the serving stack rejects MoE
+        models, so position-invariant prefill is a dense-model contract.
+        """
         c = self.config
         b, t, _ = x.shape
         pre = f"layers.{layer}"
         h = self._rms_norm(x, self.weights[f"{pre}.attn_norm"], c.norm_eps)
-        x = x + self._attention(h, layer, pos_offset=pos_offset, cache=cache)
+        x = x + self._attention(
+            h, layer, pos_offset=pos_offset, cache=cache, rowwise=rowwise
+        )
         h = self._rms_norm(x, self.weights[f"{pre}.mlp_norm"], c.norm_eps)
         h2d = h.reshape(b * t, c.dim)
-        ffn = (
-            self._moe_ffn(h2d, layer) if c.is_moe else self._dense_ffn(h2d, pre)
-        ).reshape(b, t, c.dim)
-        return x + ffn
+        if c.is_moe:
+            ffn = self._moe_ffn(h2d, layer)
+        elif rowwise:
+            ffn = self._dense_ffn_rowwise(h2d, pre)
+        else:
+            ffn = self._dense_ffn(h2d, pre)
+        return x + ffn.reshape(b, t, c.dim)
 
     def embed(self, tokens: np.ndarray) -> np.ndarray:
         """Token embedding lookup: (B, T) int -> (B, T, D) float32."""
@@ -641,12 +685,24 @@ class LlamaModel:
         *,
         pos_offset: int = 0,
         cache: dict | None = None,
+        rowwise: bool = False,
     ) -> np.ndarray:
         """``tokens`` (B, T) int -> logits (B, T, V).
 
         With ``cache`` (a dict carried across calls) the model runs
         incrementally: pass the prompt once, then one token at a time with
         increasing ``pos_offset``.
+
+        ``rowwise=True`` selects the *position-invariant* kernels: every
+        linear, the lm head, and the attention matmuls contract each token
+        row independently, so the hidden state (and cached K/V) at position
+        ``i`` depends only on tokens ``<= i`` — never on how many later
+        positions shared the call.  That makes chunked/resumed prefill
+        bit-identical to one-shot prefill, which is what lets the prefix
+        cache hand a request someone else's KV pages.  At ``t == 1`` the
+        rowwise kernels issue the same single-row GEMMs as the flat path,
+        so incremental decode is byte-identical either way.  The flat
+        default remains the calibration/perplexity path.
         """
         c = self.config
         tokens = np.atleast_2d(np.asarray(tokens))
@@ -657,9 +713,15 @@ class LlamaModel:
             )
         x = self.weights["embed"][tokens]
         for i in range(c.n_layers):
-            x = self._layer_step(x, i, pos_offset=pos_offset, cache=cache)
+            x = self._layer_step(
+                x, i, pos_offset=pos_offset, cache=cache, rowwise=rowwise
+            )
         x = self._rms_norm(x, self.weights["final_norm"], c.norm_eps)
-        logits = x.reshape(b * t, c.dim) @ self.weights["lm_head"].T
+        x2d = x.reshape(b * t, c.dim)
+        if rowwise:
+            logits = rowwise_matmul(x2d, self.weights["lm_head"].T)
+        else:
+            logits = x2d @ self.weights["lm_head"].T
         return logits.reshape(b, t, c.vocab_size)
 
     def forward_batch(
@@ -748,11 +810,18 @@ class LlamaModel:
         ``seed`` accepts anything ``np.random.default_rng`` does (ints or
         sequence keys); the serving engine's numeric backend uses per-request
         sequence keys so its sampling stream matches this oracle exactly.
+
+        The prompt pass runs the rowwise (position-invariant) kernels so the
+        oracle's prefill bytes match the serving runner's chunked/prefix-
+        cached prefill exactly; decode steps are byte-identical under either
+        kernel set (t=1), so the flat default is kept there.
         """
         rng = np.random.default_rng(seed)
         tokens = list(np.asarray(prompt).ravel())
         cache: dict = {}
-        logits = self.forward(np.asarray(tokens)[None, :], cache=cache)[0, -1]
+        logits = self.forward(np.asarray(tokens)[None, :], cache=cache, rowwise=True)[
+            0, -1
+        ]
         for _ in range(max_new_tokens):
             nxt = sample_token(logits, temperature, rng)
             tokens.append(nxt)

@@ -56,7 +56,17 @@ from repro.serving.backend import (
     PrefillChunk,
     StepTiming,
 )
-from repro.serving.model_runner import ModelRunner, synthetic_prompt
+from repro.serving.model_runner import (
+    ModelRunner,
+    conversation_prompt,
+    synthetic_prompt,
+)
+from repro.serving.prefix_cache import (
+    CountingPageSource,
+    PrefixCache,
+    PrefixCacheStats,
+    PrefixLease,
+)
 from repro.serving.kernels import (
     attention_decode_time,
     reorder_ablation_latency,
@@ -66,6 +76,7 @@ from repro.serving.kernels import (
     gemm_tops,
 )
 from repro.serving.paged_kv import (
+    CACHE_ACCOUNT_ID,
     KVAccountingError,
     PagedKVAllocator,
     PagedKVCache,
@@ -107,6 +118,8 @@ from repro.serving.breakdown import runtime_breakdown
 from repro.serving.telemetry import (
     NULL_TELEMETRY,
     BatchedDecodeSample,
+    PrefixCacheSample,
+    PrefixEviction,
     RequestSLORecord,
     SLOSummary,
     Telemetry,
@@ -125,7 +138,9 @@ __all__ = [
     "ATOM_W4A4",
     "AnalyticBackend",
     "BatchedDecodeSample",
+    "CACHE_ACCOUNT_ID",
     "CancelFault",
+    "CountingPageSource",
     "DecodeSlot",
     "ExecutionBackend",
     "BaseScheduler",
@@ -151,6 +166,11 @@ __all__ = [
     "PagedKVCache",
     "PagedKVStore",
     "PrefillChunk",
+    "PrefixCache",
+    "PrefixCacheSample",
+    "PrefixCacheStats",
+    "PrefixEviction",
+    "PrefixLease",
     "QuantScheme",
     "RTX_4090",
     "RequestSLORecord",
@@ -178,6 +198,7 @@ __all__ = [
     "W8A8",
     "attention_decode_time",
     "attention_prefill_time",
+    "conversation_prompt",
     "dense_layer_time",
     "gemm_time",
     "gemm_tops",

@@ -137,8 +137,15 @@ class ExecutionBackend(abc.ABC):
         self.tp = tp
 
     # -- request lifecycle (mirrors paged-KV allocate/free) -------------- #
-    def on_admit(self, request) -> None:
-        """A request entered the running batch (pages reserved)."""
+    def on_admit(self, request, lease=None) -> None:
+        """A request entered the running batch (pages reserved).
+
+        ``lease`` is a :class:`~repro.serving.prefix_cache.PrefixLease`
+        when the engine's prefix cache matched the request's prompt: the
+        backend should resume prefill from ``lease.kv_tokens`` over the
+        leased pages.  Backends that ignore it recompute the full prompt
+        (correct, just slower).
+        """
 
     def on_release(self, request_id: int, reason: str) -> None:
         """A running request left the batch.
@@ -269,6 +276,7 @@ class NumericBackend(ExecutionBackend):
         seed: int = 0,
         store=None,
         batched: bool = True,
+        prompts: str = "synthetic",
     ) -> None:
         from repro.serving.model_runner import ModelRunner
 
@@ -279,6 +287,7 @@ class NumericBackend(ExecutionBackend):
             temperature=temperature,
             seed=seed,
             store=store,
+            prompts=prompts,
         )
         #: Fused cross-request decode: one ``forward_batch`` per engine step
         #: instead of a per-request ``decode_one`` loop.  Tokens are
@@ -309,6 +318,7 @@ class NumericBackend(ExecutionBackend):
         temperature: float = 0.0,
         seed: int = 0,
         batched: bool = True,
+        prompts: str = "synthetic",
         **engine_kwargs,
     ):
         """Build a :class:`ServingEngine` serving ``model`` numerically.
@@ -326,6 +336,7 @@ class NumericBackend(ExecutionBackend):
             temperature=temperature,
             seed=seed,
             batched=batched,
+            prompts=prompts,
         )
         return ServingEngine(
             serving_spec_for(model.config),
@@ -337,14 +348,31 @@ class NumericBackend(ExecutionBackend):
         )
 
     # -- lifecycle -------------------------------------------------------- #
-    def on_admit(self, request) -> None:
+    def on_admit(self, request, lease=None) -> None:
         if request.total_len > self.model.config.max_seq_len:
             raise ValueError(
                 f"request {request.request_id} needs {request.total_len} "
                 f"positions but the model's max_seq_len is "
                 f"{self.model.config.max_seq_len}"
             )
-        self.runner.start(request.request_id, request.prefill_len)
+        self.runner.start(request.request_id, request.prefill_len, lease=lease)
+
+    def prefix_adapter(self, cache) -> None:
+        """Wire a :class:`~repro.serving.prefix_cache.PrefixCache` to the
+        runner's real token/page plumbing (called from ``cache.bind``).
+
+        The cache then shares the runner's physical store (page refcounts),
+        derives prompts exactly as the runner serves them, and interns page
+        tables straight out of live requests' paged caches.
+        """
+        runner = self.runner
+        cache.configure(
+            n_layers=self.model.config.n_layers,
+            source=runner.store,
+            prompt_fn=runner.prompt_for,
+            tokens_fn=lambda rid, prefill_len, total_kv: runner.tokens(rid),
+            tables_fn=lambda rid: runner.kv_state(rid)[0],
+        )
 
     def on_release(self, request_id: int, reason: str) -> None:
         self.runner.release(request_id, keep_tokens=(reason == "finished"))

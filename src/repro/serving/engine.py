@@ -63,6 +63,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -86,6 +87,9 @@ from repro.serving.telemetry import (
     weighted_mean,
     weighted_percentile,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.serving.prefix_cache import PrefixCache
 
 __all__ = [
     "EngineRun",
@@ -161,6 +165,10 @@ class ServingResult:
     #: TTFT/TBT/goodput-under-SLO aggregation; filled by the open-loop
     #: front-end (:mod:`repro.serving.frontend`), ``None`` for closed-loop.
     slo: "SLOSummary | None" = None
+    #: Prefix-cache counters (hit rate, shared pages, evictions — see
+    #: :class:`~repro.serving.prefix_cache.PrefixCacheStats`); ``None``
+    #: when the run had no prefix cache attached.
+    prefix_cache: "dict | None" = None
 
     def summary(self) -> str:
         return (
@@ -215,6 +223,7 @@ class ServingEngine:
         backoff_base_s: float = 1e-3,
         stall_limit: int = 1000,
         backend: "ExecutionBackend | None" = None,
+        prefix_cache: "PrefixCache | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -274,6 +283,13 @@ class ServingEngine:
         # Share the engine's sink so backends can emit execution-side events
         # (e.g. the numeric backend's per-step BatchedDecodeSample).
         self.backend.telemetry = self.telemetry
+        # Optional radix-tree prefix cache: binds to this engine's allocator
+        # (page accounting) and lets the backend adapt it to its own token /
+        # page-table plumbing.  None leaves every step() hook untouched, so
+        # cache-less runs are bit-identical to pre-cache engines.
+        self.prefix_cache = prefix_cache
+        if prefix_cache is not None:
+            prefix_cache.bind(self._allocator, self.backend)
 
     # ------------------------------------------------------------------ #
     def _deadline_for(self, request_id: int) -> float:
@@ -448,6 +464,7 @@ class EngineRun:
         """Run exactly one engine iteration (one pass of the serve loop)."""
         engine = self.engine
         alloc = engine._allocator
+        cache = engine.prefix_cache
         tel = engine.telemetry
         injector = self.injector
         pending = self.pending
@@ -463,10 +480,17 @@ class EngineRun:
                     self.faults_injected += 1
                     tel.fault_injected("page_shrink", float(applied))
                 # A shrink below live usage evicts the newest requests
-                # until accounting is consistent (recompute-on-resume).
+                # until accounting is consistent (recompute-on-resume) —
+                # after reclaiming unpinned prefix-cache pages first:
+                # cached prefixes are recomputable for free, live requests
+                # are not.
+                if cache is not None and alloc.free_pages < 0:
+                    cache.evict_pages(-alloc.free_pages)
                 while alloc.free_pages < 0 and running:
                     victim = running.pop()
                     vrid = victim.request.request_id
+                    if cache is not None:
+                        cache.release(vrid)
                     freed = alloc.free(vrid)
                     engine.backend.on_release(vrid, "preempted")
                     tel.request_preempted(vrid, freed)
@@ -480,6 +504,8 @@ class EngineRun:
                 )
                 if hit is not None:
                     running.remove(hit)
+                    if cache is not None:
+                        cache.release(rid)
                     freed = alloc.free(rid)
                     engine.backend.on_release(rid, "cancelled")
                     self._terminal(rid, "cancelled")
@@ -502,6 +528,8 @@ class EngineRun:
                 rid = a.request.request_id
                 if self.clock > engine._deadline_for(rid):
                     running.remove(a)
+                    if cache is not None:
+                        cache.release(rid)
                     freed = alloc.free(rid)
                     engine.backend.on_release(rid, "timed_out")
                     self._terminal(rid, "timed_out")
@@ -525,29 +553,73 @@ class EngineRun:
                 if engine.admission == "reserve"
                 else nxt.prefill_len + 1
             )
+            # Prefix-cache lookup: a hit pins the matched pages (lease) and
+            # shrinks the reservation — full pages served out of the tree
+            # are charged to the cache account, not this request.  The
+            # lease must be released on every non-admission path below.
+            lease = (
+                cache.acquire(nxt.request_id, nxt.prefill_len)
+                if cache is not None
+                else None
+            )
+            shared = lease.kv_tokens if lease is not None else 0
             if engine.admission == "dynamic":
                 # Watermark: keep enough free pages for one decode round
                 # of every in-flight request, or admission starves decode
                 # into a preempt/recompute livelock.
-                slack_after = alloc.free_pages - alloc.pages_for(reserve)
+                slack_after = alloc.free_pages - alloc.pages_needed(
+                    reserve, shared_tokens=shared
+                )
                 if slack_after < len(running) + 1:
+                    if lease is not None:
+                        cache.release(nxt.request_id)
                     self.memory_limited = bool(running)
                     break
             if self._alloc_blocked():
+                if lease is not None:
+                    cache.release(nxt.request_id)
                 break
-            if not alloc.allocate(nxt.request_id, reserve):
-                self.memory_limited = True
-                break
+            if not alloc.allocate(
+                nxt.request_id, reserve, shared_tokens=shared
+            ):
+                # Reclaim unpinned cached prefixes before giving up: the
+                # tree's pages are recomputable, queued work is not.
+                short = (
+                    alloc.pages_needed(reserve, shared_tokens=shared)
+                    - alloc.free_pages
+                )
+                if (
+                    cache is None
+                    or cache.evict_pages(short) < short
+                    or not alloc.allocate(
+                        nxt.request_id, reserve, shared_tokens=shared
+                    )
+                ):
+                    if lease is not None:
+                        cache.release(nxt.request_id)
+                    self.memory_limited = True
+                    break
             if tel.enabled:
                 tel.request_admitted(
                     nxt.request_id,
                     nxt.prefill_len,
                     nxt.decode_len,
-                    alloc.pages_for(reserve),
+                    alloc.pages_needed(reserve, shared_tokens=shared)
+                    if lease is not None
+                    else alloc.pages_for(reserve),
                 )
             pending.popleft()
-            running.append(_Active(nxt))
-            engine.backend.on_admit(nxt)
+            act = _Active(nxt)
+            if lease is not None:
+                # Prefill resumes at the matched token: the lease's pages
+                # already hold KV for [0, kv_tokens), so only the remainder
+                # of the prompt runs through the model.
+                act.prefilled = lease.kv_tokens
+            running.append(act)
+            if lease is not None:
+                engine.backend.on_admit(nxt, lease=lease)
+            else:
+                engine.backend.on_admit(nxt)
             self.admission_log.append((nxt.request_id, self.clock))
         if not running:
             # Nothing in flight and the queue head could not be
@@ -608,6 +680,16 @@ class EngineRun:
                     blocked = self._alloc_blocked()
                     if not blocked and alloc.append_token(rid):
                         break
+                    # Genuinely out of pages: evict unpinned prefix-cache
+                    # entries (LRU) before resorting to preemption — a
+                    # cached prefix is recomputable, a victim's decode
+                    # progress is real work thrown away.
+                    if (
+                        not blocked
+                        and cache is not None
+                        and cache.evict_pages(1)
+                    ):
+                        continue
                     # Out of pages (or a persistent transient fault):
                     # preempt the most recently admitted request whose
                     # cache has not grown this iteration (vLLM recompute
@@ -632,6 +714,8 @@ class EngineRun:
                         # its full lifetime exceeds the KV budget.
                         need = alloc.pages_for(a.request.total_len)
                         if engine.shed_policy == "drop":
+                            if cache is not None:
+                                cache.release(rid)
                             alloc.free(rid)
                             engine.backend.on_release(rid, "shed")
                             self._shed(rid, need)
@@ -639,6 +723,8 @@ class EngineRun:
                             break
                         raise ShedError(rid, need, alloc.total_pages)
                     vrid = victim.request.request_id
+                    if cache is not None:
+                        cache.release(vrid)
                     freed = alloc.free(vrid)
                     engine.backend.on_release(vrid, "preempted")
                     tel.request_preempted(vrid, freed)
@@ -726,6 +812,14 @@ class EngineRun:
         for a, chunk in chunks:
             a.prefilled += chunk
             if a.prefill_done:
+                if cache is not None:
+                    # The full prompt pages now hold final KV: hand them to
+                    # the radix tree so later requests sharing the prefix
+                    # skip this work.  The partial tail page stays
+                    # request-owned until the request finishes.
+                    cache.intern_prefill(
+                        a.request.request_id, a.request.prefill_len
+                    )
                 a.generated += 1
                 a.context_len += 1
                 self.decode_tokens += 1
@@ -740,6 +834,17 @@ class EngineRun:
         still: list[_Active] = []
         for a in running:
             if a.done:
+                if cache is not None:
+                    # Intern the whole KV-covered sequence (the last
+                    # sampled token never ran through the model, hence the
+                    # -1) while the backend still holds the page tables,
+                    # then unpin this request's lease.
+                    cache.intern_finished(
+                        a.request.request_id,
+                        a.request.prefill_len,
+                        a.request.prefill_len + a.request.decode_len - 1,
+                    )
+                    cache.release(a.request.request_id)
                 freed = alloc.free(a.request.request_id)
                 engine.backend.on_release(a.request.request_id, "finished")
                 tel.request_finished(a.request.request_id, freed)
@@ -812,5 +917,10 @@ class EngineRun:
             backend=engine.backend.name,
             decode_batch_hist=dict(
                 sorted(Counter(self.occupancy).items())
+            ),
+            prefix_cache=(
+                engine.prefix_cache.snapshot_stats().to_dict()
+                if engine.prefix_cache is not None
+                else None
             ),
         )

@@ -39,7 +39,12 @@ import numpy as np
 from repro.models.llama import LlamaModel, sample_token
 from repro.serving.paged_kv import PagedKVCache, PagedKVStore
 
-__all__ = ["ModelRunner", "synthetic_prompt"]
+__all__ = [
+    "ModelRunner",
+    "conversation_prompt",
+    "synthetic_prompt",
+    "PROMPT_BLOCK",
+]
 
 
 def synthetic_prompt(
@@ -53,6 +58,43 @@ def synthetic_prompt(
     """
     rng = np.random.default_rng([seed, request_id])
     return rng.integers(0, vocab_size, size=prefill_len, dtype=np.int64)
+
+
+#: Tokens per conversation-stream block (see :func:`conversation_prompt`).
+PROMPT_BLOCK = 64
+
+# Conversation ids in the ShareGPT workload address turns as
+# ``cid * TURN_STRIDE + turn`` (repro.data.sharegpt.TURN_STRIDE); imported
+# lazily here to keep this module's dependency surface flat.
+_TURN_STRIDE = 64
+
+
+def conversation_prompt(
+    request_id: int, prefill_len: int, vocab_size: int, *, seed: int = 0
+) -> np.ndarray:
+    """Prompt drawn from a per-*conversation* token stream.
+
+    Requests whose ids share a conversation (``request_id // TURN_STRIDE``,
+    the ShareGPT multi-round addressing) read the same underlying infinite
+    stream, so a later turn's longer prompt literally extends an earlier
+    turn's prompt token-for-token — the structural property multi-round
+    chat has in reality, and the hit generator the prefix cache feeds on.
+    Still a pure function of ``(seed, request_id, prefill_len)``: the
+    ``generate`` oracle reconstructs it with no engine state.
+
+    The stream is materialised in :data:`PROMPT_BLOCK`-token blocks, each
+    seeded ``[seed, 2, cid, block]`` (disjoint from the ``[seed, rid]``
+    synthetic-prompt and ``[seed, 1, rid]`` sampling keys).
+    """
+    cid = request_id // _TURN_STRIDE
+    n_blocks = -(-max(prefill_len, 1) // PROMPT_BLOCK)
+    blocks = [
+        np.random.default_rng([seed, 2, cid, block]).integers(
+            0, vocab_size, size=PROMPT_BLOCK, dtype=np.int64
+        )
+        for block in range(n_blocks)
+    ]
+    return np.concatenate(blocks)[:prefill_len]
 
 
 class _RequestState:
@@ -78,6 +120,7 @@ class ModelRunner:
         temperature: float = 0.0,
         seed: int = 0,
         store: PagedKVStore | None = None,
+        prompts: str = "synthetic",
     ) -> None:
         if not model.fast_path:
             raise ValueError(
@@ -86,9 +129,12 @@ class ModelRunner:
             )
         if model.config.is_moe:
             raise ValueError("numeric serving covers dense models only")
+        if prompts not in ("synthetic", "conversation"):
+            raise ValueError(f"unknown prompt mode {prompts!r}")
         self.model = model
         self.temperature = temperature
         self.seed = seed
+        self.prompts = prompts
         cfg = model.config
         self.store = store or PagedKVStore(
             cfg.n_kv_heads, cfg.head_dim, page_size=page_size
@@ -110,7 +156,12 @@ class ModelRunner:
         key = (request_id, prefill_len)
         prompt = self._prompt_cache.get(key)
         if prompt is None:
-            prompt = synthetic_prompt(
+            derive = (
+                conversation_prompt
+                if self.prompts == "conversation"
+                else synthetic_prompt
+            )
+            prompt = derive(
                 request_id,
                 prefill_len,
                 self.model.config.vocab_size,
@@ -133,8 +184,18 @@ class ModelRunner:
         :meth:`seed_for`'s key, so oracle and engine sampling streams match."""
         return np.random.default_rng(self.seed_for(request_id))
 
-    def start(self, request_id: int, prefill_len: int) -> None:
-        """(Re)initialise a request from scratch — admission or recompute."""
+    def start(self, request_id: int, prefill_len: int, *, lease=None) -> None:
+        """(Re)initialise a request from scratch — admission or recompute.
+
+        With a prefix-cache ``lease`` (see
+        :class:`~repro.serving.prefix_cache.PrefixLease`) the per-layer KV
+        caches start *borrowed*: page table seeded with the lease's shared
+        page ids and length set to ``lease.kv_tokens``, so prefill resumes
+        at the matched token.  Borrowed pages are read-only to this request
+        — :class:`PagedKVCache` copies-on-write before any append would
+        touch one — and are pinned by the lease's node refcounts, not owned
+        by the request.
+        """
         if request_id in self._states:
             raise KeyError(f"request {request_id} is already running")
         state = _RequestState(
@@ -144,10 +205,25 @@ class ModelRunner:
         # shared store; the model uses whatever the cache dict holds, so the
         # model object itself is never mutated (its ``kv_cache_factory``
         # hook offers the same pluggability for standalone use).
-        state.cache = {
-            f"layers.{i}.kv": PagedKVCache(self.store)
-            for i in range(self.model.config.n_layers)
-        }
+        n_layers = self.model.config.n_layers
+        if lease is not None and lease.kv_tokens > 0:
+            if len(lease.pages) != n_layers:
+                raise ValueError(
+                    f"lease covers {len(lease.pages)} layers, model has {n_layers}"
+                )
+            state.cache = {
+                f"layers.{i}.kv": PagedKVCache(
+                    self.store,
+                    borrowed_pages=lease.pages[i],
+                    length=lease.kv_tokens,
+                )
+                for i in range(n_layers)
+            }
+        else:
+            state.cache = {
+                f"layers.{i}.kv": PagedKVCache(self.store)
+                for i in range(n_layers)
+            }
         self._states[request_id] = state
 
     def release(self, request_id: int, *, keep_tokens: bool = False) -> None:
@@ -184,8 +260,11 @@ class ModelRunner:
                 f"{prefix_len + chunk}) exceeds prompt length {prompt_len}"
             )
         piece = state.prompt[prefix_len : prefix_len + chunk]
+        # rowwise: position-invariant kernels, so a chunked or prefix-cache-
+        # resumed prefill writes byte-identical KV/logits to a one-shot pass
+        # (and to the generate oracle's own rowwise prompt pass).
         logits = self.model.forward(
-            piece[None, :], pos_offset=prefix_len, cache=state.cache
+            piece[None, :], pos_offset=prefix_len, cache=state.cache, rowwise=True
         )[0, -1]
         if prefix_len + chunk < prompt_len:
             return None
@@ -253,9 +332,29 @@ class ModelRunner:
         return caches[0].length if caches else 0
 
     def pages_held(self, request_id: int) -> int:
-        """Physical pages currently held by one live request, all layers."""
+        """Physical pages *owned* by one live request, all layers.
+
+        Borrowed (prefix-cache) pages are excluded: they are pinned by the
+        radix tree's refcounts and outlive the request, so counting them
+        here would double-book them in leak audits.
+        """
         state = self._states[request_id]
-        return sum(len(c.pages) for c in state.cache.values())
+        return sum(len(c.pages) - c.n_borrowed for c in state.cache.values())
+
+    def kv_state(self, request_id: int) -> "tuple[list[list[int]], int, int]":
+        """``(per-layer page tables, kv length, borrowed prefix pages)``.
+
+        The prefix cache interns from this: the page ids a finished or
+        prefill-complete request's KV lives in, in token order.  The
+        borrowed count is uniform across layers (COW tracks per layer but
+        divergence is token-driven, so every layer COWs the same indices).
+        """
+        state = self._states[request_id]
+        caches = list(state.cache.values())
+        tables = [list(c.pages) for c in caches]
+        length = caches[0].length if caches else 0
+        borrowed = caches[0].n_borrowed if caches else 0
+        return tables, length, borrowed
 
     def live_pages(self) -> int:
         """Physical pages held across every live request (leak audits)."""

@@ -35,11 +35,17 @@ import numpy as np
 from repro.serving.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
+    "CACHE_ACCOUNT_ID",
     "KVAccountingError",
     "PagedKVAllocator",
     "PagedKVCache",
     "PagedKVStore",
 ]
+
+#: Synthetic "request id" under which prefix-cache-held pages appear in
+#: page-delta telemetry.  Only emitted when a prefix cache is attached, so
+#: traces of cache-less runs are byte-identical to pre-cache versions.
+CACHE_ACCOUNT_ID = -1
 
 
 class KVAccountingError(KeyError):
@@ -55,13 +61,38 @@ class KVAccountingError(KeyError):
     def __init__(self, operation: str, request_id: int) -> None:
         self.operation = operation
         self.request_id = request_id
-        super().__init__(
-            f"KV page accounting violation: {operation} for request "
-            f"{request_id} which holds no allocation"
-            if operation in ("free", "append_token")
-            else f"KV page accounting violation: {operation} for request "
-            f"{request_id} which is already allocated"
-        )
+        if operation in ("free", "append_token"):
+            msg = (
+                f"KV page accounting violation: {operation} for request "
+                f"{request_id} which holds no allocation"
+            )
+        elif operation in ("free_page", "ref_page"):
+            msg = (
+                f"KV page accounting violation: {operation} for page "
+                f"{request_id} which is not live (double free or never "
+                f"allocated)"
+            )
+        elif operation == "release":
+            msg = (
+                "KV page accounting violation: release of an already-"
+                "released page table (request/layer cache freed twice)"
+            )
+        elif operation == "transfer_to_cache":
+            msg = (
+                f"KV page accounting violation: transfer_to_cache for "
+                f"request {request_id} exceeds the pages it holds"
+            )
+        elif operation == "cache_release":
+            msg = (
+                "KV page accounting violation: cache_release of more pages "
+                "than the prefix cache holds"
+            )
+        else:
+            msg = (
+                f"KV page accounting violation: {operation} for request "
+                f"{request_id} which is already allocated"
+            )
+        super().__init__(msg)
 
 
 class PagedKVAllocator:
@@ -92,11 +123,17 @@ class PagedKVAllocator:
         self.telemetry = telemetry
         self._pages: dict[int, int] = {}  # request_id -> pages held
         self._tokens: dict[int, int] = {}  # request_id -> tokens stored
+        # Prefix-cache accounting: pages held by the shared radix tree (not
+        # by any live request), and per-request counts of *shared* pages —
+        # full pages a request reads through the cache (or transferred to
+        # it) that its own charge therefore must not cover.
+        self.cache_pages = 0
+        self._shared: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     @property
     def used_pages(self) -> int:
-        return sum(self._pages.values())
+        return sum(self._pages.values()) + self.cache_pages
 
     @property
     def free_pages(self) -> int:
@@ -109,25 +146,45 @@ class PagedKVAllocator:
         return self.pages_for(n_tokens) <= self.free_pages
 
     # ------------------------------------------------------------------ #
-    def allocate(self, request_id: int, n_tokens: int) -> bool:
-        """Reserve pages for a new request's first ``n_tokens``."""
+    def allocate(
+        self, request_id: int, n_tokens: int, *, shared_tokens: int = 0
+    ) -> bool:
+        """Reserve pages for a new request's first ``n_tokens``.
+
+        ``shared_tokens`` is the prefix served out of the shared prefix
+        cache: the full pages it spans are charged to the cache's own
+        account, so the request only reserves what it will actually write
+        (the partial boundary page, if any, stays on the request — it will
+        be copy-on-write duplicated the moment the request appends).
+        """
         if request_id in self._pages:
             raise KVAccountingError("allocate", request_id)
-        need = self.pages_for(max(n_tokens, 1))
+        if not 0 <= shared_tokens <= n_tokens:
+            raise ValueError(
+                f"shared_tokens {shared_tokens} outside [0, {n_tokens}]"
+            )
+        shared_pages = shared_tokens // self.page_size
+        need = self.pages_for(max(n_tokens, 1)) - shared_pages
         if need > self.free_pages:
             return False
         self._pages[request_id] = need
         self._tokens[request_id] = n_tokens
+        if shared_pages:
+            self._shared[request_id] = shared_pages
         if self.telemetry.enabled:
             self.telemetry.page_delta(request_id, need, self.free_pages)
         return True
+
+    def pages_needed(self, n_tokens: int, *, shared_tokens: int = 0) -> int:
+        """Pages :meth:`allocate` would charge for this reservation."""
+        return self.pages_for(max(n_tokens, 1)) - shared_tokens // self.page_size
 
     def append_token(self, request_id: int) -> bool:
         """Grow a request's cache by one decoded token (new page if full)."""
         if request_id not in self._pages:
             raise KVAccountingError("append_token", request_id)
         tokens = self._tokens[request_id] + 1
-        need = self.pages_for(tokens)
+        need = self.pages_for(tokens) - self._shared.get(request_id, 0)
         extra = need - self._pages[request_id]
         if extra > self.free_pages:
             return False
@@ -142,15 +199,65 @@ class PagedKVAllocator:
 
         Freeing an unknown or already-freed request raises
         :class:`KVAccountingError` — a double free is a pool-corruption bug,
-        never a condition to paper over.
+        never a condition to paper over.  Pages previously transferred to
+        the prefix cache are *not* freed here: the cache's account keeps
+        them until eviction.
         """
         if request_id not in self._pages:
             raise KVAccountingError("free", request_id)
         freed = self._pages.pop(request_id)
         self._tokens.pop(request_id)
+        self._shared.pop(request_id, None)
         if self.telemetry.enabled:
             self.telemetry.page_delta(request_id, -freed, self.free_pages)
         return freed
+
+    # -- prefix-cache account ------------------------------------------- #
+    def transfer_to_cache(self, request_id: int, n_pages: int) -> None:
+        """Move ``n_pages`` of a live request's charge to the cache account.
+
+        Interning a prefix hands the pages holding it to the shared radix
+        tree: the request keeps reading them, but they now outlive it, so
+        the budget charge moves accounts (net zero — both deltas are
+        emitted so trace-level conservation audits still balance).
+        """
+        if n_pages == 0:
+            return
+        held = self._pages.get(request_id)
+        if held is None:
+            raise KVAccountingError("free", request_id)
+        if n_pages < 0 or n_pages > held:
+            raise KVAccountingError("transfer_to_cache", request_id)
+        self._pages[request_id] = held - n_pages
+        self._shared[request_id] = self._shared.get(request_id, 0) + n_pages
+        self.cache_pages += n_pages
+        if self.telemetry.enabled:
+            self.telemetry.page_delta(request_id, -n_pages, self.free_pages)
+            self.telemetry.page_delta(
+                CACHE_ACCOUNT_ID, n_pages, self.free_pages
+            )
+
+    def cache_acquire(self, n_pages: int) -> None:
+        """Charge ``n_pages`` fresh pages to the prefix-cache account."""
+        if n_pages == 0:
+            return
+        self.cache_pages += n_pages
+        if self.telemetry.enabled:
+            self.telemetry.page_delta(
+                CACHE_ACCOUNT_ID, n_pages, self.free_pages
+            )
+
+    def cache_release(self, n_pages: int) -> None:
+        """Return ``n_pages`` from the prefix-cache account (eviction)."""
+        if n_pages == 0:
+            return
+        if n_pages < 0 or n_pages > self.cache_pages:
+            raise KVAccountingError("cache_release", CACHE_ACCOUNT_ID)
+        self.cache_pages -= n_pages
+        if self.telemetry.enabled:
+            self.telemetry.page_delta(
+                CACHE_ACCOUNT_ID, -n_pages, self.free_pages
+            )
 
     def resize(self, delta_pages: int) -> int:
         """Grow (``delta`` > 0) or shrink (``delta`` < 0) the page pool.
@@ -215,6 +322,13 @@ class PagedKVStore:
         self._k = np.zeros(shape, dtype=np.float32)
         self._v = np.zeros(shape, dtype=np.float32)
         self._free: list[int] = list(range(initial_pages - 1, -1, -1))
+        # page_id -> reference count.  A page leaves the free list with one
+        # reference; sharing (the prefix cache pinning a request's page, or
+        # two radix nodes spanning one physical page) adds references, and
+        # the page returns to the free list only at zero.  Releasing a page
+        # that is not live raises a typed error — double frees corrupt the
+        # pool silently otherwise.
+        self._refs: dict[int, int] = {}
 
     @property
     def capacity_pages(self) -> int:
@@ -235,13 +349,42 @@ class PagedKVStore:
         self._free.extend(range(new - 1, old - 1, -1))
 
     def alloc_page(self) -> int:
-        """Take one page from the free list (growing the pool if empty)."""
+        """Take one page from the free list (growing the pool if empty).
+
+        The new page starts with one reference (the allocator of the page —
+        a request's page table, or a radix node for cache-fabricated
+        pages).
+        """
         if not self._free:
             self._grow()
-        return self._free.pop()
+        page_id = self._free.pop()
+        self._refs[page_id] = 1
+        return page_id
+
+    def ref_page(self, page_id: int) -> None:
+        """Add a reference to a live page (prefix-cache sharing)."""
+        if page_id not in self._refs:
+            raise KVAccountingError("ref_page", page_id)
+        self._refs[page_id] += 1
 
     def free_page(self, page_id: int) -> None:
+        """Drop one reference; the page is recycled at zero references.
+
+        Raises :class:`KVAccountingError` for a page that is not live —
+        releasing a shared page twice is a refcounting bug, never a no-op.
+        """
+        refs = self._refs.get(page_id)
+        if refs is None:
+            raise KVAccountingError("free_page", page_id)
+        if refs > 1:
+            self._refs[page_id] = refs - 1
+            return
+        del self._refs[page_id]
         self._free.append(page_id)
+
+    def page_refs(self, page_id: int) -> int:
+        """Current reference count of one page (0 = not live)."""
+        return self._refs.get(page_id, 0)
 
     def page_k(self, page_id: int) -> np.ndarray:
         """Writable ``(n_kv_heads, page_size, head_dim)`` view of one K page."""
@@ -269,15 +412,41 @@ class PagedKVCache:
 
     Batch dimension must be 1: the serving engine schedules per-request
     caches (that is the point of paging).
+
+    Prefix-cache integration: constructed with ``borrowed_pages`` the cache
+    starts over *shared* pages it does not own — the leading
+    ``n_borrowed`` entries of the page table, pinned by the radix tree's
+    refcounts rather than this request.  Borrowed pages are never written:
+    the first append that would land inside one copies the live slots into
+    a freshly allocated page first (copy-on-write), and :meth:`release`
+    returns only owned pages to the store.
     """
 
-    __slots__ = ("store", "codec", "pages", "length")
+    __slots__ = ("store", "codec", "pages", "length", "n_borrowed", "_released")
 
-    def __init__(self, store: PagedKVStore, *, codec=None) -> None:
+    def __init__(
+        self,
+        store: PagedKVStore,
+        *,
+        codec=None,
+        borrowed_pages: "list[int] | None" = None,
+        length: int = 0,
+    ) -> None:
         self.store = store
         self.codec = codec
-        self.pages: list[int] = []
-        self.length = 0
+        self.pages: list[int] = list(borrowed_pages or ())
+        self.n_borrowed = len(self.pages)
+        self.length = length
+        self._released = False
+        if self.n_borrowed:
+            ps = store.page_size
+            if not (self.n_borrowed - 1) * ps < length <= self.n_borrowed * ps:
+                raise ValueError(
+                    f"{self.n_borrowed} borrowed pages cannot hold a length-"
+                    f"{length} prefix at page_size {ps}"
+                )
+        elif length:
+            raise ValueError("non-zero length requires borrowed pages")
 
     # -- KVCache protocol ------------------------------------------------- #
     def append(
@@ -292,6 +461,7 @@ class PagedKVCache:
         if self.codec is not None:
             k_new = self.codec.encode_decode(k_new, "k").astype(np.float32)
             v_new = self.codec.encode_decode(v_new, "v").astype(np.float32)
+        self._cow_tail()
         ps = self.store.page_size
         t = k_new.shape[2]
         written = 0
@@ -311,6 +481,27 @@ class PagedKVCache:
             self.length += take
             written += take
         return self.gather()
+
+    def _cow_tail(self) -> None:
+        """Copy-on-write the partial borrowed tail page before an append.
+
+        Appends write at position :attr:`length`; if that lands mid-way
+        into a *borrowed* page (only ever the last borrowed one), the live
+        slots are copied into a freshly allocated owned page which replaces
+        the borrowed id in this request's table.  The shared page itself is
+        never touched — other readers and the radix tree keep using it.
+        """
+        slot = self.length % self.store.page_size
+        pi = self.length // self.store.page_size
+        if slot == 0 or pi >= self.n_borrowed:
+            self.n_borrowed = min(self.n_borrowed, pi)
+            return
+        old = self.pages[pi]
+        new = self.store.alloc_page()
+        self.store.page_k(new)[:, :slot] = self.store.page_k(old)[:, :slot]
+        self.store.page_v(new)[:, :slot] = self.store.page_v(old)[:, :slot]
+        self.pages[pi] = new
+        self.n_borrowed = pi
 
     def gather(self) -> tuple[np.ndarray, np.ndarray]:
         """Contiguous ``(1, kv_heads, length, head_dim)`` K/V of the live prefix."""
@@ -361,6 +552,7 @@ class PagedKVCache:
         # Allocate first (alloc_page may grow, i.e. reallocate, the pool
         # arrays), index the store only once allocation is settled.
         for j, cache in enumerate(caches):
+            cache._cow_tail()
             slot = cache.length % ps
             if slot == 0:
                 cache.pages.append(store.alloc_page())
@@ -408,10 +600,20 @@ class PagedKVCache:
         return out
 
     def release(self) -> int:
-        """Return every page to the store; returns how many were freed."""
-        n = len(self.pages)
-        for page_id in self.pages:
+        """Return every *owned* page to the store; returns how many.
+
+        Borrowed (prefix-cache) pages are left alone — the radix tree's
+        references keep them live.  Releasing twice raises
+        :class:`KVAccountingError`: the first call already handed the pages
+        back, so a second is a double free of shared storage.
+        """
+        if self._released:
+            raise KVAccountingError("release", CACHE_ACCOUNT_ID)
+        n = len(self.pages) - self.n_borrowed
+        for page_id in self.pages[self.n_borrowed :]:
             self.store.free_page(page_id)
         self.pages.clear()
         self.length = 0
+        self.n_borrowed = 0
+        self._released = True
         return n

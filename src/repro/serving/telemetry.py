@@ -267,6 +267,36 @@ class BatchedDecodeSample(TraceEvent):
     event: str = field(init=False, default="batched_decode", repr=False)
 
 
+@dataclass(frozen=True)
+class PrefixCacheSample(TraceEvent):
+    """One prefix-cache lookup at admission (hit or miss).
+
+    ``matched_tokens`` is the radix-tree longest-prefix match over the
+    request's prompt; ``kv_tokens`` the cached tokens actually leased
+    (capped at ``prefill_len - 1`` so one prompt token still produces
+    first-token logits); ``pages_borrowed`` the shared pages seeding the
+    request's page table.  Emitted only when a prefix cache is attached,
+    so cache-less traces stay byte-identical.
+    """
+
+    request_id: int = -1
+    prefill_len: int = 0
+    matched_tokens: int = 0
+    kv_tokens: int = 0
+    pages_borrowed: int = 0
+
+    event: str = field(init=False, default="prefix_cache", repr=False)
+
+
+@dataclass(frozen=True)
+class PrefixEviction(TraceEvent):
+    """LRU eviction of unreferenced radix-tree nodes (pages returned)."""
+
+    pages_freed: int = 0
+
+    event: str = field(init=False, default="prefix_evict", repr=False)
+
+
 _EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.event: cls  # type: ignore[misc]
     for cls in (
@@ -281,6 +311,8 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
         PipelineStage,
         IterationSample,
         BatchedDecodeSample,
+        PrefixCacheSample,
+        PrefixEviction,
     )
 }
 
@@ -359,6 +391,19 @@ class Telemetry:
         t_dense_s: float,
         t_wall_s: float,
     ) -> None:
+        pass
+
+    def prefix_cache_sample(
+        self,
+        request_id: int,
+        prefill_len: int,
+        matched_tokens: int,
+        kv_tokens: int,
+        pages_borrowed: int,
+    ) -> None:
+        pass
+
+    def prefix_eviction(self, pages_freed: int) -> None:
         pass
 
 
@@ -510,6 +555,35 @@ class TraceRecorder(Telemetry):
                 t_quant_s=t_quant_s,
                 t_dense_s=t_dense_s,
                 t_wall_s=t_wall_s,
+            )
+        )
+
+    def prefix_cache_sample(
+        self,
+        request_id: int,
+        prefill_len: int,
+        matched_tokens: int,
+        kv_tokens: int,
+        pages_borrowed: int,
+    ) -> None:
+        self.events.append(
+            PrefixCacheSample(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                prefill_len=prefill_len,
+                matched_tokens=matched_tokens,
+                kv_tokens=kv_tokens,
+                pages_borrowed=pages_borrowed,
+            )
+        )
+
+    def prefix_eviction(self, pages_freed: int) -> None:
+        self.events.append(
+            PrefixEviction(
+                t=self._clock,
+                iteration=self._iteration,
+                pages_freed=pages_freed,
             )
         )
 

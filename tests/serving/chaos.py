@@ -38,6 +38,7 @@ from repro.serving import (
     FrontendResult,
     Interaction,
     OpenLoopFrontend,
+    PrefixCache,
     ServingEngine,
     ServingResult,
     TraceRecorder,
@@ -192,8 +193,77 @@ def assert_invariants(run: ChaosRun) -> None:
 
 
 # --------------------------------------------------------------------------- #
-# Open-loop chaos: faults x overload x multi-round interactions
+# Prefix-cache chaos: faults x shared pages x eviction
 # --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PrefixChaosRun(ChaosRun):
+    """A chaos run with a radix prefix cache attached to the engine."""
+
+    cache: PrefixCache = None
+
+
+def run_prefix_scenario(seed: int) -> PrefixChaosRun:
+    """The closed-loop scenario re-run with a prefix cache attached.
+
+    The ShareGPT workload's sequential request ids all land in a handful of
+    conversation streams (``request_id // 64``), so under the cache's
+    conversation prompt derivation the prompts share prefixes heavily —
+    interning, hits, mid-edge splits, donor pinning, and eviction under
+    page-pool shrinkage all happen on the same fault timeline the base
+    scenario runs.
+    """
+    requests, plan, kwargs = chaos_scenario(seed)
+    scheme = kwargs.pop("scheme")
+    recorder = TraceRecorder()
+    cache = PrefixCache(seed=seed)
+    engine = ServingEngine(
+        LLAMA_7B, scheme, telemetry=recorder, prefix_cache=cache, **kwargs
+    )
+    result = engine.run(requests, faults=plan)
+    return PrefixChaosRun(
+        seed, requests, plan, engine, recorder, result, cache
+    )
+
+
+def assert_prefix_invariants(run: PrefixChaosRun) -> None:
+    """Cache-specific invariants, then the engine-wide base set.
+
+    At end of run the tree may legitimately still hold pages (that is the
+    cache working); the audit therefore checks the three-way account
+    balance first, tears the tree down with ``clear()``, and only then
+    requires the allocator — and the telemetry page deltas, which include
+    the cache account — to drain to exactly zero.
+    """
+    cache, alloc = run.cache, run.engine._allocator
+    ctx = f"prefix chaos seed {run.seed} ({run.plan.describe()})"
+
+    cache.check_invariants()
+    assert not cache.live_leases(), f"{ctx}: leases survived the run"
+    held = cache.shared_pages()
+    assert alloc.cache_pages == held, (
+        f"{ctx}: cache account {alloc.cache_pages} != tree pages {held}"
+    )
+    assert alloc.used_pages == held, (
+        f"{ctx}: {alloc.used_pages - held} pages held outside the tree "
+        "after drain"
+    )
+    stats = cache.snapshot_stats()
+    assert 0 <= stats.hits <= stats.lookups, f"{ctx}: hit/lookup accounting"
+    assert run.result.prefix_cache == stats.to_dict(), (
+        f"{ctx}: ServingResult.prefix_cache diverges from the cache"
+    )
+
+    # Teardown: with no leases and no live donors, clear() must evict
+    # every node and return every page to the pool.
+    freed = cache.clear()
+    assert freed == held, f"{ctx}: clear() freed {freed} of {held} pages"
+    assert cache.node_count() == 0, f"{ctx}: nodes survived clear()"
+    assert alloc.cache_pages == 0, f"{ctx}: cache account non-zero"
+    cache.check_invariants()
+
+    assert_invariants(run)
 _SCHEDULER_ROTATION = ("fcfs", "sjf", "edf", "fair")
 
 

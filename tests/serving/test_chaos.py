@@ -32,8 +32,10 @@ from chaos import (  # tests/serving/chaos.py (pytest adds this dir to sys.path)
     OpenLoopChaosRun,
     assert_invariants,
     assert_open_loop_invariants,
+    assert_prefix_invariants,
     injected_fault_kinds,
     run_open_loop_scenario,
+    run_prefix_scenario,
     run_scenario,
 )
 
@@ -293,6 +295,67 @@ class TestOpenLoopChaos:
         assert multi_round >= 3, "no seeds produced multi-round traffic"
         assert faults_fired >= 3, "no seeds actually injected faults"
         assert degraded >= 1, "no seed exercised a non-finished terminal"
+
+
+class TestPrefixCacheChaos:
+    """The closed-loop chaos scenarios re-run with a prefix cache attached.
+
+    Every base invariant must keep holding with shared pages in play, plus
+    the cache's own audit: refcounts equal live readers, the allocator's
+    cache account equals the tree's page census, no lease survives the
+    drain, and ``clear()`` returns the pool to exactly zero.
+    """
+
+    PC_SEEDS = list(range(10))
+    _PC_RUNS: dict = {}
+
+    def scenario(self, seed):
+        if seed not in self._PC_RUNS:
+            self._PC_RUNS[seed] = run_prefix_scenario(seed)
+        return self._PC_RUNS[seed]
+
+    @pytest.mark.parametrize("seed", PC_SEEDS)
+    def test_invariants_hold(self, seed):
+        assert_prefix_invariants(self.scenario(seed))
+
+    def test_scenarios_are_deterministic(self):
+        a = run_prefix_scenario(self.PC_SEEDS[0])
+        b = run_prefix_scenario(self.PC_SEEDS[0])
+        assert a.result == b.result
+        assert a.recorder.events == b.recorder.events
+
+    def test_sweep_covers_the_hard_regimes(self):
+        """Collectively the pinned seeds must exercise actual sharing
+        (hits), memory pressure on the tree (evictions), faults, and
+        preemption with the cache attached."""
+        hits = evictions = faults = preempts = 0
+        for seed in self.PC_SEEDS:
+            run = self.scenario(seed)
+            pc = run.result.prefix_cache
+            hits += pc["hits"]
+            evictions += pc["evicted_pages"]
+            faults += run.result.faults_injected
+            preempts += run.result.preemptions
+        assert hits > 0, "no seed produced a prefix hit"
+        assert evictions > 0, "no seed evicted under pressure"
+        assert faults > 0, "no seed injected faults"
+        assert preempts > 0, "no seed preempted with the cache attached"
+
+    def test_cache_is_a_pure_optimization(self):
+        """Fault-free, memory-rich run: attaching the cache changes no
+        terminal state and delivers the same tokens, strictly faster on
+        the simulated clock (matched prefill tokens are simply skipped)."""
+        from repro.serving import PrefixCache
+
+        reqs = ShareGPTWorkload(seed=7, max_len=1024).sample_requests(32)
+        cold = ServingEngine(LLAMA_7B, FP16, max_batch=16).run(reqs)
+        warm = ServingEngine(
+            LLAMA_7B, FP16, max_batch=16, prefix_cache=PrefixCache(seed=7)
+        ).run(reqs)
+        assert warm.terminal_states == cold.terminal_states
+        assert warm.decode_tokens == cold.decode_tokens
+        assert warm.prefix_cache["hits"] > 0
+        assert warm.total_time_s <= cold.total_time_s
 
 
 class TestOpenLoopNumericChaos:

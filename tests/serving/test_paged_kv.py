@@ -431,3 +431,114 @@ class TestKVCacheFactoryHook:
         for kv_cache in cache_p.values():
             kv_cache.release()
         assert store.used_pages == 0
+
+
+class TestSharedPageAccountingErrors:
+    """Typed double-free detection on every shared-page path.
+
+    The prefix cache makes pages multi-owner (request tables + radix
+    nodes); each refcounting primitive must raise a KVAccountingError on
+    misuse instead of silently corrupting the pool.
+    """
+
+    def test_store_free_of_unknown_page_raises(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        with pytest.raises(KVAccountingError, match="not live"):
+            store.free_page(7)
+
+    def test_store_double_free_raises(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        p = store.alloc_page()
+        store.free_page(p)
+        with pytest.raises(KVAccountingError, match="not live"):
+            store.free_page(p)
+
+    def test_store_ref_of_dead_page_raises(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        p = store.alloc_page()
+        store.free_page(p)
+        with pytest.raises(KVAccountingError, match="ref_page"):
+            store.ref_page(p)
+
+    def test_refcounted_page_survives_first_free(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        p = store.alloc_page()
+        store.ref_page(p)
+        assert store.page_refs(p) == 2
+        store.free_page(p)  # one reader gone, page still live
+        assert store.page_refs(p) == 1
+        store.free_page(p)  # last reader: recycled
+        assert store.page_refs(p) == 0
+        with pytest.raises(KVAccountingError):
+            store.free_page(p)
+
+    def test_cache_release_twice_raises(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        cache = PagedKVCache(store)
+        rng = np.random.default_rng(0)
+        cache.append(*_kv_chunk(rng, 2, 5, 8))
+        assert cache.release() == 2
+        with pytest.raises(KVAccountingError, match="freed twice"):
+            cache.release()
+
+    def test_release_keeps_borrowed_pages_live(self):
+        store = PagedKVStore(2, 8, page_size=4)
+        donor = PagedKVCache(store)
+        rng = np.random.default_rng(1)
+        donor.append(*_kv_chunk(rng, 2, 8, 8))
+        shared = list(donor.pages)
+        for p in shared:
+            store.ref_page(p)  # the radix tree's reference
+        borrower = PagedKVCache(store, borrowed_pages=shared, length=8)
+        borrower.append(*_kv_chunk(rng, 2, 3, 8))  # owns one new page
+        assert borrower.release() == 1
+        for p in shared:
+            assert store.page_refs(p) == 2  # donor + tree, untouched
+
+    def test_allocator_transfer_exceeding_held_raises(self):
+        a = PagedKVAllocator(1e9, 1.0, page_size=4)
+        a.allocate(0, 10)  # 3 pages
+        with pytest.raises(KVAccountingError, match="exceeds the pages"):
+            a.transfer_to_cache(0, 4)
+
+    def test_allocator_transfer_of_unknown_request_raises(self):
+        a = PagedKVAllocator(1e9, 1.0, page_size=4)
+        with pytest.raises(KVAccountingError):
+            a.transfer_to_cache(5, 1)
+
+    def test_allocator_cache_release_below_zero_raises(self):
+        a = PagedKVAllocator(1e9, 1.0, page_size=4)
+        a.allocate(0, 8)
+        a.transfer_to_cache(0, 2)
+        a.cache_release(1)
+        with pytest.raises(KVAccountingError, match="more pages than"):
+            a.cache_release(2)
+
+    def test_transfer_moves_charge_not_total(self):
+        """transfer_to_cache is net-zero: used_pages is unchanged, the
+        charge just moves from the request to the cache account."""
+        a = PagedKVAllocator(1e9, 1.0, page_size=4)
+        a.allocate(0, 16)  # 4 pages
+        used = a.used_pages
+        a.transfer_to_cache(0, 3)
+        assert a.used_pages == used
+        assert a.cache_pages == 3
+        assert a.free(0) == 1  # request's own residual charge only
+        assert a.used_pages == 3  # tree still holds its account
+        a.cache_release(3)
+        assert a.used_pages == 0
+
+    def test_shared_tokens_discount_admission(self):
+        """A leased prefix's full pages are not charged to the request."""
+        a = PagedKVAllocator(1e9, 1.0, page_size=4)
+        assert a.pages_needed(18, shared_tokens=9) == 3  # 5 total - 2 shared
+        a.allocate(0, 18, shared_tokens=9)
+        assert a.used_pages == 3
+        # Growth counts from the total token length, not the charged pages.
+        for _ in range(2):
+            assert a.append_token(0)
+        assert a.used_pages == 3  # tokens 19, 20 fit the fifth page
+        assert a.append_token(0)  # token 21 opens a sixth page
+        assert a.used_pages == 4
+        assert a.free(0) == 4
+        assert a.used_pages == 0

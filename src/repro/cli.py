@@ -136,6 +136,31 @@ def _prefix_cache_for(args: argparse.Namespace):
     return PrefixCache(seed=args.seed)
 
 
+def _wrap_cluster(args: argparse.Namespace, build):
+    """``build()`` once, or ``--replicas`` times behind a cluster router."""
+    if getattr(args, "replicas", 1) <= 1:
+        return build()
+    from repro.serving import ClusterEngine
+
+    return ClusterEngine(
+        [build() for _ in range(args.replicas)], router=args.router
+    )
+
+
+def _print_cluster_stats(cluster: "dict | None") -> None:
+    if not cluster:
+        return
+    states = ", ".join(
+        f"r{rep['replica']}:{rep['state']}" for rep in cluster["replicas"]
+    )
+    print(
+        f"  cluster: {cluster['n_replicas']} replicas "
+        f"({cluster['router']} router), {cluster['rounds']} rounds, "
+        f"{cluster['reroutes']} rerouted, {cluster['failed']} failed, "
+        f"{cluster['cluster_shed']} cluster-shed  [{states}]"
+    )
+
+
 def _print_prefix_stats(label: str, stats: "dict | None") -> None:
     if not stats:
         return
@@ -176,30 +201,42 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
     )
     rows = []
     prefix_lines = []
+    cluster_lines = []
+    clustered = getattr(args, "replicas", 1) > 1
     for name in scheme_names:
         served = model
         if name == "Atom-W4A4":
             from repro.core import AtomConfig, AtomQuantizer
 
             served = AtomQuantizer(AtomConfig.paper_default()).quantize(model)
-        engine = NumericBackend.engine_for(
-            served, SCHEMES[name], max_batch=args.batch,
-            admission=args.admission, seed=args.seed,
-            prompts="conversation" if args.prefix_cache else "synthetic",
-            prefix_cache=_prefix_cache_for(args),
-        )
-        backend = engine.backend
+
+        def build(name=name, served=served):
+            return NumericBackend.engine_for(
+                served, SCHEMES[name], max_batch=args.batch,
+                admission=args.admission, seed=args.seed,
+                shed_policy="drop" if clustered else "raise",
+                prompts="conversation" if args.prefix_cache else "synthetic",
+                prefix_cache=_prefix_cache_for(args),
+                cache_aware_preempt=args.cache_aware_preempt,
+            )
+
+        engine = _wrap_cluster(args, build)
         r = engine.run(reqs)
+        if clustered:
+            tokens_of = engine.generated_tokens
+            oracle = engine.engines[0].backend.runner.oracle_generate
+            cluster_lines.append(r.cluster)
+        else:
+            tokens_of = engine.backend.generated_tokens
+            oracle = engine.backend.runner.oracle_generate
         if r.prefix_cache is not None:
             prefix_lines.append((name, r.prefix_cache))
         verified = "-"
         if args.verify:
             ok = all(
                 np.array_equal(
-                    backend.generated_tokens(q.request_id),
-                    backend.runner.oracle_generate(
-                        q.request_id, q.prefill_len, q.decode_len
-                    ),
+                    tokens_of(q.request_id),
+                    oracle(q.request_id, q.prefill_len, q.decode_len),
                 )
                 for q in reqs
                 if r.terminal_states.get(q.request_id) == "finished"
@@ -226,6 +263,8 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
     )
     for name, stats in prefix_lines:
         _print_prefix_stats(name, stats)
+    for cluster in cluster_lines:
+        _print_cluster_stats(cluster)
     if args.verify and any(row[-1] == "FAIL" for row in rows):
         print("numeric serving diverged from the generate oracle",
               file=sys.stderr)
@@ -307,6 +346,7 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
         ic = NVLINK if args.interconnect == "nvlink" else PCIE_4
         tp = TPConfig(args.tp, ic)
     failed = False
+    clustered = getattr(args, "replicas", 1) > 1
     for name in scheme_names:
         if numeric:
             served = model
@@ -316,40 +356,58 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
                 served = AtomQuantizer(
                     AtomConfig.paper_default()
                 ).quantize(model)
-            engine = NumericBackend.engine_for(
-                served, SCHEMES[name], max_batch=args.batch,
-                admission=args.admission, seed=args.seed,
-                shed_policy="drop",
-                prompts="conversation" if args.prefix_cache else "synthetic",
-                prefix_cache=_prefix_cache_for(args),
-            )
+
+            def build(name=name, served=served):
+                return NumericBackend.engine_for(
+                    served, SCHEMES[name], max_batch=args.batch,
+                    admission=args.admission, seed=args.seed,
+                    shed_policy="drop",
+                    prompts=(
+                        "conversation" if args.prefix_cache else "synthetic"
+                    ),
+                    prefix_cache=_prefix_cache_for(args),
+                    cache_aware_preempt=args.cache_aware_preempt,
+                )
+
         else:
-            engine = ServingEngine(
-                spec,
-                SCHEMES[name],
-                max_batch=args.batch,
-                enforce_memory=not args.no_memory_limit,
-                admission=args.admission,
-                tp=tp,
-                shed_policy="drop",
-                prefix_cache=_prefix_cache_for(args),
-            )
+
+            def build(name=name):
+                return ServingEngine(
+                    spec,
+                    SCHEMES[name],
+                    max_batch=args.batch,
+                    enforce_memory=not args.no_memory_limit,
+                    admission=args.admission,
+                    tp=tp,
+                    shed_policy="drop",
+                    prefix_cache=_prefix_cache_for(args),
+                    cache_aware_preempt=args.cache_aware_preempt,
+                )
+
+        engine = _wrap_cluster(args, build)
         frontend = OpenLoopFrontend(
             engine,
             args.scheduler,
             slo_ttft_s=args.slo_ttft,
             slo_tbt_s=args.slo_tbt,
             max_queue=args.max_queue,
+            rate_limit=args.rate_limit,
+            rate_limit_burst=args.rate_limit_burst,
         )
         res = frontend.run(interactions)
         r = res.serving
         verified = ""
         if numeric and args.verify:
-            backend = engine.backend
+            if clustered:
+                tokens_of = engine.generated_tokens
+                oracle = engine.engines[0].backend.runner.oracle_generate
+            else:
+                tokens_of = engine.backend.generated_tokens
+                oracle = engine.backend.runner.oracle_generate
             ok = all(
                 np.array_equal(
-                    backend.generated_tokens(sub.request_id),
-                    backend.runner.oracle_generate(
+                    tokens_of(sub.request_id),
+                    oracle(
                         sub.request_id,
                         sub.request.prefill_len,
                         sub.request.decode_len,
@@ -368,13 +426,19 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
             f"({res.interactions} interactions, "
             f"{res.interactions_completed} completed)"
         )
+        limited = (
+            f"  rate_limited={res.rate_limited}"
+            if args.rate_limit is not None
+            else ""
+        )
         print(
             f"  tput={r.throughput_tokens_per_s:.0f} tok/s  "
             f"finished={r.completed_requests}  timed_out={r.timed_out}  "
-            f"shed={r.shed}  preempt={r.preemptions}  "
+            f"shed={r.shed}{limited}  preempt={r.preemptions}  "
             f"goodput={res.slo.overall.goodput_rps:.3f} req/s  "
             f"attainment={res.slo.overall.attainment:.1%}{verified}"
         )
+        _print_cluster_stats(r.cluster)
         _print_prefix_stats(name, r.prefix_cache)
         print(res.slo.table())
         print()
@@ -411,19 +475,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     rows = []
     prefix_lines = []
+    cluster_lines = []
+    clustered = getattr(args, "replicas", 1) > 1
     for scheme in schemes:
-        engine = ServingEngine(
-            spec,
-            scheme,
-            max_batch=args.batch,
-            enforce_memory=not args.no_memory_limit,
-            admission=args.admission,
-            tp=tp,
-            prefix_cache=_prefix_cache_for(args),
-        )
+
+        def build(scheme=scheme):
+            return ServingEngine(
+                spec,
+                scheme,
+                max_batch=args.batch,
+                enforce_memory=not args.no_memory_limit,
+                admission=args.admission,
+                tp=tp,
+                shed_policy="drop" if clustered else "raise",
+                prefix_cache=_prefix_cache_for(args),
+                cache_aware_preempt=args.cache_aware_preempt,
+            )
+
+        engine = _wrap_cluster(args, build)
         r = engine.run(reqs)
         if r.prefix_cache is not None:
             prefix_lines.append((scheme.name, r.prefix_cache))
+        if clustered:
+            cluster_lines.append(r.cluster)
         rows.append(
             [
                 scheme.name,
@@ -444,6 +518,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     for name, stats in prefix_lines:
         _print_prefix_stats(name, stats)
+    for cluster in cluster_lines:
+        _print_cluster_stats(cluster)
     return 0
 
 
@@ -858,6 +934,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "re-prefilling (prompts switch to the multi-round "
                         "conversation derivation so prefixes repeat; "
                         "pairs well with --conversations)")
+    s.add_argument("--cache-aware-preempt", action="store_true",
+                   help="prefer preempting requests whose prompt prefix is "
+                        "interned in the prefix cache (their recompute "
+                        "resumes from shared KV, so the eviction is cheap)")
+    s.add_argument("--replicas", type=int, default=1, metavar="N",
+                   help="serve through N independent engine replicas behind "
+                        "a health-checked cluster router (default 1: bare "
+                        "engine, no cluster layer)")
+    s.add_argument("--router", default="round-robin",
+                   choices=("round-robin", "least-kv", "affinity"),
+                   help="cluster routing policy for --replicas > 1 "
+                        "(affinity pins conversations to replicas)")
+    s.add_argument("--rate-limit", type=float, default=None,
+                   metavar="REQ_PER_S",
+                   help="per-tenant token-bucket admission rate for "
+                        "--open-loop; over-budget arrivals are shed on "
+                        "arrival with a typed terminal")
+    s.add_argument("--rate-limit-burst", type=float, default=None,
+                   metavar="TOKENS",
+                   help="token-bucket burst capacity "
+                        "(default max(1, RATE))")
     s.set_defaults(func=_cmd_serve)
 
     t = sub.add_parser(

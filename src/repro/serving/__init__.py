@@ -112,7 +112,23 @@ from repro.serving.faults import (
     FaultInjector,
     FaultPlan,
     PagePoolFault,
+    ReplicaCrashFault,
+    ReplicaDrainFault,
+    ReplicaFaultSchedule,
+    ReplicaFlapFault,
+    ReplicaSlowFault,
     StragglerFault,
+)
+from repro.serving.cluster import (
+    REPLICA_STATES,
+    ROUTERS,
+    BaseRouter,
+    ClusterEngine,
+    ClusterRun,
+    LeastKVRouter,
+    RoundRobinRouter,
+    SessionAffinityRouter,
+    make_router,
 )
 from repro.serving.breakdown import runtime_breakdown
 from repro.serving.telemetry import (
@@ -172,8 +188,22 @@ __all__ = [
     "PrefixEviction",
     "PrefixLease",
     "QuantScheme",
+    "REPLICA_STATES",
+    "ROUTERS",
     "RTX_4090",
+    "ReplicaCrashFault",
+    "ReplicaDrainFault",
+    "ReplicaFaultSchedule",
+    "ReplicaFlapFault",
+    "ReplicaSlowFault",
     "RequestSLORecord",
+    "BaseRouter",
+    "ClusterEngine",
+    "ClusterRun",
+    "LeastKVRouter",
+    "RoundRobinRouter",
+    "SessionAffinityRouter",
+    "make_router",
     "SCHEDULERS",
     "SCHEMES",
     "SJFScheduler",

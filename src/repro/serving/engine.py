@@ -103,7 +103,9 @@ __all__ = [
 _WORKSPACE_BYTES = 1.0e9
 
 #: The terminal-state lattice: every request ends in exactly one of these.
-TERMINAL_STATES = ("finished", "timed_out", "cancelled", "shed")
+#: ``failed`` is cluster-only (re-route retry budget exhausted after replica
+#: failures); a single-engine run never produces it.
+TERMINAL_STATES = ("finished", "timed_out", "cancelled", "shed", "failed")
 
 
 class ShedError(RuntimeError):
@@ -169,6 +171,15 @@ class ServingResult:
     #: :class:`~repro.serving.prefix_cache.PrefixCacheStats`); ``None``
     #: when the run had no prefix cache attached.
     prefix_cache: "dict | None" = None
+    # -- cluster accounting (zero / None outside ClusterEngine runs) ----- #
+    #: Requests whose re-route retry budget was exhausted (terminal state
+    #: ``failed``).
+    failed: int = 0
+    #: Re-route events: requests returned to the cluster queue by fencing.
+    rerouted: int = 0
+    #: Cluster-aggregate payload (per-replica states, routed/lost counts,
+    #: fired replica faults); ``None`` for single-engine runs.
+    cluster: "dict | None" = None
 
     def summary(self) -> str:
         return (
@@ -224,6 +235,7 @@ class ServingEngine:
         stall_limit: int = 1000,
         backend: "ExecutionBackend | None" = None,
         prefix_cache: "PrefixCache | None" = None,
+        cache_aware_preempt: bool = False,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -290,6 +302,11 @@ class ServingEngine:
         self.prefix_cache = prefix_cache
         if prefix_cache is not None:
             prefix_cache.bind(self._allocator, self.backend)
+        # Cache-aware victim selection: prefer preempting requests whose
+        # prompt prefix is interned in the cache (their recompute resumes
+        # from shared KV, so eviction throws away the least work).  Off by
+        # default — the flag must not perturb existing victim order.
+        self.cache_aware_preempt = cache_aware_preempt
 
     # ------------------------------------------------------------------ #
     def _deadline_for(self, request_id: int) -> float:
@@ -434,6 +451,29 @@ class EngineRun:
             request_id, pages_required, self.engine._allocator.total_pages
         )
 
+    def _pick_victim(self, candidates) -> "_Active | None":
+        """Choose a preemption victim from newest-first ``candidates``.
+
+        Default: the first candidate — the most recently admitted request
+        (vLLM recompute preemption).  With ``cache_aware_preempt`` and a
+        prefix cache attached, prefer the newest candidate whose prompt
+        prefix is interned in the cache: its recompute resumes from shared
+        KV, so evicting it throws away the least unrecoverable work.  The
+        probe uses the cache's side-effect-free ``lookup`` so victim
+        selection never perturbs cache stats or LRU order.
+        """
+        cands = list(candidates)
+        if not cands:
+            return None
+        engine = self.engine
+        cache = engine.prefix_cache
+        if engine.cache_aware_preempt and cache is not None:
+            for c in cands:
+                req = c.request
+                if cache.lookup(req.request_id, req.prefill_len) > 0:
+                    return c
+        return cands[0]
+
     def _alloc_blocked(self) -> bool:
         """Consult the injector before an allocator call.
 
@@ -487,7 +527,8 @@ class EngineRun:
                 if cache is not None and alloc.free_pages < 0:
                     cache.evict_pages(-alloc.free_pages)
                 while alloc.free_pages < 0 and running:
-                    victim = running.pop()
+                    victim = self._pick_victim(reversed(running))
+                    running.remove(victim)
                     vrid = victim.request.request_id
                     if cache is not None:
                         cache.release(vrid)
@@ -694,16 +735,14 @@ class EngineRun:
                     # preempt the most recently admitted request whose
                     # cache has not grown this iteration (vLLM recompute
                     # preemption), else preempt `a`.
-                    victim = next(
-                        (
-                            c
-                            for c in reversed(order)
-                            if c is not a
-                            and c.request.request_id not in preempted
-                            and c.request.request_id not in appended
-                        ),
-                        a,
+                    picked = self._pick_victim(
+                        c
+                        for c in reversed(order)
+                        if c is not a
+                        and c.request.request_id not in preempted
+                        and c.request.request_id not in appended
                     )
+                    victim = picked if picked is not None else a
                     if (
                         victim is a
                         and len(order) == 1

@@ -38,12 +38,30 @@ Fault kinds and what they model:
     transiently with this probability — fragmentation races, async-free
     lag.  The engine retries with exponential backoff, then falls back to
     victim preemption.
+
+Replica-level faults (consumed by :class:`~repro.serving.cluster.ClusterEngine`
+via :class:`ReplicaFaultSchedule`, ignored by a bare single engine):
+
+``ReplicaCrashFault``
+    A whole replica dies at one cluster round and never comes back — a host
+    reboot, a wedged driver.  The cluster must fence it and re-route its
+    in-flight work.
+``ReplicaSlowFault``
+    A replica's kernels run ``factor`` times slower for ``duration`` rounds
+    — thermal throttling or a noisy co-tenant pinned to one box.
+``ReplicaFlapFault``
+    A replica alternates ``down_rounds`` unavailable / ``up_rounds``
+    available for ``cycles`` cycles — a flaky NIC or GC pauses.  Short
+    flaps should only stall; flaps past the down threshold must fence.
+``ReplicaDrainFault``
+    Operator-initiated graceful drain at one round: stop admissions, let
+    in-flight requests finish, then leave the rotation permanently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -52,6 +70,11 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "PagePoolFault",
+    "ReplicaCrashFault",
+    "ReplicaDrainFault",
+    "ReplicaFaultSchedule",
+    "ReplicaFlapFault",
+    "ReplicaSlowFault",
     "StragglerFault",
 ]
 
@@ -97,6 +120,85 @@ class StragglerFault:
 
 
 @dataclass(frozen=True)
+class ReplicaCrashFault:
+    """Replica ``replica`` dies permanently at cluster round ``iteration``."""
+
+    iteration: int
+    replica: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+        if self.replica < 0:
+            raise ValueError("replica index must be >= 0")
+
+
+@dataclass(frozen=True)
+class ReplicaSlowFault:
+    """Replica ``replica`` runs ``factor``x slower for ``duration`` rounds."""
+
+    iteration: int
+    replica: int
+    factor: float
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+        if self.replica < 0:
+            raise ValueError("replica index must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        if self.duration < 1:
+            raise ValueError("slowdown duration must be >= 1")
+
+
+@dataclass(frozen=True)
+class ReplicaFlapFault:
+    """Replica ``replica`` flaps: ``cycles`` x (down ``down_rounds``, up
+    ``up_rounds``) starting at cluster round ``iteration``."""
+
+    iteration: int
+    replica: int
+    down_rounds: int
+    up_rounds: int = 1
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+        if self.replica < 0:
+            raise ValueError("replica index must be >= 0")
+        if self.down_rounds < 1 or self.up_rounds < 1 or self.cycles < 1:
+            raise ValueError("flap windows and cycles must be >= 1")
+
+
+@dataclass(frozen=True)
+class ReplicaDrainFault:
+    """Gracefully drain replica ``replica`` starting at round ``iteration``."""
+
+    iteration: int
+    replica: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("fault iteration must be >= 0")
+        if self.replica < 0:
+            raise ValueError("replica index must be >= 0")
+
+
+#: fault-kind name -> the dataclass that schedules it.  ``fault_kinds()``,
+#: ``describe()`` and the serialisation round-trip all derive from this one
+#: table so a new fault kind cannot be added without appearing everywhere.
+_REPLICA_FAULT_TYPES: dict[str, type] = {
+    "replica_crash": ReplicaCrashFault,
+    "replica_slow": ReplicaSlowFault,
+    "replica_flap": ReplicaFlapFault,
+    "replica_drain": ReplicaDrainFault,
+}
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Declarative, seeded schedule of faults for one serving run."""
 
@@ -108,6 +210,9 @@ class FaultPlan:
     #: Seed for the transient-failure coin flips (and nothing else — the
     #: scheduled events above are already fully deterministic).
     seed: int = 0
+    #: Replica-level faults; only a cluster consumes these (a bare engine
+    #: run receives the plan with this field stripped, see engine_faults()).
+    replica_faults: tuple = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alloc_failure_prob <= 1.0:
@@ -115,6 +220,12 @@ class FaultPlan:
         object.__setattr__(self, "page_faults", tuple(self.page_faults))
         object.__setattr__(self, "cancellations", tuple(self.cancellations))
         object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        replica = tuple(self.replica_faults)
+        allowed = tuple(_REPLICA_FAULT_TYPES.values())
+        for f in replica:
+            if not isinstance(f, allowed):
+                raise ValueError(f"not a replica fault: {f!r}")
+        object.__setattr__(self, "replica_faults", replica)
 
     # ------------------------------------------------------------------ #
     @property
@@ -124,28 +235,83 @@ class FaultPlan:
             not self.page_faults
             and not self.cancellations
             and not self.stragglers
+            and not self.replica_faults
             and self.alloc_failure_prob == 0.0
         )
 
+    def _kind_counts(self) -> dict[str, int]:
+        """Scheduled-event count per fault kind (alloc_fail: 0 or 1)."""
+        counts = {
+            "page_shrink": len(self.page_faults),
+            "cancel": len(self.cancellations),
+            "straggler": len(self.stragglers),
+            "alloc_fail": int(self.alloc_failure_prob > 0.0),
+        }
+        for kind, cls_ in _REPLICA_FAULT_TYPES.items():
+            counts[kind] = sum(1 for f in self.replica_faults if isinstance(f, cls_))
+        return counts
+
     def fault_kinds(self) -> set[str]:
         """Which fault kinds this plan can inject (for coverage checks)."""
-        kinds: set[str] = set()
-        if self.page_faults:
-            kinds.add("page_shrink")
-        if self.cancellations:
-            kinds.add("cancel")
-        if self.stragglers:
-            kinds.add("straggler")
-        if self.alloc_failure_prob > 0.0:
-            kinds.add("alloc_fail")
-        return kinds
+        return {kind for kind, n in self._kind_counts().items() if n > 0}
 
     def describe(self) -> str:
-        return (
-            f"FaultPlan(seed={self.seed}, {len(self.page_faults)} page-pool, "
-            f"{len(self.cancellations)} cancel, "
-            f"{len(self.stragglers)} straggler, "
-            f"alloc_failure_prob={self.alloc_failure_prob:.3f})"
+        """Human-readable summary naming every fault kind symmetrically
+        with :meth:`fault_kinds` (pinned by a round-trip test)."""
+        parts = [f"seed={self.seed}"]
+        for kind, n in self._kind_counts().items():
+            if kind == "alloc_fail":
+                parts.append(f"alloc_fail={self.alloc_failure_prob:.3f}")
+            else:
+                parts.append(f"{kind}={n}")
+        return f"FaultPlan({', '.join(parts)})"
+
+    def engine_faults(self) -> "FaultPlan":
+        """This plan with replica-level faults stripped — the view each
+        replica's own :class:`FaultInjector` consumes."""
+        if not self.replica_faults:
+            return self
+        return replace(self, replica_faults=())
+
+    # -- serialisation -------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "alloc_failure_prob": self.alloc_failure_prob,
+            "page_faults": [vars(f).copy() for f in self.page_faults],
+            "cancellations": [vars(f).copy() for f in self.cancellations],
+            "stragglers": [vars(f).copy() for f in self.stragglers],
+            "replica_faults": [
+                {"kind": kind, **vars(f)}
+                for f in self.replica_faults
+                for kind, cls_ in _REPLICA_FAULT_TYPES.items()
+                if type(f) is cls_
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FaultPlan":
+        replica = []
+        for entry in d.get("replica_faults", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            if kind not in _REPLICA_FAULT_TYPES:
+                raise ValueError(f"unknown replica fault kind: {kind!r}")
+            replica.append(_REPLICA_FAULT_TYPES[kind](**entry))
+        return cls(
+            page_faults=tuple(
+                PagePoolFault(**f) for f in d.get("page_faults", ())
+            ),
+            cancellations=tuple(
+                CancelFault(**f) for f in d.get("cancellations", ())
+            ),
+            stragglers=tuple(
+                StragglerFault(**f) for f in d.get("stragglers", ())
+            ),
+            alloc_failure_prob=float(d.get("alloc_failure_prob", 0.0)),
+            seed=int(d.get("seed", 0)),
+            replica_faults=tuple(replica),
         )
 
     # ------------------------------------------------------------------ #
@@ -162,13 +328,17 @@ class FaultPlan:
         max_stragglers: int = 4,
         max_straggler_factor: float = 10.0,
         max_alloc_failure_prob: float = 0.25,
+        n_replicas: int = 0,
     ) -> "FaultPlan":
         """Generate a random-but-deterministic plan for chaos testing.
 
         The same ``seed`` (and keyword envelope) always yields the same
         plan.  Each fault kind is included with high probability so a
         modest seed sweep exercises every kind; cancellations are only
-        drawn from ``request_ids``.
+        drawn from ``request_ids``.  With ``n_replicas`` > 0 the plan also
+        draws replica-level faults (crash / slow / flap / drain); those
+        draws happen strictly after the single-engine draws so legacy
+        seeds keep producing the exact same single-engine plans.
         """
         rng = np.random.default_rng(seed)
         page: list[PagePoolFault] = []
@@ -196,12 +366,51 @@ class FaultPlan:
             if rng.random() < 0.7
             else 0.0
         )
+        replica: list = []
+        if n_replicas > 0:
+            # At most n_replicas - 1 crashes so the cluster usually survives
+            # (a total outage is still reachable via crash + flap overlap).
+            if n_replicas > 1 and rng.random() < 0.55:
+                n_crash = int(rng.integers(1, n_replicas))
+                for r in rng.choice(n_replicas, size=n_crash, replace=False):
+                    replica.append(
+                        ReplicaCrashFault(int(rng.integers(0, horizon)), int(r))
+                    )
+            if rng.random() < 0.6:
+                for _ in range(int(rng.integers(1, 3))):
+                    replica.append(
+                        ReplicaFlapFault(
+                            int(rng.integers(0, horizon)),
+                            int(rng.integers(0, n_replicas)),
+                            down_rounds=int(rng.integers(1, 26)),
+                            up_rounds=int(rng.integers(1, 40)),
+                            cycles=int(rng.integers(1, 4)),
+                        )
+                    )
+            if rng.random() < 0.6:
+                for _ in range(int(rng.integers(1, 3))):
+                    replica.append(
+                        ReplicaSlowFault(
+                            int(rng.integers(0, horizon)),
+                            int(rng.integers(0, n_replicas)),
+                            factor=1.5 + 6.0 * float(rng.random()),
+                            duration=int(rng.integers(1, 30)),
+                        )
+                    )
+            if rng.random() < 0.35:
+                replica.append(
+                    ReplicaDrainFault(
+                        int(rng.integers(0, horizon)),
+                        int(rng.integers(0, n_replicas)),
+                    )
+                )
         return cls(
             page_faults=tuple(page),
             cancellations=tuple(cancels),
             stragglers=tuple(stragglers),
             alloc_failure_prob=prob,
             seed=int(rng.integers(0, 2**31)),
+            replica_faults=tuple(replica),
         )
 
 
@@ -253,3 +462,101 @@ class FaultInjector:
         if failed:
             self.alloc_failures += 1
         return failed
+
+
+class ReplicaFaultSchedule:
+    """Pure timeline view of a plan's replica-level faults.
+
+    The cluster consults this once per cluster round; it is stateless
+    (everything derives from the frozen plan), so the same ``(workload,
+    plan)`` pair replays the same availability timeline bit-for-bit.
+    Rounds are *cluster* rounds, not per-engine iterations.
+    """
+
+    def __init__(self, plan: FaultPlan, n_replicas: int) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.n_replicas = n_replicas
+        self.crash_round: dict[int, int] = {}
+        self.down_windows: dict[int, list[tuple[int, int]]] = {}
+        self.slow_windows: dict[int, list[tuple[int, int, float]]] = {}
+        self.drain_rounds: dict[int, set[int]] = {}
+        horizon = 0
+        for f in plan.replica_faults:
+            if f.replica >= n_replicas:
+                raise ValueError(
+                    f"replica fault targets replica {f.replica} but the "
+                    f"cluster has only {n_replicas} replicas"
+                )
+            if isinstance(f, ReplicaCrashFault):
+                prev = self.crash_round.get(f.replica)
+                self.crash_round[f.replica] = (
+                    f.iteration if prev is None else min(prev, f.iteration)
+                )
+                horizon = max(horizon, f.iteration)
+            elif isinstance(f, ReplicaFlapFault):
+                windows = self.down_windows.setdefault(f.replica, [])
+                period = f.down_rounds + f.up_rounds
+                for c in range(f.cycles):
+                    start = f.iteration + c * period
+                    windows.append((start, start + f.down_rounds))
+                    horizon = max(horizon, start + f.down_rounds)
+            elif isinstance(f, ReplicaSlowFault):
+                self.slow_windows.setdefault(f.replica, []).append(
+                    (f.iteration, f.iteration + f.duration, f.factor)
+                )
+                horizon = max(horizon, f.iteration + f.duration)
+            elif isinstance(f, ReplicaDrainFault):
+                self.drain_rounds.setdefault(f.replica, set()).add(f.iteration)
+                horizon = max(horizon, f.iteration)
+        #: Last round at which any scheduled state change happens; beyond
+        #: it, availability is static (crashed replicas stay down, the rest
+        #: stay up) — the cluster's total-outage guard keys off this.
+        self.horizon = horizon
+
+    # ------------------------------------------------------------------ #
+    def available(self, replica: int, round_: int) -> bool:
+        """Is the replica reachable (heartbeats answered) at this round?"""
+        crash = self.crash_round.get(replica)
+        if crash is not None and round_ >= crash:
+            return False
+        return not any(
+            start <= round_ < end
+            for start, end in self.down_windows.get(replica, ())
+        )
+
+    def ever_available_after(self, replica: int, round_: int) -> bool:
+        """Can the replica ever answer a heartbeat strictly after ``round_``?
+        Crashes are permanent; flap windows always end."""
+        crash = self.crash_round.get(replica)
+        return crash is None or crash > round_ + 1
+
+    def slow_factor(self, replica: int, round_: int) -> float:
+        """Kernel-time multiplier in effect for this replica this round."""
+        factor = 1.0
+        for start, end, f in self.slow_windows.get(replica, ()):
+            if start <= round_ < end:
+                factor *= f
+        return factor
+
+    def drains(self, replica: int, round_: int) -> bool:
+        """Is a graceful drain scheduled at exactly this round?"""
+        return round_ in self.drain_rounds.get(replica, ())
+
+    def crashes(self, replica: int, round_: int) -> bool:
+        """Does the (first) crash land at exactly this round?"""
+        return self.crash_round.get(replica) == round_
+
+    def flap_starts(self, replica: int, round_: int) -> bool:
+        """Does a flap down-window open at exactly this round?"""
+        return any(
+            start == round_
+            for start, _ in self.down_windows.get(replica, ())
+        )
+
+    def slow_starts(self, replica: int, round_: int) -> bool:
+        """Does a slowdown window open at exactly this round?"""
+        return any(
+            start == round_
+            for start, _, _ in self.slow_windows.get(replica, ())
+        )

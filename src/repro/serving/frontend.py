@@ -122,6 +122,9 @@ class FrontendResult:
     idle_time_s: float = 0.0
     #: request_id -> first admission time (queueing-delay analysis).
     admitted_at: "dict[int, float]" = field(default_factory=dict)
+    #: Arrivals shed by per-tenant token-bucket rate limiting (a subset of
+    #: the ``shed`` terminal count; disjoint from ``frontend_shed``).
+    rate_limited: int = 0
 
 
 class OpenLoopFrontend:
@@ -136,9 +139,18 @@ class OpenLoopFrontend:
         slo_tbt_s: "float | None" = None,
         max_queue: "int | None" = None,
         enforce_deadlines: bool = True,
+        rate_limit: "float | None" = None,
+        rate_limit_burst: "float | None" = None,
     ) -> None:
         if max_queue is not None and max_queue < 1:
             raise ValueError("max_queue must be >= 1 (or None)")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None)")
+        if rate_limit_burst is not None:
+            if rate_limit is None:
+                raise ValueError("rate_limit_burst requires rate_limit")
+            if rate_limit_burst < 1:
+                raise ValueError("rate_limit_burst must be >= 1")
         self.engine = engine
         self.scheduler = (
             make_scheduler(scheduler)
@@ -149,6 +161,16 @@ class OpenLoopFrontend:
         self.slo_tbt_s = slo_tbt_s
         self.max_queue = max_queue
         self.enforce_deadlines = enforce_deadlines
+        #: Per-tenant token bucket: ``rate_limit`` requests/s sustained,
+        #: bursting to ``rate_limit_burst`` (default ``max(1, rate_limit)``)
+        #: — an over-budget arrival is shed on arrival through the engine's
+        #: shed path, before it ever reaches the scheduler queue.
+        self.rate_limit = rate_limit
+        self.rate_limit_burst = (
+            rate_limit_burst
+            if rate_limit_burst is not None
+            else (max(1.0, rate_limit) if rate_limit is not None else None)
+        )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -227,6 +249,9 @@ class OpenLoopFrontend:
         completed_inters: "set[int]" = set()
         admitted_at: "dict[int, float]" = {}
         frontend_shed = 0
+        rate_limited = 0
+        #: tenant -> (tokens, last_refill_s) for token-bucket rate limiting.
+        buckets: "dict[str, tuple[float, float]]" = {}
         idle_advances = 0
         idle_time = 0.0
         adm_idx = 0
@@ -265,12 +290,33 @@ class OpenLoopFrontend:
         while True:
             # -- 1. arrivals whose time has come ------------------------- #
             waiting: "list[Submission]" = []
+            shed_on_arrival = False
             while arrivals and arrivals[0][0] <= state.clock:
                 _, _, sub = heapq.heappop(arrivals)
-                waiting.append(sub)
                 scheduler.on_submit(sub)
+                if self.rate_limit is not None:
+                    # Token bucket per tenant, refilled in *arrival* time
+                    # (arrivals pop in nondecreasing arrival_s order, so the
+                    # refill below never goes backwards).
+                    tokens, last = buckets.get(
+                        sub.tenant, (self.rate_limit_burst, sub.arrival_s)
+                    )
+                    tokens = min(
+                        self.rate_limit_burst,
+                        tokens + (sub.arrival_s - last) * self.rate_limit,
+                    )
+                    if tokens < 1.0:
+                        buckets[sub.tenant] = (tokens, sub.arrival_s)
+                        state._shed(sub.request_id, 0)
+                        rate_limited += 1
+                        shed_on_arrival = True
+                        continue
+                    buckets[sub.tenant] = (tokens - 1.0, sub.arrival_s)
+                waiting.append(sub)
                 if enforce and sub.deadline_s is not None:
                     engine.deadline_s[sub.request_id] = sub.deadline_s
+            if shed_on_arrival:
+                process_deltas()
 
             # -- 2. reclaim the engine's queue (incl. preemption victims) - #
             while state.pending:
@@ -356,6 +402,7 @@ class OpenLoopFrontend:
             idle_advances=idle_advances,
             idle_time_s=idle_time,
             admitted_at=admitted_at,
+            rate_limited=rate_limited,
         )
 
 

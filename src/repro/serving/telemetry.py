@@ -94,6 +94,11 @@ __all__ = [
     "PipelineStage",
     "IterationSample",
     "BatchedDecodeSample",
+    "ReplicaStateChange",
+    "RequestRouted",
+    "RequestRerouted",
+    "RequestFailed",
+    "ClusterSample",
     "TraceSummary",
     "summarize",
     "RequestSLORecord",
@@ -297,6 +302,76 @@ class PrefixEviction(TraceEvent):
     event: str = field(init=False, default="prefix_evict", repr=False)
 
 
+@dataclass(frozen=True)
+class ReplicaStateChange(TraceEvent):
+    """Health-checker transition for one replica (cluster-level event;
+    ``iteration`` is the cluster round)."""
+
+    replica: int = 0
+    old: str = ""
+    new: str = ""
+    reason: str = ""
+
+    event: str = field(init=False, default="replica_state", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestRouted(TraceEvent):
+    """Router dispatched a request to a replica (cluster round indexed)."""
+
+    request_id: int = 0
+    replica: int = 0
+
+    event: str = field(init=False, default="routed", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestRerouted(TraceEvent):
+    """A fenced replica's request went back to the cluster queue.
+
+    ``retries`` counts how many times the request has been lost *while
+    in-flight* (queued-only losses re-route for free).
+    """
+
+    request_id: int = 0
+    from_replica: int = 0
+    retries: int = 0
+
+    event: str = field(init=False, default="rerouted", repr=False)
+
+
+@dataclass(frozen=True)
+class RequestFailed(TraceEvent):
+    """Re-route retry budget exhausted: the request is terminally failed."""
+
+    request_id: int = 0
+    retries: int = 0
+
+    event: str = field(init=False, default="failed", repr=False)
+
+
+@dataclass(frozen=True)
+class ClusterSample(TraceEvent):
+    """Per-round cluster aggregate (``iteration`` is the cluster round).
+
+    Per-replica tuples are index-aligned with the cluster's replica list;
+    JSONL round-trips them as lists, so ``__post_init__`` re-coerces to
+    tuples to keep event equality well-defined.
+    """
+
+    pending: int = 0
+    states: tuple = ()
+    running: tuple = ()
+    used_pages: tuple = ()
+
+    event: str = field(init=False, default="cluster", repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "states", tuple(self.states))
+        object.__setattr__(self, "running", tuple(self.running))
+        object.__setattr__(self, "used_pages", tuple(self.used_pages))
+
+
 _EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.event: cls  # type: ignore[misc]
     for cls in (
@@ -313,6 +388,11 @@ _EVENT_TYPES: dict[str, type[TraceEvent]] = {
         BatchedDecodeSample,
         PrefixCacheSample,
         PrefixEviction,
+        ReplicaStateChange,
+        RequestRouted,
+        RequestRerouted,
+        RequestFailed,
+        ClusterSample,
     )
 }
 
@@ -404,6 +484,28 @@ class Telemetry:
         pass
 
     def prefix_eviction(self, pages_freed: int) -> None:
+        pass
+
+    # -- cluster-level hooks (driven by ClusterEngine, not the engine) --- #
+    def replica_state(
+        self, replica: int, old: str, new: str, reason: str
+    ) -> None:
+        pass
+
+    def request_routed(self, request_id: int, replica: int) -> None:
+        pass
+
+    def request_rerouted(
+        self, request_id: int, from_replica: int, retries: int
+    ) -> None:
+        pass
+
+    def request_failed(self, request_id: int, retries: int) -> None:
+        pass
+
+    def cluster_sample(
+        self, *, pending: int, states, running, used_pages
+    ) -> None:
         pass
 
 
@@ -587,6 +689,68 @@ class TraceRecorder(Telemetry):
             )
         )
 
+    # -- cluster-level hooks --------------------------------------------- #
+    def replica_state(
+        self, replica: int, old: str, new: str, reason: str
+    ) -> None:
+        self.events.append(
+            ReplicaStateChange(
+                t=self._clock,
+                iteration=self._iteration,
+                replica=replica,
+                old=old,
+                new=new,
+                reason=reason,
+            )
+        )
+
+    def request_routed(self, request_id: int, replica: int) -> None:
+        self.events.append(
+            RequestRouted(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                replica=replica,
+            )
+        )
+
+    def request_rerouted(
+        self, request_id: int, from_replica: int, retries: int
+    ) -> None:
+        self.events.append(
+            RequestRerouted(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                from_replica=from_replica,
+                retries=retries,
+            )
+        )
+
+    def request_failed(self, request_id: int, retries: int) -> None:
+        self.events.append(
+            RequestFailed(
+                t=self._clock,
+                iteration=self._iteration,
+                request_id=request_id,
+                retries=retries,
+            )
+        )
+
+    def cluster_sample(
+        self, *, pending: int, states, running, used_pages
+    ) -> None:
+        self.events.append(
+            ClusterSample(
+                t=self._clock,
+                iteration=self._iteration,
+                pending=pending,
+                states=tuple(states),
+                running=tuple(running),
+                used_pages=tuple(used_pages),
+            )
+        )
+
     # -- convenience ----------------------------------------------------- #
     def samples(self) -> list[IterationSample]:
         return [e for e in self.events if isinstance(e, IterationSample)]
@@ -759,6 +923,8 @@ class TenantSLO:
     timed_out: int
     cancelled: int
     shed: int
+    #: Cluster re-route retry budget exhausted (0 outside cluster runs).
+    failed: int
     ttft_mean_s: float
     ttft_p50_s: float
     ttft_p99_s: float
@@ -826,7 +992,9 @@ def _tenant_slo(
     tbt_slo_s: "float | None",
     horizon_s: float,
 ) -> TenantSLO:
-    by_state = {s: 0 for s in ("finished", "timed_out", "cancelled", "shed")}
+    by_state = {
+        s: 0 for s in ("finished", "timed_out", "cancelled", "shed", "failed")
+    }
     for r in records:
         by_state[r.state] = by_state.get(r.state, 0) + 1
     # TTFT over finished requests, one sample each; TBT weighted by the
@@ -849,6 +1017,7 @@ def _tenant_slo(
         timed_out=by_state["timed_out"],
         cancelled=by_state["cancelled"],
         shed=by_state["shed"],
+        failed=by_state["failed"],
         ttft_mean_s=weighted_mean(ttfts, ones) if ttfts else 0.0,
         ttft_p50_s=weighted_percentile(ttfts, ones, 0.50),
         ttft_p99_s=weighted_percentile(ttfts, ones, 0.99),

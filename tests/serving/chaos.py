@@ -33,7 +33,10 @@ from repro.serving import (
     ATOM_W4A4,
     FP16,
     LLAMA_7B,
+    REPLICA_STATES,
     TERMINAL_STATES,
+    ClusterEngine,
+    ClusterRun,
     FaultPlan,
     FrontendResult,
     Interaction,
@@ -49,7 +52,10 @@ from repro.serving.telemetry import (
     FaultInjected,
     IterationSample,
     PagePoolDelta,
+    ReplicaStateChange,
     RequestAdmitted,
+    RequestFailed,
+    RequestRerouted,
 )
 
 #: Hard ceiling on iterations for any chaos scenario — generous (a clean
@@ -425,3 +431,216 @@ def assert_open_loop_invariants(run: OpenLoopChaosRun) -> None:
             assert rec.first_token_s is not None
         else:
             assert rec.finish_s is None
+
+
+# --------------------------------------------------------------------------- #
+# Cluster chaos: replica faults x routing x fencing x re-route
+# --------------------------------------------------------------------------- #
+
+#: Hard ceiling on cluster rounds — a clean scenario takes a few thousand
+#: (one replica-step per round), so hitting this means a livelock.
+MAX_CLUSTER_ROUNDS = 100_000
+
+
+@dataclass
+class ClusterChaosRun:
+    """One executed cluster scenario plus everything needed to audit it.
+
+    ``recorder`` is the *cluster* sink (routing / health / re-route /
+    per-round samples); each replica engine additionally carries its own
+    ``TraceRecorder`` for the per-replica half of the audit.
+    """
+
+    seed: int
+    requests: list[Request]
+    plan: FaultPlan
+    cluster: ClusterEngine
+    recorder: TraceRecorder
+    state: ClusterRun
+    result: ServingResult
+
+
+def cluster_scenario(seed: int):
+    """Derive (workload, plan, n_replicas, engine/cluster kwargs) from one
+    seed.  Routers rotate deterministically so the pinned sweep covers all
+    three policies."""
+    rng = np.random.default_rng([seed, 0xC1])
+    n_replicas = int(rng.integers(2, 5))
+    n_requests = int(rng.integers(24, 56))
+    requests = ShareGPTWorkload(
+        seed=int(rng.integers(0, 2**31)), max_len=1024
+    ).sample_requests(n_requests)
+    plan = FaultPlan.random(
+        int(rng.integers(0, 2**31)),
+        request_ids=[r.request_id for r in requests],
+        horizon=300,
+        n_replicas=n_replicas,
+    )
+    engine_kwargs = {
+        "scheme": FP16 if rng.random() < 0.5 else ATOM_W4A4,
+        "max_batch": int(rng.integers(8, 33)),
+        "admission": "dynamic" if rng.random() < 0.5 else "reserve",
+        "shed_policy": "drop",
+        "stall_limit": 50,
+    }
+    cluster_kwargs = {
+        "router": ("round-robin", "least-kv", "affinity")[seed % 3],
+        "retry_budget": int(rng.integers(0, 4)),
+        "down_after": int(rng.integers(2, 5)),
+    }
+    return requests, plan, n_replicas, engine_kwargs, cluster_kwargs
+
+
+def run_cluster_scenario(seed: int) -> ClusterChaosRun:
+    """Execute one seeded cluster scenario with full telemetry on both the
+    cluster sink and every replica's own sink."""
+    requests, plan, n_replicas, ekw, ckw = cluster_scenario(seed)
+    scheme = ekw.pop("scheme")
+    engines = [
+        ServingEngine(LLAMA_7B, scheme, telemetry=TraceRecorder(), **ekw)
+        for _ in range(n_replicas)
+    ]
+    recorder = TraceRecorder()
+    cluster = ClusterEngine(engines, telemetry=recorder, **ckw)
+    state = cluster.start_run(requests, faults=plan)
+    while state.active:
+        state.step()
+        assert state.round <= MAX_CLUSTER_ROUNDS, (
+            f"cluster chaos seed {seed}: livelock at round {state.round}"
+        )
+    return ClusterChaosRun(
+        seed, requests, plan, cluster, recorder, state, state.result()
+    )
+
+
+def cluster_fault_kinds(run: ClusterChaosRun) -> set[str]:
+    """Replica-level fault kinds that actually FIRED in this run."""
+    return {
+        k for k, n in run.result.cluster["replica_faults"].items() if n > 0
+    }
+
+
+def assert_cluster_invariants(run: ClusterChaosRun) -> None:
+    """The three cluster oracles plus payload/telemetry reconciliation.
+
+    1. Exactly-once terminals cluster-wide — every request reaches exactly
+       one terminal state on exactly one authority (a replica or the
+       cluster), no matter how many replicas touched it.
+    2. Per-replica page conservation — every replica allocator drains to
+       zero and its own trace's page deltas sum to zero, *including*
+       replicas that were fenced mid-run.
+    3. Bounded progress — rounds are bounded (checked during the run) and
+       per-replica clocks never go backwards across fencing/revival.
+    """
+    result, state = run.result, run.state
+    payload = result.cluster
+    ctx = f"cluster chaos seed {run.seed} ({run.plan.describe()})"
+
+    # -- 1. exactly-once terminals cluster-wide --------------------------- #
+    expected_ids = {r.request_id for r in run.requests}
+    assert set(result.terminal_states) == expected_ids, (
+        f"{ctx}: terminal set mismatch: "
+        f"{expected_ids ^ set(result.terminal_states)}"
+    )
+    seen = [rid for rid, _ in state.terminal_log]
+    assert len(seen) == len(set(seen)), f"{ctx}: duplicate terminal entries"
+    counts = {
+        "finished": result.completed_requests,
+        "timed_out": result.timed_out,
+        "cancelled": result.cancelled,
+        "shed": result.shed,
+        "failed": result.failed,
+    }
+    for terminal_state, n in counts.items():
+        assert terminal_state in TERMINAL_STATES
+        observed = sum(
+            1 for s in result.terminal_states.values() if s == terminal_state
+        )
+        assert observed == n, (
+            f"{ctx}: {terminal_state} count {observed} != {n}"
+        )
+    assert sum(counts.values()) == len(run.requests), f"{ctx}: state leak"
+    # Terminal authority partition: replica-harvested terminals plus the
+    # cluster's own (failed / cluster-shed) cover every request exactly.
+    replica_terminals = sum(
+        sum(rep["terminals"].values()) for rep in payload["replicas"]
+    )
+    assert (
+        replica_terminals + payload["failed"] + payload["cluster_shed"]
+        == len(run.requests)
+    ), f"{ctx}: terminal authority partition leak"
+
+    # -- 2. per-replica page conservation --------------------------------- #
+    for rep, engine in zip(payload["replicas"], run.cluster.engines):
+        i = rep["replica"]
+        assert engine._allocator.used_pages == 0, (
+            f"{ctx}: replica {i} leaked "
+            f"{engine._allocator.used_pages} pages"
+        )
+        assert rep["used_pages_end"] == 0, f"{ctx}: payload pages r{i}"
+        events = engine.telemetry.events
+        net = sum(e.delta for e in events if isinstance(e, PagePoolDelta))
+        assert net == 0, f"{ctx}: replica {i} page deltas sum to {net}"
+        # Per-replica monotone clock (across fencing and revival).
+        ts = [e.t for e in events]
+        assert all(a <= b for a, b in zip(ts, ts[1:])), (
+            f"{ctx}: replica {i} clock reversed"
+        )
+
+    # -- 3. delivered-token accounting ------------------------------------ #
+    by_id = {r.request_id: r for r in run.requests}
+    expected_delivered = sum(
+        by_id[rid].decode_len
+        for rid, s in result.terminal_states.items()
+        if s == "finished"
+    )
+    delivered = result.throughput_tokens_per_s * result.total_time_s
+    assert delivered == pytest.approx(expected_delivered, rel=1e-9), (
+        f"{ctx}: delivered {delivered} != {expected_delivered}"
+    )
+
+    # -- 4. retry budget: failures only ever come from exhaustion --------- #
+    budget = run.cluster.retry_budget
+    for rid, s in result.terminal_states.items():
+        if s == "failed":
+            assert state.retries[rid] > budget, (
+                f"{ctx}: request {rid} failed with budget left"
+            )
+
+    # -- 5. cluster payload reconciles with the cluster trace ------------- #
+    events = run.recorder.events
+    assert payload["reroutes"] == result.rerouted == sum(
+        1 for e in events if isinstance(e, RequestRerouted)
+    ), f"{ctx}: reroute accounting"
+    assert payload["failed"] == result.failed == sum(
+        1 for e in events if isinstance(e, RequestFailed)
+    ), f"{ctx}: failure accounting"
+    transitions = [e for e in events if isinstance(e, ReplicaStateChange)]
+    assert payload["state_transitions"] == len(transitions), (
+        f"{ctx}: transition count"
+    )
+    for e in transitions:
+        assert e.old in REPLICA_STATES and e.new in REPLICA_STATES, (
+            f"{ctx}: bogus replica state {e.old!r} -> {e.new!r}"
+        )
+        assert e.old != e.new, f"{ctx}: self-transition recorded"
+    assert payload["state_transitions"] == sum(
+        rep["transitions"] for rep in payload["replicas"]
+    ), f"{ctx}: per-replica transition split"
+    # Cluster trace clock is monotone too.
+    ts = [e.t for e in events]
+    assert all(a <= b for a, b in zip(ts, ts[1:])), (
+        f"{ctx}: cluster clock reversed"
+    )
+    # Routed exactly covers every admission attempt: each request is routed
+    # once per time it enters a replica queue.
+    routed = sum(rep["routed"] for rep in payload["replicas"])
+    dispatched = len(expected_ids) - payload["cluster_shed"] - sum(
+        1
+        for rid, s in result.terminal_states.items()
+        if s in ("shed", "failed") and state.retries.get(rid, 0) == 0
+        and s == "shed" and rid not in state.retries
+    )
+    assert routed >= len(expected_ids) - payload["cluster_shed"] - sum(
+        1 for s in result.terminal_states.values() if s == "shed"
+    ), f"{ctx}: routed undercount ({routed} vs {dispatched})"

@@ -30,10 +30,13 @@ from repro.serving import (
 from chaos import (  # tests/serving/chaos.py (pytest adds this dir to sys.path)
     MAX_ITERATIONS,
     OpenLoopChaosRun,
+    assert_cluster_invariants,
     assert_invariants,
     assert_open_loop_invariants,
     assert_prefix_invariants,
+    cluster_fault_kinds,
     injected_fault_kinds,
+    run_cluster_scenario,
     run_open_loop_scenario,
     run_prefix_scenario,
     run_scenario,
@@ -439,3 +442,207 @@ class TestOpenLoopNumericChaos:
                     "oracle under open-loop chaos"
                 ),
             )
+
+
+class TestClusterChaos:
+    """Cluster-level chaos: replica crash / flap / slow / drain on top of
+    the engine fault kinds, swept across all three routers.
+
+    Each pinned seed derives a workload, a ``FaultPlan`` with replica
+    faults, a replica count, and router/budget knobs; the invariants in
+    ``chaos.assert_cluster_invariants`` pin the three cluster oracles —
+    exactly-once terminals cluster-wide, per-replica page conservation,
+    and bounded-progress/delivered-token accounting.
+    """
+
+    CLUSTER_SEEDS = list(range(18))
+    _CL_RUNS: dict = {}
+
+    def scenario(self, seed):
+        if seed not in self._CL_RUNS:
+            self._CL_RUNS[seed] = run_cluster_scenario(seed)
+        return self._CL_RUNS[seed]
+
+    @pytest.mark.parametrize("seed", CLUSTER_SEEDS)
+    def test_invariants_hold(self, seed):
+        assert_cluster_invariants(self.scenario(seed))
+
+    def test_every_replica_fault_kind_fires(self):
+        fired = set()
+        for seed in self.CLUSTER_SEEDS:
+            fired |= cluster_fault_kinds(self.scenario(seed))
+        want = {
+            "replica_crash", "replica_flap", "replica_slow", "replica_drain"
+        }
+        assert fired >= want, f"never fired: {want - fired}"
+
+    def test_all_routers_rotated(self):
+        routers = {
+            self.scenario(s).result.cluster["router"]
+            for s in self.CLUSTER_SEEDS
+        }
+        assert routers == {"round-robin", "least-kv", "affinity"}
+
+    def test_scenarios_are_deterministic(self):
+        a = run_cluster_scenario(self.CLUSTER_SEEDS[0])
+        b = run_cluster_scenario(self.CLUSTER_SEEDS[0])
+        assert a.result == b.result
+        assert a.recorder.events == b.recorder.events
+
+    def test_scenarios_are_distinct(self):
+        plans = {self.scenario(s).plan for s in self.CLUSTER_SEEDS[:8]}
+        assert len(plans) == 8
+
+    def test_sweep_covers_the_hard_regimes(self):
+        """Collectively the pinned seeds must exercise re-routing, retry
+        exhaustion (``failed``), cluster-wide shedding, and fencing."""
+        reroutes = failed = cluster_shed = fences = 0
+        for seed in self.CLUSTER_SEEDS:
+            c = self.scenario(seed).result.cluster
+            reroutes += c["reroutes"]
+            failed += c["failed"]
+            cluster_shed += c["cluster_shed"]
+            fences += c["fence_preempts"]
+        assert reroutes > 0, "no seed re-routed in-flight work"
+        assert failed > 0, "no seed exhausted a retry budget"
+        assert cluster_shed > 0, "no seed shed cluster-wide"
+        assert fences > 0, "no seed fenced in-flight requests"
+
+
+class TestClusterGoldenIdentity:
+    """A no-fault single-replica cluster IS the bare engine: the replica's
+    trace must be byte-identical to the committed golden, and the
+    aggregate result must match the bare engine's field-for-field (the
+    ``cluster`` payload being the only addition)."""
+
+    def _golden_engine(self, rec=None):
+        from repro.serving import LLAMA_7B, SCHEMES, ClusterEngine
+
+        return ServingEngine(
+            LLAMA_7B,
+            SCHEMES["Atom-W4A4"],
+            max_batch=32,
+            admission="reserve",
+            telemetry=rec,
+        )
+
+    def _requests(self):
+        return ShareGPTWorkload(seed=11, max_len=2048).sample_requests(48)
+
+    def test_trace_byte_identical_to_golden(self):
+        import io
+        from pathlib import Path
+
+        from repro.serving import ClusterEngine, write_jsonl
+
+        rec = TraceRecorder()
+        cluster = ClusterEngine([self._golden_engine(rec)])
+        cluster.run(self._requests())
+        buf = io.StringIO()
+        write_jsonl(rec.events, buf)
+        golden = Path(__file__).parent / "goldens" / "trace_atom_reserve.jsonl"
+        assert buf.getvalue() == golden.read_text(), (
+            "N=1 no-fault cluster replica trace diverged from the golden"
+        )
+
+    def test_result_matches_bare_engine(self):
+        from dataclasses import asdict
+
+        from repro.serving import ClusterEngine
+
+        bare = self._golden_engine().run(self._requests())
+        clustered = ClusterEngine([self._golden_engine()]).run(
+            self._requests()
+        )
+        a, b = asdict(bare), asdict(clustered)
+        assert b.pop("cluster") is not None
+        a.pop("cluster")
+        assert a == b
+
+    def test_open_loop_fcfs_trace_matches_golden(self):
+        """The front-end driving a 1-replica cluster with everything
+        arriving at t=0 is still the closed loop, byte for byte."""
+        import io
+        from pathlib import Path
+
+        from repro.serving import ClusterEngine, write_jsonl
+
+        rec = TraceRecorder()
+        cluster = ClusterEngine([self._golden_engine(rec)])
+        OpenLoopFrontend(cluster, "fcfs", enforce_deadlines=False).run(
+            self._requests()
+        )
+        buf = io.StringIO()
+        write_jsonl(rec.events, buf)
+        golden = Path(__file__).parent / "goldens" / "trace_atom_reserve.jsonl"
+        assert buf.getvalue() == golden.read_text(), (
+            "open-loop N=1 cluster trace diverged from the golden"
+        )
+
+
+class TestClusterNumericMigration:
+    """The hardest oracle: a request preempted by replica *fencing* and
+    re-routed mid-decode must still deliver tokens bit-identical to
+    ``LlamaModel.generate`` — recompute-on-resume across machines."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        cfg = ModelConfig(
+            "numeric-test",
+            dim=64,
+            n_layers=2,
+            n_heads=8,
+            n_kv_heads=2,
+            ffn_dim=128,
+            max_seq_len=256,
+        )
+        return build_bench_model(cfg, seed=0)
+
+    def test_migrated_requests_are_bit_identical(self, model):
+        from repro.serving import ClusterEngine
+        from repro.serving.faults import ReplicaCrashFault
+
+        engines = [
+            NumericBackend.engine_for(
+                model,
+                SCHEMES["FP16"],
+                max_batch=4,
+                admission="reserve",
+                seed=0,
+                shed_policy="drop",
+            )
+            for _ in range(2)
+        ]
+        cluster = ClusterEngine(
+            engines, router="round-robin", retry_budget=3
+        )
+        reqs = [
+            Request(i, 12 + 3 * (i % 4), 9 + 2 * (i % 3)) for i in range(10)
+        ]
+        state = cluster.start_run(reqs, faults=FaultPlan(
+            replica_faults=(ReplicaCrashFault(8, 0),)
+        ))
+        while state.active:
+            state.step()
+        r = state.result()
+        assert r.completed_requests == len(reqs)
+        assert r.rerouted > 0, "the crash must actually migrate requests"
+        migrated = {
+            rid for rid, n in state.retries.items() if n > 0
+        }
+        assert migrated, "no request was lost in flight"
+        oracle = engines[0].backend.runner.oracle_generate
+        for q in reqs:
+            got = cluster.generated_tokens(q.request_id)
+            want = oracle(q.request_id, q.prefill_len, q.decode_len)
+            np.testing.assert_array_equal(
+                got,
+                want,
+                err_msg=(
+                    f"request {q.request_id} "
+                    f"({'migrated' if q.request_id in migrated else 'local'})"
+                    " diverged from the generate oracle after fencing"
+                ),
+            )
+        for i, engine in enumerate(engines):
+            assert engine._allocator.used_pages == 0, f"replica {i} leaked"

@@ -258,3 +258,178 @@ class TestFaultInjector:
 def _flip_sequence(plan, n=64):
     inj = FaultInjector(plan)
     return [inj.alloc_attempt_fails() for _ in range(n)]
+
+
+class TestReplicaFaultPlans:
+    """Replica-fault plan data model: validation, symmetry, round-trip."""
+
+    def _plan(self):
+        from repro.serving import (
+            ReplicaCrashFault,
+            ReplicaDrainFault,
+            ReplicaFlapFault,
+            ReplicaSlowFault,
+        )
+
+        return FaultPlan(
+            page_faults=(PagePoolFault(3, -8),),
+            cancellations=(CancelFault(5, 2),),
+            stragglers=(StragglerFault(7, 2.5),),
+            alloc_failure_prob=0.125,
+            seed=42,
+            replica_faults=(
+                ReplicaCrashFault(10, 0),
+                ReplicaSlowFault(4, 1, factor=3.0, duration=6),
+                ReplicaFlapFault(8, 2, down_rounds=5, up_rounds=2, cycles=2),
+                ReplicaDrainFault(20, 1),
+            ),
+        )
+
+    def test_describe_names_every_fault_kind(self):
+        """``describe()`` and ``fault_kinds()`` are symmetric: every kind a
+        plan can inject appears in its description, and vice versa —
+        the asymmetry where replica kinds were countable but unprintable
+        is pinned closed here."""
+        plan = self._plan()
+        desc = plan.describe()
+        for kind in plan.fault_kinds():
+            assert kind in desc, f"{kind} missing from describe(): {desc}"
+        # The summary is exhaustive: every kind appears (with a zero count
+        # on an empty plan), so a log line never hides a fault category.
+        empty = FaultPlan()
+        assert empty.fault_kinds() == set()
+        empty_desc = empty.describe()
+        for kind in (
+            "page_shrink=0", "cancel=0", "straggler=0", "alloc_fail=0.000",
+            "replica_crash=0", "replica_slow=0", "replica_flap=0",
+            "replica_drain=0",
+        ):
+            assert kind in empty_desc, f"{kind} missing: {empty_desc}"
+
+    def test_all_eight_kinds_reported(self):
+        assert self._plan().fault_kinds() == {
+            "page_shrink", "cancel", "straggler", "alloc_fail",
+            "replica_crash", "replica_slow", "replica_flap", "replica_drain",
+        }
+
+    def test_dict_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+    def test_from_dict_rejects_unknown_replica_kind(self):
+        d = self._plan().to_dict()
+        d["replica_faults"][0]["kind"] = "replica_meltdown"
+        with pytest.raises(ValueError, match="unknown replica fault"):
+            FaultPlan.from_dict(d)
+
+    def test_engine_faults_strips_replica_entries(self):
+        plan = self._plan()
+        stripped = plan.engine_faults()
+        assert stripped.replica_faults == ()
+        assert stripped.page_faults == plan.page_faults
+        assert stripped.cancellations == plan.cancellations
+        # A plan with no replica faults is returned as-is (no copy).
+        assert FaultPlan().engine_faults() is not None
+
+    def test_validation(self):
+        from repro.serving import ReplicaFlapFault, ReplicaSlowFault
+
+        with pytest.raises(ValueError):
+            FaultPlan(replica_faults=(ReplicaSlowFault(0, 0, factor=0.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(
+                replica_faults=(
+                    ReplicaSlowFault(0, 0, factor=2.0, duration=0),
+                )
+            )
+        with pytest.raises(ValueError):
+            FaultPlan(replica_faults=(ReplicaFlapFault(0, 0, down_rounds=0),))
+        with pytest.raises(ValueError):
+            FaultPlan(replica_faults=(ReplicaFlapFault(0, -1, down_rounds=1),))
+
+    def test_random_replica_draws_leave_legacy_plans_unchanged(self):
+        """``random(..., n_replicas=N)`` must produce the SAME single-engine
+        faults as the legacy call — replica draws happen strictly after —
+        so every pre-cluster pinned chaos seed keeps its exact timeline."""
+        for seed in range(20):
+            legacy = FaultPlan.random(seed, request_ids=range(10), horizon=50)
+            extended = FaultPlan.random(
+                seed, request_ids=range(10), horizon=50, n_replicas=3
+            )
+            assert extended.page_faults == legacy.page_faults
+            assert extended.cancellations == legacy.cancellations
+            assert extended.stragglers == legacy.stragglers
+            assert extended.alloc_failure_prob == legacy.alloc_failure_prob
+            assert legacy.replica_faults == ()
+
+    def test_random_with_replicas_eventually_draws_every_kind(self):
+        kinds = set()
+        for seed in range(40):
+            kinds |= FaultPlan.random(seed, n_replicas=4).fault_kinds()
+        assert kinds >= {
+            "replica_crash", "replica_slow", "replica_flap", "replica_drain"
+        }
+
+
+class TestReplicaFaultSchedule:
+    def _schedule(self, *faults, n=3):
+        from repro.serving import ReplicaFaultSchedule
+
+        return ReplicaFaultSchedule(FaultPlan(replica_faults=faults), n)
+
+    def test_crash_is_permanent(self):
+        from repro.serving import ReplicaCrashFault
+
+        sched = self._schedule(ReplicaCrashFault(5, 1))
+        assert sched.available(1, 4)
+        assert not sched.available(1, 5)
+        assert not sched.available(1, 500)
+        assert not sched.ever_available_after(1, 5)
+        assert sched.ever_available_after(0, 5)
+        assert sched.available(0, 500) and sched.available(2, 500)
+
+    def test_flap_windows(self):
+        from repro.serving import ReplicaFlapFault
+
+        sched = self._schedule(
+            ReplicaFlapFault(10, 0, down_rounds=3, up_rounds=2, cycles=2)
+        )
+        # cycle 1: down 10-12, up 13-14; cycle 2: down 15-17, then up.
+        assert sched.available(0, 9)
+        assert not sched.available(0, 10)
+        assert not sched.available(0, 12)
+        assert sched.available(0, 13)
+        assert not sched.available(0, 15)
+        assert sched.available(0, 18)
+        assert sched.ever_available_after(0, 11)
+
+    def test_slow_factor_window(self):
+        from repro.serving import ReplicaSlowFault
+
+        sched = self._schedule(
+            ReplicaSlowFault(4, 2, factor=3.0, duration=2)
+        )
+        assert sched.slow_factor(2, 3) == 1.0
+        assert sched.slow_factor(2, 4) == 3.0
+        assert sched.slow_factor(2, 5) == 3.0
+        assert sched.slow_factor(2, 6) == 1.0
+        assert sched.slow_factor(0, 4) == 1.0
+        assert sched.slow_starts(2, 4)
+        assert not sched.slow_starts(2, 5)
+
+    def test_drain_rounds(self):
+        from repro.serving import ReplicaDrainFault
+
+        sched = self._schedule(ReplicaDrainFault(7, 0))
+        assert not sched.drains(0, 6)
+        assert sched.drains(0, 7)
+        assert not sched.drains(1, 7)
+        # Draining does not make the replica unavailable by itself.
+        assert sched.available(0, 7)
+
+    def test_out_of_range_replica_rejected(self):
+        from repro.serving import ReplicaCrashFault
+
+        with pytest.raises(ValueError, match="replica"):
+            self._schedule(ReplicaCrashFault(0, 7), n=2)

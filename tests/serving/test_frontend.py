@@ -340,3 +340,130 @@ class TestNumericOpenLoop:
                 want,
                 err_msg=f"request {r.request_id} diverged under open loop",
             )
+
+
+class TestRateLimiting:
+    """Per-tenant token-bucket admission: over-budget arrivals are shed on
+    arrival through the engine's shed path, so every rate-limited request
+    still reaches a typed terminal and all conservation laws hold."""
+
+    def _interactions(self, n=24, rate=100.0, tenants=("a", "b")):
+        reqs = _requests(n)
+        return poisson_interactions(
+            reqs, rate=rate, seed=9, tenants=tenants
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_limit must be positive"):
+            OpenLoopFrontend(_engine(), rate_limit=0.0)
+        with pytest.raises(ValueError, match="requires rate_limit"):
+            OpenLoopFrontend(_engine(), rate_limit_burst=4.0)
+        with pytest.raises(ValueError, match="burst must be >= 1"):
+            OpenLoopFrontend(_engine(), rate_limit=1.0, rate_limit_burst=0.5)
+        fe = OpenLoopFrontend(_engine(), rate_limit=3.0)
+        assert fe.rate_limit_burst == 3.0
+        assert OpenLoopFrontend(_engine()).rate_limit_burst is None
+
+    def test_no_limit_is_a_no_op(self):
+        res = OpenLoopFrontend(
+            _engine(shed_policy="drop"), "fcfs"
+        ).run(self._interactions())
+        assert res.rate_limited == 0
+
+    def test_over_budget_arrivals_are_shed_and_conserved(self):
+        engine = _engine(shed_policy="drop")
+        res = OpenLoopFrontend(
+            engine, "fcfs", rate_limit=5.0, rate_limit_burst=2.0
+        ).run(self._interactions(rate=500.0))
+        assert res.rate_limited > 0
+        # Every submission still reaches exactly one terminal state.
+        assert len(res.records) == res.submitted
+        assert res.serving.shed >= res.rate_limited
+        # Rate-limit sheds are disjoint from queue-overflow sheds.
+        assert res.frontend_shed == 0
+        assert engine._allocator.used_pages == 0
+
+    def test_deterministic(self):
+        def run():
+            return OpenLoopFrontend(
+                _engine(shed_policy="drop"), "fcfs",
+                rate_limit=5.0, rate_limit_burst=2.0,
+            ).run(self._interactions(rate=500.0))
+
+        a, b = run(), run()
+        assert a.rate_limited == b.rate_limited
+        assert a.serving.terminal_states == b.serving.terminal_states
+
+    def test_tenants_have_independent_buckets(self):
+        """One flooding tenant must not consume a quiet tenant's budget:
+        with per-tenant buckets the quiet tenant's sparse arrivals all
+        pass while the flood is clipped."""
+        flood = [
+            Interaction(
+                i, [Request(i * TURN_STRIDE, 64, 16)],
+                tenant="flood", arrival_s=0.001 * i,
+            )
+            for i in range(20)
+        ]
+        quiet = [
+            Interaction(
+                100 + i, [Request((100 + i) * TURN_STRIDE, 64, 16)],
+                tenant="quiet", arrival_s=2.0 * i,
+            )
+            for i in range(5)
+        ]
+        res = OpenLoopFrontend(
+            _engine(shed_policy="drop"), "fcfs",
+            rate_limit=1.0, rate_limit_burst=2.0,
+        ).run(flood + quiet)
+        states = res.serving.terminal_states
+        for i in range(5):
+            assert states[(100 + i) * TURN_STRIDE] == "finished", (
+                "quiet tenant was clipped by the flooding tenant"
+            )
+        flood_shed = sum(
+            1 for i in range(20) if states[i * TURN_STRIDE] == "shed"
+        )
+        assert flood_shed > 0
+        assert res.rate_limited == flood_shed
+
+    def test_bucket_refills_at_the_configured_rate(self):
+        """Arrivals 1s apart under ``rate_limit=1`` all pass; the same
+        arrivals 0.1s apart exhaust the burst and then shed."""
+        def run(gap):
+            inters = [
+                Interaction(
+                    i, [Request(i * TURN_STRIDE, 64, 8)],
+                    tenant="t", arrival_s=gap * i,
+                )
+                for i in range(8)
+            ]
+            return OpenLoopFrontend(
+                _engine(shed_policy="drop"), "fcfs",
+                rate_limit=1.0, rate_limit_burst=1.0,
+            ).run(inters)
+
+        assert run(1.0).rate_limited == 0
+        clipped = run(0.1)
+        # Burst of 1 admits the first arrival; each later one finds only
+        # 0.1 tokens refilled.
+        assert clipped.rate_limited == 7
+
+    def test_rate_limited_aborts_interaction_follow_ups(self):
+        inter = Interaction(
+            0, [Request(0, 64, 8), Request(1, 64, 8)],
+            tenant="t", arrival_s=0.0,
+        )
+        burner = Interaction(
+            1, [Request(TURN_STRIDE, 64, 8)], tenant="t", arrival_s=0.0,
+        )
+        res = OpenLoopFrontend(
+            _engine(shed_policy="drop"), "fcfs",
+            rate_limit=0.001, rate_limit_burst=1.0,
+        ).run([burner, inter])
+        # The single burst token admits one interaction's first turn; the
+        # other is shed on arrival, aborting its follow-up turn.
+        assert res.rate_limited == 1
+        assert res.interactions_aborted == 1
+        assert res.interactions_completed == 1
+        assert res.submitted == 2  # the aborted follow-up never arrives

@@ -590,3 +590,114 @@ class TestTelemetryRoundTrip:
             isinstance(e, (PrefixCacheSample, PrefixEviction))
             for e in rec.events
         )
+
+
+# --------------------------------------------------------------------------- #
+# 4. Cache-aware preemption victim selection
+# --------------------------------------------------------------------------- #
+class TestCacheAwarePreemption:
+    """``cache_aware_preempt=True`` prefers evicting requests whose prefix
+    is already interned (their recompute is cheap: the resume re-acquires
+    the cached prefix), and must stay bit-identical on the numeric path."""
+
+    @staticmethod
+    def _intern_conversation(engine, cache):
+        """Intern conversation 0's opening prefill so lookups hit.
+
+        Interning transfers pages from a live request to the cache
+        account, so request 0 must hold an allocation first.
+        """
+        engine._allocator.allocate(0, 64)
+        cache.intern_prefill(0, 64)
+        engine._allocator.free(0)
+
+    def test_victim_preference_prefers_cached_prefixes(self):
+        from types import SimpleNamespace
+
+        cache = PrefixCache(seed=0)
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=8,
+            prefix_cache=cache, cache_aware_preempt=True,
+        )
+        run = engine.start_run([])
+        self._intern_conversation(engine, cache)
+        cached = SimpleNamespace(request=Request(1, 80, 8))  # turn 1, conv 0
+        fresh = SimpleNamespace(request=Request(99 * 64, 80, 8))
+        assert cache.lookup(1, 80) > 0
+        assert cache.lookup(99 * 64, 80) == 0
+        # Default order would pick the first candidate; cache-aware picks
+        # the cached one wherever it sits.
+        assert run._pick_victim([fresh, cached]) is cached
+        assert run._pick_victim([cached, fresh]) is cached
+        # No cached candidate -> falls back to the first (stock order).
+        assert run._pick_victim([fresh]) is fresh
+        assert run._pick_victim([]) is None
+
+    def test_flag_off_is_stock_order(self):
+        from types import SimpleNamespace
+
+        cache = PrefixCache(seed=0)
+        engine = ServingEngine(
+            LLAMA_7B, FP16, max_batch=8, prefix_cache=cache,
+        )
+        run = engine.start_run([])
+        self._intern_conversation(engine, cache)
+        cached = SimpleNamespace(request=Request(1, 80, 8))
+        fresh = SimpleNamespace(request=Request(99 * 64, 80, 8))
+        assert run._pick_victim([fresh, cached]) is fresh
+
+    @pytest.mark.parametrize("model_name", ["fp", "atom"])
+    def test_numeric_bit_identity_under_cache_aware_preemption(
+        self, model_name, fp_model, atom_model
+    ):
+        """Preemption forced by a mid-run pool shrink, victims chosen
+        cache-aware: every finished request still matches the generate
+        oracle token for token, and teardown is clean."""
+        model = fp_model if model_name == "fp" else atom_model
+        scheme = "FP16" if model_name == "fp" else "Atom-W4A4"
+        reqs = _conversations(n_conv=4, turns=2, prompt=24, decode=10)
+        engine = _warm_engine(
+            model, scheme, admission="dynamic", max_batch=4,
+            shed_policy="drop", cache_aware_preempt=True,
+        )
+        shrink = engine._allocator.total_pages - 8
+        plan = FaultPlan(
+            page_faults=(
+                PagePoolFault(iteration=6, delta_pages=-shrink),
+                PagePoolFault(iteration=14, delta_pages=shrink),
+            )
+        )
+        result = engine.run(reqs, faults=plan)
+        assert result.preemptions > 0, "the shrink must force preemption"
+        assert result.completed_requests + result.shed == len(reqs)
+        _assert_oracle_identical(engine, result, reqs)
+        _assert_clean_teardown(engine)
+
+    def test_cache_aware_equals_stock_when_nothing_is_cached(self, fp_model):
+        """Without a single interned prefix the flag must be a strict
+        no-op: identical result, identical tokens."""
+        reqs = [Request(i * 64, 20, 8) for i in range(6)]  # all distinct
+        runs = []
+        for flag in (False, True):
+            engine = _warm_engine(
+                fp_model, "FP16", admission="dynamic", max_batch=3,
+                cache_aware_preempt=flag,
+            )
+            shrink = engine._allocator.total_pages - 6
+            plan = FaultPlan(
+                page_faults=(PagePoolFault(iteration=3, delta_pages=-shrink),
+                             PagePoolFault(iteration=9, delta_pages=shrink)),
+            )
+            result = engine.run(reqs, faults=plan)
+            runs.append((engine, result))
+        (e0, r0), (e1, r1) = runs
+        assert r0.terminal_states == r1.terminal_states
+        assert r0.preemptions == r1.preemptions
+        assert r0.total_time_s == r1.total_time_s
+        for r in reqs:
+            if r0.terminal_states[r.request_id] != "finished":
+                continue
+            np.testing.assert_array_equal(
+                e0.backend.generated_tokens(r.request_id),
+                e1.backend.generated_tokens(r.request_id),
+            )

@@ -18,7 +18,8 @@ def _dense_intensity(m: int, scheme) -> float:
     """Ops per byte of the batched dense GEMM (m tokens, 4096x4096)."""
     n = k = 4096
     ops = 2.0 * m * n * k
-    bytes_moved = n * k * scheme.w_bits / 8.0 + (m * k + m * n) * 2.0
+    # weight_bytes_per_param averages mixed per-channel bit splits.
+    bytes_moved = n * k * scheme.weight_bytes_per_param + (m * k + m * n) * 2.0
     return ops / bytes_moved
 
 

@@ -10,7 +10,9 @@
 - :mod:`repro.baselines.qllm_lite`   — channel disassembly ("QLLM-lite"):
   splitting outlier channels into sub-channels to shrink dynamic range;
 - :mod:`repro.baselines.weight_only` — W4A16 GPTQ weight-only quantization
-  (the serving baseline of Figs. 10-11).
+  (the serving baseline of Figs. 10-11);
+- :mod:`repro.baselines.mixedbit`    — channel-wise mixed-bit allocation
+  (per-channel precision tiers from the outlier square-sum statistic).
 
 All quantizers share the protocol ``quantize(model, calib_tokens=None) ->
 LlamaModel`` and a ``name`` attribute.
@@ -21,8 +23,10 @@ from repro.baselines.smoothquant import SmoothQuantQuantizer
 from repro.baselines.omniquant_lite import OmniQuantLite
 from repro.baselines.qllm_lite import QLLMLite
 from repro.baselines.weight_only import WeightOnlyGPTQ
+from repro.baselines.mixedbit import MixedBitQuantizer
 
 __all__ = [
+    "MixedBitQuantizer",
     "OmniQuantLite",
     "QLLMLite",
     "RTNQuantizer",

@@ -1,0 +1,311 @@
+"""Accuracy-vs-throughput Pareto sweep over the scheme registry.
+
+``repro bench --pareto`` runs every numeric-executable scheme in
+:data:`repro.serving.schemes.SCHEMES` through all three layers the registry
+unifies:
+
+- **accuracy** — quantize a trained zoo model with the scheme's recipe and
+  measure perplexity (:mod:`repro.eval.perplexity`) on held-out synthwiki;
+- **modeled throughput** — serve a ShareGPT workload on the full-size
+  Llama-7B roofline simulation (deterministic virtual time);
+- **measured throughput** — serve real requests through the numeric
+  backend, every finished request verified bit-identical against the
+  per-request ``generate`` oracle;
+- **memory** — full-size weight footprint and KV bytes/token from the
+  scheme's declared precisions.
+
+The committed ``benchmarks/perf/BENCH_pareto.json`` is the regression
+baseline.  ``check_pareto_regression`` gates the *structure* of the
+frontier, not raw wall-clock: Atom-W4A4 must dominate W8A8 on modeled
+throughput and W4A16 on memory (weights no larger, KV strictly smaller) —
+the paper's design-space claim — plus FP16 must stay the accuracy anchor
+and per-scheme numeric throughput may not regress beyond a generous slack.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "PARETO_BENCH_SCHEMA",
+    "run_pareto_bench",
+    "check_pareto_regression",
+    "pareto_front",
+    "write_pareto_bench_json",
+    "read_pareto_bench_json",
+    "format_pareto_rows",
+]
+
+PARETO_BENCH_SCHEMA = "atom-repro/bench-pareto/v1"
+
+#: Zoo analog executed numerically -> full-size spec used for the roofline
+#: axis (same mapping the ``serve`` subcommand uses).
+_ROOFLINE_SPEC_FOR = {
+    "llama-7b-sim": "llama-7b",
+    "llama-13b-sim": "llama-13b",
+    "llama2-70b-sim": "llama-70b",
+}
+
+
+def _roofline_tokens_per_s(scheme, spec_name: str, *, requests: int, seed: int):
+    from repro.data.sharegpt import ShareGPTWorkload
+    from repro.serving import ServingEngine
+    from repro.serving.models import LLAMA_7B, LLAMA_13B, LLAMA_70B
+
+    spec = {
+        "llama-7b": LLAMA_7B,
+        "llama-13b": LLAMA_13B,
+        "llama-70b": LLAMA_70B,
+    }[spec_name]
+    reqs = ShareGPTWorkload(seed=seed, max_len=2048).sample_requests(requests)
+    engine = ServingEngine(spec, scheme, max_batch=32)
+    result = engine.run(reqs)
+    return spec, result.throughput_tokens_per_s
+
+
+def run_pareto_bench(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    model_name: str = "llama-7b-sim",
+    scheme_names: "list[str] | None" = None,
+) -> dict:
+    """Sweep registered schemes; returns the ``BENCH_pareto.json`` payload.
+
+    ``scheme_names=None`` sweeps every numeric-executable registered
+    scheme.  One calibration batch is shared across all recipes so the
+    sweep is deterministic and scheme-comparable.
+    """
+    from repro.core.outliers import sample_calibration_tokens
+    from repro.data.sharegpt import Request
+    from repro.eval import perplexity
+    from repro.models.zoo import load_model
+    from repro.serving import NumericBackend
+    from repro.serving.schemes import SCHEMES, numeric_scheme_names
+
+    if scheme_names is None:
+        scheme_names = numeric_scheme_names()
+    unknown = [s for s in scheme_names if s not in SCHEMES]
+    if unknown:
+        raise ValueError(f"unknown schemes: {', '.join(unknown)}")
+
+    n_calib, calib_len = (8, 32) if quick else (32, 64)
+    eval_chars = 2048 if quick else 4096
+    roofline_requests = 16 if quick else 64
+    batch, prefill_len, decode_len = (4, 12, 6) if quick else (4, 16, 12)
+
+    model = load_model(model_name)
+    spec_name = _ROOFLINE_SPEC_FOR[model_name]
+    calib = sample_calibration_tokens(n_calib, calib_len, seed=seed + 42)
+
+    rows = []
+    spec = None
+    for name in scheme_names:
+        scheme = SCHEMES[name]
+        served = scheme.quantize(model, calib_tokens=calib)
+        ppl = float(perplexity(served, "synthwiki", eval_chars=eval_chars))
+
+        spec, roofline_tps = _roofline_tokens_per_s(
+            scheme, spec_name, requests=roofline_requests, seed=seed
+        )
+
+        engine = NumericBackend.engine_for(
+            served, scheme, max_batch=batch, admission="reserve", seed=seed
+        )
+        backend = engine.backend
+        reqs = [Request(i, prefill_len, decode_len) for i in range(batch)]
+        t0 = time.perf_counter()
+        result = engine.run(reqs)
+        wall_s = time.perf_counter() - t0
+        if result.completed_requests != batch:
+            raise RuntimeError(
+                f"pareto bench {name}: only "
+                f"{result.completed_requests}/{batch} requests finished"
+            )
+        for r in reqs:
+            got = backend.generated_tokens(r.request_id)
+            want = backend.runner.oracle_generate(
+                r.request_id, r.prefill_len, r.decode_len
+            )
+            if not np.array_equal(got, want):
+                raise RuntimeError(
+                    f"pareto bench {name}: request {r.request_id} tokens "
+                    "diverge from the generate oracle"
+                )
+        delivered = batch * decode_len
+        rows.append(
+            {
+                "scheme": name,
+                "w_bits": scheme.w_bits,
+                "a_bits": scheme.a_bits,
+                "kv_bits": scheme.kv_bits,
+                "avg_weight_bits": scheme.weight_bytes_per_param * 8.0,
+                "ppl": ppl,
+                "roofline_tokens_per_s": float(roofline_tps),
+                "numeric_tokens_per_s": (
+                    delivered / wall_s if wall_s > 0 else 0.0
+                ),
+                "numeric_wall_s": wall_s,
+                "weight_gb": spec.n_params()
+                * scheme.weight_bytes_per_param
+                / 2**30,
+                "kv_bytes_per_token": spec.kv_bytes_per_token(scheme.kv_bits),
+                "verified_bit_identical": True,
+            }
+        )
+
+    return {
+        "schema": PARETO_BENCH_SCHEMA,
+        "quick": quick,
+        "model": {"zoo": model_name, "roofline_spec": spec.name},
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "schemes": rows,
+        "pareto_front": pareto_front(rows),
+    }
+
+
+def pareto_front(rows: list[dict]) -> list[str]:
+    """Schemes not dominated on (lower ppl, higher modeled throughput)."""
+    front = []
+    for a in rows:
+        dominated = any(
+            b["ppl"] <= a["ppl"]
+            and b["roofline_tokens_per_s"] >= a["roofline_tokens_per_s"]
+            and (
+                b["ppl"] < a["ppl"]
+                or b["roofline_tokens_per_s"] > a["roofline_tokens_per_s"]
+            )
+            for b in rows
+        )
+        if not dominated:
+            front.append(a["scheme"])
+    return front
+
+
+def check_pareto_regression(
+    current: dict,
+    baseline: dict,
+    *,
+    max_slowdown: float = 3.0,
+    ppl_headroom: float = 1.02,
+) -> list[str]:
+    """Gate the sweep's structure against the committed baseline.
+
+    Wall-clock enters only through the per-scheme numeric throughput gate
+    (generous ``max_slowdown`` slack: shared CI is noisy); everything else
+    is structural and must hold exactly:
+
+    - every scheme verified bit-identical against the generate oracle;
+    - every baseline scheme still present (schemes may be added, not lost);
+    - Atom-W4A4 dominates W8A8 on modeled throughput, and W4A16 on memory
+      (weights no larger, KV strictly smaller);
+    - all perplexities finite, with FP16 the accuracy anchor (no quantized
+      scheme beats it beyond ``ppl_headroom`` noise).
+
+    Returns human-readable failures (empty = pass).
+    """
+    problems: list[str] = []
+    try:
+        cur = {r["scheme"]: r for r in current["schemes"]}
+        base = {r["scheme"]: r for r in baseline["schemes"]}
+        for r in cur.values():
+            float(r["ppl"])
+            float(r["roofline_tokens_per_s"])
+            float(r["numeric_tokens_per_s"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"malformed pareto bench payload: {exc!r}"]
+
+    for name, r in cur.items():
+        if not r.get("verified_bit_identical"):
+            problems.append(f"{name}: run skipped oracle verification")
+        if not math.isfinite(float(r["ppl"])):
+            problems.append(f"{name}: non-finite perplexity {r['ppl']}")
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        problems.append(
+            f"schemes dropped from the sweep: {', '.join(missing)}"
+        )
+
+    if {"Atom-W4A4", "W8A8", "W4A16"} <= set(cur):
+        atom, w8a8, w4a16 = cur["Atom-W4A4"], cur["W8A8"], cur["W4A16"]
+        if atom["roofline_tokens_per_s"] <= w8a8["roofline_tokens_per_s"]:
+            problems.append(
+                "Atom-W4A4 no longer dominates W8A8 on modeled throughput: "
+                f"{atom['roofline_tokens_per_s']:.0f} vs "
+                f"{w8a8['roofline_tokens_per_s']:.0f} tokens/s"
+            )
+        if atom["weight_gb"] > w4a16["weight_gb"] + 1e-9:
+            problems.append(
+                "Atom-W4A4 weight footprint exceeds W4A16: "
+                f"{atom['weight_gb']:.2f} vs {w4a16['weight_gb']:.2f} GB"
+            )
+        if atom["kv_bytes_per_token"] >= w4a16["kv_bytes_per_token"]:
+            problems.append(
+                "Atom-W4A4 KV footprint no longer beats W4A16: "
+                f"{atom['kv_bytes_per_token']:.0f} vs "
+                f"{w4a16['kv_bytes_per_token']:.0f} bytes/token"
+            )
+
+    if "FP16" in cur:
+        fp16_ppl = float(cur["FP16"]["ppl"])
+        for name, r in cur.items():
+            if name != "FP16" and float(r["ppl"]) * ppl_headroom < fp16_ppl:
+                problems.append(
+                    f"{name} perplexity {float(r['ppl']):.3f} beats the FP16 "
+                    f"anchor {fp16_ppl:.3f} beyond noise — accuracy axis is "
+                    "suspect"
+                )
+
+    for name in set(cur) & set(base):
+        cur_tps = float(cur[name]["numeric_tokens_per_s"])
+        base_tps = float(base[name]["numeric_tokens_per_s"])
+        if cur_tps * max_slowdown < base_tps:
+            problems.append(
+                f"{name} numeric throughput regressed >{max_slowdown:g}x: "
+                f"{cur_tps:.1f} tokens/s vs baseline {base_tps:.1f} tokens/s"
+            )
+    return problems
+
+
+def write_pareto_bench_json(payload: dict, dest: "str | Path") -> None:
+    from repro.bench.artifacts import atomic_write_text
+
+    atomic_write_text(dest, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_pareto_bench_json(src: "str | Path") -> dict:
+    payload = json.loads(Path(src).read_text())
+    if payload.get("schema") != PARETO_BENCH_SCHEMA:
+        raise ValueError(
+            f"unexpected pareto bench schema {payload.get('schema')!r} "
+            f"in {src}"
+        )
+    return payload
+
+
+def format_pareto_rows(payload: dict) -> list[list]:
+    """Table rows (scheme, bits, ppl, modeled/measured tok/s, memory)."""
+    front = set(payload.get("pareto_front", ()))
+    return [
+        [
+            r["scheme"] + (" *" if r["scheme"] in front else ""),
+            f"{r['avg_weight_bits']:g}/{r['a_bits']}/{r['kv_bits']}",
+            f"{r['ppl']:.3f}",
+            f"{r['roofline_tokens_per_s']:.0f}",
+            f"{r['numeric_tokens_per_s']:.1f}",
+            f"{r['weight_gb']:.2f}",
+            f"{r['kv_bytes_per_token']:.0f}",
+        ]
+        for r in payload["schemes"]
+    ]

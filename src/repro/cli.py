@@ -12,6 +12,7 @@ Usage::
     python -m repro trace --chaos 7 -o t.jsonl       # fault-injection trace
     python -m repro bench -o BENCH_inference.json    # fast-path microbenchmarks
     python -m repro bench --serving --quick          # batched numeric decode
+    python -m repro bench --pareto --quick           # scheme Pareto sweep
     python -m repro quantize --checkpoint-dir ckpt/  # crash-safe, resumable
     python -m repro doctor --checkpoint-dir ckpt/    # validate on-disk artifacts
 """
@@ -120,6 +121,27 @@ _NUMERIC_ZOO = {
 }
 
 
+def _resolve_numeric_schemes(scheme_arg: str) -> "tuple[list[str], str | None]":
+    """Scheme names for a numeric-backend run, or an error message.
+
+    ``"all"`` expands to every registered scheme with a quantization
+    recipe; naming a roofline-only scheme explicitly is the error case.
+    """
+    from repro.serving.schemes import SCHEMES, numeric_scheme_names
+
+    names = (
+        [scheme_arg] if scheme_arg != "all" else numeric_scheme_names()
+    )
+    unsupported = [s for s in names if not SCHEMES[s].numeric_executable]
+    if unsupported:
+        return names, (
+            f"numeric backend supports {', '.join(numeric_scheme_names())}; "
+            f"{', '.join(unsupported)} has no quantization recipe "
+            "(roofline-only)"
+        )
+    return names, None
+
+
 def _prefix_cache_for(args: argparse.Namespace):
     """A fresh ``PrefixCache`` when ``--prefix-cache`` was given, else None.
 
@@ -185,15 +207,11 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     zoo_name = _NUMERIC_ZOO[args.model]
-    model = load_model(zoo_name)
-    scheme_names = (
-        [args.scheme] if args.scheme != "all" else ["FP16", "Atom-W4A4"]
-    )
-    unsupported = [s for s in scheme_names if s not in ("FP16", "Atom-W4A4")]
-    if unsupported:
-        print(f"numeric backend supports FP16 and Atom-W4A4, not "
-              f"{', '.join(unsupported)}", file=sys.stderr)
+    scheme_names, err = _resolve_numeric_schemes(args.scheme)
+    if err:
+        print(err, file=sys.stderr)
         return 2
+    model = load_model(zoo_name)
     # Requests must fit the small model's context window.
     max_len = model.config.max_seq_len
     reqs = ShareGPTWorkload(seed=args.seed, max_len=max_len).sample_requests(
@@ -204,11 +222,7 @@ def _cmd_serve_numeric(args: argparse.Namespace) -> int:
     cluster_lines = []
     clustered = getattr(args, "replicas", 1) > 1
     for name in scheme_names:
-        served = model
-        if name == "Atom-W4A4":
-            from repro.core import AtomConfig, AtomQuantizer
-
-            served = AtomQuantizer(AtomConfig.paper_default()).quantize(model)
+        served = SCHEMES[name].quantize(model)
 
         def build(name=name, served=served):
             return NumericBackend.engine_for(
@@ -308,22 +322,14 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
     from repro.serving.parallel import NVLINK, PCIE_4, TPConfig
 
     numeric = args.backend == "numeric"
-    scheme_names = (
-        [args.scheme]
-        if args.scheme != "all"
-        else (["FP16", "Atom-W4A4"] if numeric else list(SCHEMES))
-    )
     if numeric:
         if args.tp > 1:
             print("numeric backend does not support tensor parallelism",
                   file=sys.stderr)
             return 2
-        unsupported = [
-            s for s in scheme_names if s not in ("FP16", "Atom-W4A4")
-        ]
-        if unsupported:
-            print(f"numeric backend supports FP16 and Atom-W4A4, not "
-                  f"{', '.join(unsupported)}", file=sys.stderr)
+        scheme_names, err = _resolve_numeric_schemes(args.scheme)
+        if err:
+            print(err, file=sys.stderr)
             return 2
         from repro.models.zoo import load_model
 
@@ -337,6 +343,9 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
             "llama-13b": LLAMA_13B,
             "llama-70b": LLAMA_70B,
         }
+        scheme_names = (
+            [args.scheme] if args.scheme != "all" else list(SCHEMES)
+        )
         spec = specs[args.model]
         max_len = 2048
         model_name = f"{spec.name} (analytic backend)"
@@ -349,13 +358,7 @@ def _cmd_serve_open_loop(args: argparse.Namespace) -> int:
     clustered = getattr(args, "replicas", 1) > 1
     for name in scheme_names:
         if numeric:
-            served = model
-            if name == "Atom-W4A4":
-                from repro.core import AtomConfig, AtomQuantizer
-
-                served = AtomQuantizer(
-                    AtomConfig.paper_default()
-                ).quantize(model)
+            served = SCHEMES[name].quantize(model)
 
             def build(name=name, served=served):
                 return NumericBackend.engine_for(
@@ -673,6 +676,52 @@ def _cmd_bench_prefix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_pareto(args: argparse.Namespace) -> int:
+    """Accuracy-vs-throughput sweep over every registered scheme."""
+    from repro.bench.pareto import (
+        check_pareto_regression,
+        format_pareto_rows,
+        read_pareto_bench_json,
+        run_pareto_bench,
+        write_pareto_bench_json,
+    )
+
+    payload = run_pareto_bench(quick=args.quick)
+    print(
+        format_table(
+            ["scheme", "w/a/kv bits", "ppl", "roofline tok/s",
+             "numeric tok/s", "weights GB", "KV B/token"],
+            format_pareto_rows(payload),
+            title=f"scheme Pareto sweep: {payload['model']['zoo']} accuracy, "
+            f"{payload['model']['roofline_spec']} roofline"
+            + (" (quick)" if args.quick else ""),
+        )
+    )
+    print("* on the (ppl, modeled tokens/s) Pareto front: "
+          + ", ".join(payload["pareto_front"]))
+    print("tokens verified bit-identical to generate oracle (all schemes): "
+          "True")
+    if args.output:
+        write_pareto_bench_json(payload, args.output)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        try:
+            baseline = read_pareto_bench_json(args.check_against)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {args.check_against}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_pareto_regression(
+            payload, baseline, max_slowdown=args.max_slowdown
+        )
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check_against}")
+    return 0
+
+
 def _cmd_bench_serving(args: argparse.Namespace) -> int:
     """Batched-decode microbenchmark through the numeric serving backend."""
     if getattr(args, "prefix_cache", False):
@@ -729,6 +778,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    if getattr(args, "pareto", False):
+        return _cmd_bench_pareto(args)
     if args.serving:
         return _cmd_bench_serving(args)
 
@@ -848,6 +899,12 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Scheme choices come from the one registry — registering a new scheme
+    # makes it servable/traceable/benchable without touching the CLI.
+    from repro.serving.schemes import SCHEMES
+
+    scheme_choices = tuple(SCHEMES)
+
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -885,7 +942,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-m", "--model", default="llama-7b",
                    choices=("llama-7b", "llama-13b", "llama-70b"))
     s.add_argument("--scheme", default="all",
-                   choices=("all", "FP16", "W4A16", "W8A8", "Atom-W4A4"))
+                   choices=("all", *scheme_choices))
     s.add_argument("--batch", type=int, default=64)
     s.add_argument("--requests", type=int, default=256)
     s.add_argument("--admission", choices=("reserve", "dynamic"), default="reserve")
@@ -963,7 +1020,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("-m", "--model", default="llama-7b",
                    choices=("llama-7b", "llama-13b", "llama-70b"))
     t.add_argument("--scheme", default="Atom-W4A4",
-                   choices=("FP16", "W4A16", "W8A8", "Atom-W4A4"))
+                   choices=scheme_choices)
     t.add_argument("--batch", type=int, default=64)
     t.add_argument("--requests", type=int, default=128)
     t.add_argument("--admission", choices=("reserve", "dynamic"), default="dynamic")
@@ -1014,6 +1071,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "over multi-round conversations instead "
                         "(-o/--check-against then use the "
                         "BENCH_prefix_cache.json schema)")
+    b.add_argument("--pareto", action="store_true",
+                   help="accuracy-vs-throughput sweep over every registered "
+                        "scheme: zoo perplexity + roofline and numeric "
+                        "throughput per scheme (-o/--check-against then use "
+                        "the BENCH_pareto.json schema)")
     b.set_defaults(func=_cmd_bench)
 
     d = sub.add_parser(

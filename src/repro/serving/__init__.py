@@ -6,9 +6,11 @@ on an RTX 4090 with custom CUDA kernels.  Without a GPU, we reproduce the
 
 - :mod:`repro.serving.hardware` — published GPU specs (peak TOPS per dtype,
   memory bandwidth/capacity) and the roofline model (Williams et al. 2009);
-- :mod:`repro.serving.schemes`  — quantization scheme descriptors (FP16,
-  W4A16, W8A8, Atom W4A4) with kernel-efficiency factors calibrated to the
-  paper's §5.4.2 kernel ablation (980 / 900 / 770 TOPS);
+- :mod:`repro.serving.schemes`  — full-stack quantization scheme registry
+  (FP16, W4A16, W8A8, Atom W4A4, W4A8KV4, MixedBit): each entry carries its
+  roofline cost parameters (kernel-efficiency factors calibrated to the
+  paper's §5.4.2 kernel ablation, 980 / 900 / 770 TOPS), its executable
+  quantization recipe (``scheme.quantize(model)``), and its KV codec;
 - :mod:`repro.serving.models`   — full-size Llama serving shapes (7B-70B);
 - :mod:`repro.serving.kernels`  — analytic kernel cost models: fused GEMM,
   FlashInfer-style decode attention, quant/reorder fusion overheads;
@@ -36,10 +38,14 @@ from repro.serving.hardware import A100_40G, RTX_4090, GPUSpec, roofline_through
 from repro.serving.schemes import (
     ATOM_W4A4,
     FP16,
+    MIXED_BIT,
     SCHEMES,
     W4A16,
+    W4A8KV4,
     W8A8,
     QuantScheme,
+    numeric_scheme_names,
+    register_scheme,
 )
 from repro.serving.models import (
     LLAMA_7B,
@@ -175,6 +181,7 @@ __all__ = [
     "LLAMA_13B",
     "LLAMA_70B",
     "LLAMA_7B",
+    "MIXED_BIT",
     "ModelRunner",
     "NumericBackend",
     "PagePoolFault",
@@ -225,6 +232,7 @@ __all__ = [
     "TraceRecorder",
     "TraceSummary",
     "W4A16",
+    "W4A8KV4",
     "W8A8",
     "attention_decode_time",
     "attention_prefill_time",
@@ -233,8 +241,10 @@ __all__ = [
     "gemm_time",
     "gemm_tops",
     "make_scheduler",
+    "numeric_scheme_names",
     "poisson_interactions",
     "read_jsonl",
+    "register_scheme",
     "reorder_ablation_latency",
     "roofline_throughput",
     "runtime_breakdown",

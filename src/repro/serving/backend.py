@@ -11,8 +11,8 @@ What one scheduled iteration *costs* — and, for a real model, what tokens it
     default everywhere and is pinned bit-identical to the pre-backend
     engine by the golden-trace tests (``tests/serving/goldens``).
 :class:`NumericBackend`
-    Drives a real :class:`~repro.models.llama.LlamaModel` (FP16 or
-    Atom-quantized linears, any KV codec) through a
+    Drives a real :class:`~repro.models.llama.LlamaModel` (FP16 linears or
+    any registered scheme's quantized executable, any KV codec) through a
     :class:`~repro.serving.model_runner.ModelRunner` over a paged KV store,
     so one engine run executes the *actual* quantized numerics under
     continuous batching, paged KV, preemption, and chaos schedules.  Its
@@ -319,10 +319,17 @@ class NumericBackend(ExecutionBackend):
         seed: int = 0,
         batched: bool = True,
         prompts: str = "synthetic",
+        check_codec: bool = True,
         **engine_kwargs,
     ):
         """Build a :class:`ServingEngine` serving ``model`` numerically.
 
+        Accepts any scheme from the :data:`~repro.serving.schemes.SCHEMES`
+        registry; ``model`` is the already-prepared executable
+        (``scheme.quantize(model)`` builds one).  With ``check_codec``
+        (the default) the model's installed KV codec must agree with the
+        scheme's declared ``kv_bits`` — serving an FP16-KV model under a
+        4-bit-KV scheme would silently mis-account every paged-KV byte.
         Derives the :class:`ServingModelSpec` from the model config so the
         engine's page accounting matches the model's real KV shapes, and
         wires a fresh backend in.  ``engine_kwargs`` pass through to the
@@ -330,6 +337,15 @@ class NumericBackend(ExecutionBackend):
         """
         from repro.serving.engine import ServingEngine
 
+        if check_codec:
+            got = float(model.kv_codec.bits)
+            if got != float(scheme.kv_bits):
+                raise ValueError(
+                    f"model carries a {got:g}-bit KV codec but scheme "
+                    f"{scheme.name!r} declares kv_bits={scheme.kv_bits}; "
+                    f"build the model with scheme.quantize(...) or pass "
+                    f"check_codec=False"
+                )
         backend = cls(
             model,
             page_size=page_size,

@@ -3,7 +3,8 @@
 Fig. 3 profiles FP16 Llama-7B inference across batch sizes and shows the
 dense layer plus self-attention consuming over 90% of execution time — the
 motivation for quantizing both (§3).  This reproduces that measurement on
-the analytic kernel models.
+the analytic kernel models; ``scheme`` accepts any entry of the
+:data:`~repro.serving.schemes.SCHEMES` registry.
 """
 
 from __future__ import annotations

@@ -2,7 +2,12 @@
 
 Every model here is ``time = max(compute_time, memory_time)`` with the
 scheme's effective compute throughput and an effective memory bandwidth
-(DRAM streams rarely exceed ~85% of peak).  Calibration anchors:
+(DRAM streams rarely exceed ~85% of peak).  Cost parameters come from the
+:class:`~repro.serving.schemes.QuantScheme` descriptor alone —
+``compute_dtype``/``gemm_efficiency`` for the compute side,
+``weight_bytes_per_param`` (a fractional average for mixed-bit schemes)
+and ``kv_bits`` for the memory side — so any registered scheme prices
+uniformly.  Calibration anchors:
 
 - §5.4.2 kernel ablation fixes the compute-bound efficiencies (see
   :mod:`repro.serving.schemes`);

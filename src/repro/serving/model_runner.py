@@ -30,6 +30,13 @@ appends write the same post-codec float32 values a dense
 :class:`~repro.models.llama.KVCache` would hold and gathers return them
 contiguous and in token order, so the attention GEMMs consume bit-identical
 operands.
+
+Scheme-agnostic: the runner executes whatever executable the scheme's
+recipe built — FP16 linears, Atom's fused low-bit linears, dequantized
+GPTQ weights, mixed-bit tier stacks — and the paged caches apply the
+model's installed ``kv_codec`` on append, so every scheme registered in
+:mod:`repro.serving.schemes` runs through this one step pipeline with no
+per-scheme branches.
 """
 
 from __future__ import annotations

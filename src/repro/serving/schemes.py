@@ -1,9 +1,24 @@
-"""Quantization scheme descriptors for the serving simulator.
+"""Full-stack quantization scheme descriptors.
 
-Each scheme pins down: operand precisions for the dense GEMMs, KV-cache
-bits, whether the GEMM actually runs on low-bit tensor cores
-(weight-activation) or must dequantize to FP16 first (weight-only), and a
-kernel efficiency factor.
+A :class:`QuantScheme` is the single source of truth for one serving
+configuration across all three layers of the stack:
+
+- **roofline** — operand precisions for the dense GEMMs, KV-cache bits,
+  whether the GEMM actually runs on low-bit tensor cores
+  (weight-activation) or must dequantize to FP16 first (weight-only), and
+  a kernel efficiency factor, consumed by :mod:`repro.serving.kernels`,
+  :mod:`repro.serving.breakdown` and the analytic engine;
+- **quantization** — ``scheme.quantize(model)`` builds the executable
+  quantized model via the recipe named by ``scheme.recipe`` (an
+  :class:`~repro.core.config.AtomConfig` pipeline or one of the
+  ``baselines/`` quantizers);
+- **KV codec** — ``scheme.build_kv_codec()`` derives the paged-KV codec
+  matching the declared ``kv_bits``; ``quantize`` verifies the recipe
+  installed a codec that agrees with the declaration.
+
+Every scheme lives in the one ``SCHEMES`` registry; ``register_scheme``
+adds new entries (CLI ``--scheme`` choices, the numeric backend, and the
+Pareto bench all iterate the registry rather than hand-maintained lists).
 
 Efficiency factors are calibrated to the paper's kernel ablation (§5.4.2,
 RTX 4090, batch 4096):
@@ -17,19 +32,128 @@ RTX 4090, batch 4096):
 
 Weight-only (W4A16) pays an extra dequant penalty on top of the FP16
 pipeline (Lin et al.'s kernels reach ~90% of the FP16 GEMM in the
-compute-bound regime).
+compute-bound regime).  W4A8KV4 (QServe-style) runs the INT8 pipeline with
+a fused INT4->INT8 weight dequant, slightly below the plain INT8 GEMM;
+MixedBit adds per-tier scale handling on top of Atom's fused pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["QuantScheme", "FP16", "W4A16", "W8A8", "ATOM_W4A4", "SCHEMES"]
+__all__ = [
+    "QuantScheme",
+    "FP16",
+    "W4A16",
+    "W8A8",
+    "ATOM_W4A4",
+    "W4A8KV4",
+    "MIXED_BIT",
+    "SCHEMES",
+    "register_scheme",
+    "numeric_scheme_names",
+]
+
+_VALID_BITS = (2, 3, 4, 8, 16)
 
 
+# --------------------------------------------------------------------- #
+# Quantization recipes: how a scheme builds its executable model
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Recipe:
+    """An executable quantization pipeline a scheme can reference by name.
+
+    ``kv_bits`` declares the KV-cache precision the pipeline installs (16
+    means the model's KV stays FP16); ``QuantScheme.__post_init__`` rejects
+    schemes whose declared ``kv_bits`` disagrees with their recipe, and
+    ``QuantScheme.quantize`` re-checks the codec the built model actually
+    carries.
+    """
+
+    kv_bits: int
+    build: "object" = field(repr=False)  # (model, calib_tokens) -> model
+
+
+def _build_fp16(model, calib_tokens):
+    return model
+
+
+def _build_atom_w4a4(model, calib_tokens):
+    from repro.core import AtomConfig, AtomQuantizer
+
+    return AtomQuantizer(AtomConfig.paper_default()).quantize(
+        model, calib_tokens=calib_tokens
+    )
+
+
+def _build_gptq_w4a16(model, calib_tokens):
+    from repro.baselines import WeightOnlyGPTQ
+
+    return WeightOnlyGPTQ(w_bits=4).quantize(model, calib_tokens=calib_tokens)
+
+
+def _build_smoothquant_w8a8(model, calib_tokens):
+    # Fixed alpha=0.5 (the SmoothQuant paper's default) skips the NLL grid
+    # search — the registry build must be deterministic and cheap.  The
+    # SmoothQuant pipeline leaves KV FP16, so the INT8 KV codec of the W8A8
+    # serving configuration is installed here.
+    from repro.baselines import SmoothQuantQuantizer
+    from repro.core.kv_quant import AtomKVCodec
+
+    q = SmoothQuantQuantizer(a_bits=8, w_bits=8, alpha=0.5)
+    qmodel = q.quantize(model, calib_tokens=calib_tokens)
+    qmodel.kv_codec = AtomKVCodec(8)
+    return qmodel
+
+
+def _build_qserve_w4a8kv4(model, calib_tokens):
+    # QServe-style W4A8KV4: per-output-channel 4-bit weights (no groups, no
+    # outlier tail), 8-bit per-token activations, INT4 asymmetric KV.  The
+    # existing Atom pipeline expresses this directly.
+    from repro.core import AtomConfig, AtomQuantizer
+
+    cfg = AtomConfig(
+        a_bits=8,
+        w_bits=4,
+        n_outlier=0,
+        outlier_bits=None,
+        group_size=None,
+        kv_bits=4,
+    )
+    return AtomQuantizer(cfg).quantize(model, calib_tokens=calib_tokens)
+
+
+def _build_mixedbit(model, calib_tokens):
+    from repro.baselines import MixedBitQuantizer
+
+    return MixedBitQuantizer().quantize(model, calib_tokens=calib_tokens)
+
+
+_RECIPES: dict[str, _Recipe] = {
+    "fp16": _Recipe(kv_bits=16, build=_build_fp16),
+    "atom-w4a4": _Recipe(kv_bits=4, build=_build_atom_w4a4),
+    "gptq-w4a16": _Recipe(kv_bits=16, build=_build_gptq_w4a16),
+    "smoothquant-w8a8": _Recipe(kv_bits=8, build=_build_smoothquant_w8a8),
+    "qserve-w4a8kv4": _Recipe(kv_bits=4, build=_build_qserve_w4a8kv4),
+    "mixedbit": _Recipe(kv_bits=4, build=_build_mixedbit),
+}
+
+
+# --------------------------------------------------------------------- #
+# The scheme descriptor
+# --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class QuantScheme:
-    """A weight/activation/KV precision configuration for serving."""
+    """A weight/activation/KV precision configuration for serving.
+
+    ``recipe`` names the entry in the recipe table that builds this
+    scheme's executable model (``None`` = roofline-only descriptor; the
+    numeric backend rejects it).  ``bit_split`` describes mixed per-channel
+    weight storage as ``((bits, fraction), ...)`` — the declared ``w_bits``
+    is then the lowest tier and ``weight_bytes_per_param`` the
+    fraction-weighted average.
+    """
 
     name: str
     w_bits: int
@@ -39,16 +163,52 @@ class QuantScheme:
     mixed_precision: bool = False  # INT8 outlier tail fused into the GEMM
     group_quant: bool = False  # fused group dequant in the MMA pipeline
     gemm_efficiency: float = 1.0  # achieved / peak TOPS in compute-bound GEMM
+    recipe: str | None = None  # executable quantization pipeline
+    bit_split: tuple[tuple[int, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.weight_only and self.a_bits != 16:
             raise ValueError("weight-only schemes keep activations FP16")
         for b, label in ((self.w_bits, "w"), (self.a_bits, "a"), (self.kv_bits, "kv")):
-            if b not in (2, 3, 4, 8, 16):
+            if b not in _VALID_BITS:
                 raise ValueError(f"unsupported {label}_bits: {b}")
         if not 0.0 < self.gemm_efficiency <= 1.0:
             raise ValueError("gemm_efficiency must be in (0, 1]")
+        if self.bit_split is not None:
+            total = 0.0
+            for bits, frac in self.bit_split:
+                if bits not in _VALID_BITS:
+                    raise ValueError(f"unsupported bit_split bits: {bits}")
+                if not 0.0 < frac <= 1.0:
+                    raise ValueError(f"bit_split fraction out of (0, 1]: {frac}")
+                total += frac
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(
+                    f"bit_split fractions must sum to 1, got {total:g}"
+                )
+            lowest = min(bits for bits, _ in self.bit_split)
+            if self.w_bits != lowest:
+                raise ValueError(
+                    f"w_bits ({self.w_bits}) must equal the lowest bit_split "
+                    f"tier ({lowest})"
+                )
+        if self.recipe is not None:
+            spec = _RECIPES.get(self.recipe)
+            if spec is None:
+                raise ValueError(
+                    f"unknown recipe {self.recipe!r} "
+                    f"(available: {', '.join(sorted(_RECIPES))})"
+                )
+            if spec.kv_bits != self.kv_bits:
+                raise ValueError(
+                    f"scheme {self.name!r} declares kv_bits={self.kv_bits} "
+                    f"but recipe {self.recipe!r} builds a "
+                    f"{spec.kv_bits}-bit KV codec"
+                )
 
+    # -------------------------------------------------------------- #
+    # Roofline cost parameters
+    # -------------------------------------------------------------- #
     @property
     def compute_dtype(self) -> str:
         """Tensor-core dtype the dense GEMM runs in."""
@@ -59,45 +219,155 @@ class QuantScheme:
 
     @property
     def weight_bytes_per_param(self) -> float:
+        if self.bit_split is not None:
+            return sum(bits * frac for bits, frac in self.bit_split) / 8.0
         return self.w_bits / 8.0
 
     @property
     def kv_bytes_per_element(self) -> float:
         return self.kv_bits / 8.0
 
+    # -------------------------------------------------------------- #
+    # Executable side: quantized model + KV codec
+    # -------------------------------------------------------------- #
+    @property
+    def numeric_executable(self) -> bool:
+        """Whether this scheme can build a model for the numeric backend."""
+        return self.recipe is not None
 
-FP16 = QuantScheme(
-    name="FP16", w_bits=16, a_bits=16, kv_bits=16, gemm_efficiency=0.685
+    def build_kv_codec(self):
+        """KV codec matching the declared ``kv_bits`` (identity at 16)."""
+        from repro.core.kv_quant import AtomKVCodec
+        from repro.models.llama import IdentityKVCodec
+
+        if self.kv_bits >= 16:
+            return IdentityKVCodec()
+        return AtomKVCodec(self.kv_bits)
+
+    def quantize(self, model, *, calib_tokens=None):
+        """Build this scheme's executable model (the numeric-backend entry).
+
+        Runs the registered recipe and verifies the returned model carries
+        a KV codec agreeing with the declared ``kv_bits`` — a recipe that
+        silently installs the wrong codec is a hard error, not a perf bug.
+        """
+        if self.recipe is None:
+            raise ValueError(
+                f"scheme {self.name!r} is roofline-only (no registered "
+                "quantization recipe); it cannot run on the numeric backend"
+            )
+        built = _RECIPES[self.recipe].build(model, calib_tokens)
+        got = float(built.kv_codec.bits)
+        if got != float(self.kv_bits):
+            raise ValueError(
+                f"recipe {self.recipe!r} built a {got:g}-bit KV codec but "
+                f"scheme {self.name!r} declares kv_bits={self.kv_bits}"
+            )
+        return built
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+SCHEMES: dict[str, QuantScheme] = {}
+
+
+def register_scheme(scheme: QuantScheme, *, replace: bool = False) -> QuantScheme:
+    """Add a scheme to the global registry (CLI/backends/bench all read it)."""
+    if scheme.name in SCHEMES and not replace:
+        raise ValueError(f"scheme {scheme.name!r} is already registered")
+    SCHEMES[scheme.name] = scheme
+    return scheme
+
+
+def numeric_scheme_names() -> list[str]:
+    """Registered schemes executable on the numeric backend."""
+    return [s.name for s in SCHEMES.values() if s.numeric_executable]
+
+
+FP16 = register_scheme(
+    QuantScheme(
+        name="FP16",
+        w_bits=16,
+        a_bits=16,
+        kv_bits=16,
+        gemm_efficiency=0.685,
+        recipe="fp16",
+    )
 )
 
 # Weight-only INT4 (AWQ/GPTQ-style kernels): GEMM still FP16; dequant costs
 # ~10% of the FP16 pipeline in the compute-bound regime.
-W4A16 = QuantScheme(
-    name="W4A16",
-    w_bits=4,
-    a_bits=16,
-    kv_bits=16,
-    weight_only=True,
-    gemm_efficiency=0.615,
+W4A16 = register_scheme(
+    QuantScheme(
+        name="W4A16",
+        w_bits=4,
+        a_bits=16,
+        kv_bits=16,
+        weight_only=True,
+        gemm_efficiency=0.615,
+        recipe="gptq-w4a16",
+    )
 )
 
 # SmoothQuant-style INT8 weight-activation quantization with INT8 KV.
-W8A8 = QuantScheme(
-    name="W8A8", w_bits=8, a_bits=8, kv_bits=8, gemm_efficiency=0.613
+W8A8 = register_scheme(
+    QuantScheme(
+        name="W8A8",
+        w_bits=8,
+        a_bits=8,
+        kv_bits=8,
+        gemm_efficiency=0.613,
+        recipe="smoothquant-w8a8",
+    )
 )
 
 # Atom: INT4 body + fused INT8 mixed-precision outliers + fused group
 # dequantization; INT4 KV-cache.  770 / 1321 peak = 0.583.
-ATOM_W4A4 = QuantScheme(
-    name="Atom-W4A4",
-    w_bits=4,
-    a_bits=4,
-    kv_bits=4,
-    mixed_precision=True,
-    group_quant=True,
-    gemm_efficiency=0.583,
+ATOM_W4A4 = register_scheme(
+    QuantScheme(
+        name="Atom-W4A4",
+        w_bits=4,
+        a_bits=4,
+        kv_bits=4,
+        mixed_precision=True,
+        group_quant=True,
+        gemm_efficiency=0.583,
+        recipe="atom-w4a4",
+    )
 )
 
-SCHEMES: dict[str, QuantScheme] = {
-    s.name: s for s in (FP16, W4A16, W8A8, ATOM_W4A4)
-}
+# QServe-style W4A8KV4: INT8 GEMM body with a fused INT4->INT8 weight
+# dequant (per-output-channel weight scales, no groups), INT4 asymmetric
+# KV.  The fused weight dequant shaves a little off the plain INT8 GEMM's
+# 0.613 efficiency; weights still stream at 4 bits, so memory-bound decode
+# keeps the 4-bit advantage.
+W4A8KV4 = register_scheme(
+    QuantScheme(
+        name="W4A8KV4",
+        w_bits=4,
+        a_bits=8,
+        kv_bits=4,
+        gemm_efficiency=0.60,
+        recipe="qserve-w4a8kv4",
+    )
+)
+
+# Channel-wise mixed-bit allocation driven by calibration outlier
+# statistics: the highest-magnitude eighth of channels keeps INT8 (fused
+# like Atom's outlier tail), half the channels get INT4, and the lowest
+# three-eighths drop to INT3 — 4.125 bits/weight on average.  Per-tier
+# scale handling costs a little more than Atom's uniform fused pipeline.
+MIXED_BIT = register_scheme(
+    QuantScheme(
+        name="MixedBit",
+        w_bits=3,
+        a_bits=4,
+        kv_bits=4,
+        mixed_precision=True,
+        group_quant=True,
+        gemm_efficiency=0.57,
+        recipe="mixedbit",
+        bit_split=((3, 0.375), (4, 0.5), (8, 0.125)),
+    )
+)

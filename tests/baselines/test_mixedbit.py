@@ -1,0 +1,81 @@
+"""Channel-wise mixed-bit quantizer: tier carving and end-to-end accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mixedbit import DEFAULT_TIERS, MixedBitQuantizer, tier_slices
+from repro.core.outliers import sample_calibration_tokens
+
+
+@pytest.fixture(scope="module")
+def calib():
+    return sample_calibration_tokens(16, 32)
+
+
+class TestTierSlices:
+    def test_covers_all_channels_in_order(self):
+        slices = tier_slices(64, DEFAULT_TIERS, group_size=None)
+        assert slices[0].start == 0 and slices[-1].stop == 64
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+
+    def test_tier_widths_match_fractions(self):
+        slices = tier_slices(64, DEFAULT_TIERS, group_size=None)
+        widths = {s.bits: s.stop - s.start for s in slices}
+        assert widths == {3: 24, 4: 32, 8: 8}  # 0.375 / 0.5 / 0.125 of 64
+
+    def test_only_highest_tier_is_outlier(self):
+        for s in tier_slices(64, DEFAULT_TIERS, group_size=16):
+            assert s.is_outlier == (s.bits == 8)
+
+    def test_group_size_subdivides_tiers(self):
+        slices = tier_slices(64, DEFAULT_TIERS, group_size=16)
+        assert all(s.stop - s.start <= 16 for s in slices)
+        assert sum(s.stop - s.start for s in slices) == 64
+
+    def test_too_few_channels_rejected(self):
+        with pytest.raises(ValueError, match="tiers"):
+            tier_slices(2, DEFAULT_TIERS, group_size=None)
+
+    def test_fractions_consuming_everything_rejected(self):
+        greedy = ((3, 0.5), (4, 0.5), (8, 0.0001))
+        with pytest.raises(ValueError, match="final tier"):
+            tier_slices(8, greedy, group_size=None)
+
+
+class TestMixedBitQuantizer:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="two tiers"):
+            MixedBitQuantizer(tiers=((4, 1.0),))
+        with pytest.raises(ValueError, match="ascending"):
+            MixedBitQuantizer(tiers=((8, 0.5), (4, 0.5)))
+        with pytest.raises(ValueError, match="sum to 1"):
+            MixedBitQuantizer(tiers=((3, 0.5), (8, 0.1)))
+
+    def test_name_encodes_split(self):
+        assert MixedBitQuantizer().name == "mixedbit-3b+4b+8b-a4"
+
+    def test_channel_order_puts_outliers_last(self):
+        q = MixedBitQuantizer()
+        acts = np.ones((32, 8))
+        acts[:, 2] = 50.0  # injected outlier channel
+        order = q._channel_order(acts)
+        assert order[-1] == 2
+
+    def test_quantized_model_stays_close_and_carries_int4_kv(
+        self, model7b, calib
+    ):
+        q = MixedBitQuantizer()
+        qmodel = q.quantize(model7b, calib_tokens=calib)
+        assert float(qmodel.kv_codec.bits) == 4.0
+        tokens = sample_calibration_tokens(2, 24, seed=3)
+        ref = model7b.forward(tokens)
+        got = qmodel.forward(tokens)
+        # Mixed 3/4/8-bit weights + 4-bit acts: logits track FP16 closely
+        # enough that relative error stays small on average.
+        denom = np.abs(ref).mean()
+        assert np.abs(got - ref).mean() / denom < 0.5
+
+    def test_default_tiers_average_4p125_bits(self):
+        avg = sum(bits * frac for bits, frac in DEFAULT_TIERS)
+        assert avg == pytest.approx(4.125)

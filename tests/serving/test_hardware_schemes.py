@@ -58,7 +58,14 @@ class TestRoofline:
 
 class TestSchemes:
     def test_presets_registered(self):
-        assert set(SCHEMES) == {"FP16", "W4A16", "W8A8", "Atom-W4A4"}
+        assert {
+            "FP16",
+            "W4A16",
+            "W8A8",
+            "Atom-W4A4",
+            "W4A8KV4",
+            "MixedBit",
+        } <= set(SCHEMES)
 
     def test_compute_dtype(self):
         assert FP16.compute_dtype == "fp16"

@@ -331,11 +331,21 @@ class TestNumericServeCommand:
         assert main(["serve", "--backend", "numeric", "--tp", "2"]) == 2
         assert "tensor parallelism" in capsys.readouterr().err
 
-    def test_numeric_serve_rejects_unsupported_scheme(self, capsys):
-        assert main(
-            ["serve", "--backend", "numeric", "--scheme", "W8A8"]
-        ) == 2
-        assert "numeric backend supports" in capsys.readouterr().err
+    def test_numeric_serve_rejects_roofline_only_scheme(self, capsys):
+        # Every built-in scheme now carries a recipe, so exercise the guard
+        # with a temporarily registered roofline-only descriptor.
+        from repro.serving.schemes import SCHEMES, QuantScheme, register_scheme
+
+        register_scheme(
+            QuantScheme("RooflineOnly", w_bits=4, a_bits=4, kv_bits=4)
+        )
+        try:
+            assert main(
+                ["serve", "--backend", "numeric", "--scheme", "RooflineOnly"]
+            ) == 2
+            assert "numeric backend supports" in capsys.readouterr().err
+        finally:
+            SCHEMES.pop("RooflineOnly", None)
 
 
 class TestServingBenchCommand:
@@ -408,6 +418,116 @@ class TestServingBenchCommand:
              "--check-against", str(self.baseline_path)]
         ) == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+
+def _pareto_row(name, *, w=4, a=4, kv=4, ppl=5.0, roofline=1000.0,
+                numeric=50.0, weight_gb=3.14, kv_bytes=131072.0):
+    return {
+        "scheme": name, "w_bits": w, "a_bits": a, "kv_bits": kv,
+        "avg_weight_bits": float(w), "ppl": ppl,
+        "roofline_tokens_per_s": roofline, "numeric_tokens_per_s": numeric,
+        "numeric_wall_s": 0.1, "weight_gb": weight_gb,
+        "kv_bytes_per_token": kv_bytes, "verified_bit_identical": True,
+    }
+
+
+@pytest.fixture()
+def pareto_payload():
+    from repro.bench.pareto import PARETO_BENCH_SCHEMA, pareto_front
+
+    rows = [
+        _pareto_row("FP16", w=16, a=16, kv=16, ppl=4.0, roofline=330.0,
+                    weight_gb=12.55, kv_bytes=524288.0),
+        _pareto_row("W4A16", w=4, a=16, kv=16, ppl=4.3, roofline=750.0,
+                    weight_gb=3.14, kv_bytes=524288.0),
+        _pareto_row("W8A8", w=8, a=8, kv=8, ppl=4.1, roofline=620.0,
+                    weight_gb=6.28, kv_bytes=262144.0),
+        _pareto_row("Atom-W4A4", ppl=5.0, roofline=1080.0),
+    ]
+    payload = {
+        "schema": PARETO_BENCH_SCHEMA,
+        "quick": True,
+        "model": {"zoo": "llama-7b-sim", "roofline_spec": "Llama-7B"},
+        "host": {},
+        "schemes": rows,
+        "pareto_front": pareto_front(rows),
+    }
+    return payload
+
+
+class TestParetoBenchCommand:
+    """CLI plumbing for `bench --pareto` on a synthetic payload; the real
+    sweep runs in benchmarks/perf/test_pareto_smoke.py."""
+
+    @pytest.fixture(autouse=True)
+    def _reuse_payload(self, pareto_payload, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            "repro.bench.pareto.run_pareto_bench",
+            lambda *, quick=False, seed=0, model_name="llama-7b-sim",
+            scheme_names=None: copy.deepcopy(pareto_payload),
+        )
+        self.payload = pareto_payload
+        from repro.bench.pareto import write_pareto_bench_json
+
+        self.baseline_path = tmp_path / "BENCH_pareto.json"
+        write_pareto_bench_json(pareto_payload, self.baseline_path)
+
+    def test_pareto_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--pareto", "--quick"])
+        assert args.pareto is True
+
+    def test_prints_table_and_front(self, capsys):
+        assert main(["bench", "--pareto", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto sweep" in out
+        assert "Pareto front" in out
+        assert "bit-identical" in out
+        # Front members are starred in the table.
+        assert "FP16 *" in out
+
+    def test_writes_payload(self, capsys, tmp_path):
+        out_path = tmp_path / "pareto.json"
+        assert main(
+            ["bench", "--pareto", "--quick", "-o", str(out_path)]
+        ) == 0
+        written = json.loads(out_path.read_text())
+        assert written["schema"].endswith("bench-pareto/v1")
+        assert {r["scheme"] for r in written["schemes"]} >= {
+            "FP16", "Atom-W4A4",
+        }
+
+    def test_check_against_clean_baseline_passes(self, capsys):
+        assert main(
+            ["bench", "--pareto", "--quick",
+             "--check-against", str(self.baseline_path)]
+        ) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_check_against_missing_baseline_exits_2(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--pareto", "--quick",
+             "--check-against", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_check_against_broken_dominance_exits_1(
+        self, capsys, monkeypatch
+    ):
+        broken = copy.deepcopy(self.payload)
+        for r in broken["schemes"]:
+            if r["scheme"] == "Atom-W4A4":
+                r["roofline_tokens_per_s"] = 100.0  # below W8A8
+        monkeypatch.setattr(
+            "repro.bench.pareto.run_pareto_bench",
+            lambda *, quick=False, seed=0, model_name="llama-7b-sim",
+            scheme_names=None: broken,
+        )
+        assert main(
+            ["bench", "--pareto", "--quick",
+             "--check-against", str(self.baseline_path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err and "dominate" in err
 
 
 class TestTraceReportsBackend:
